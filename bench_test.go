@@ -1,0 +1,117 @@
+package cohmeleon
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"cohmeleon/internal/experiment"
+)
+
+// Benchmarks regenerate the paper's tables and figures. Each benchmark
+// iteration runs the complete experiment; the benchmark time is the
+// wall-clock cost of reproducing that artifact.
+//
+// By default the Quick protocol runs (same code paths, fewer
+// repetitions). Set COHMELEON_BENCH=full for the paper-faithful
+// protocol and COHMELEON_RENDER=1 to print each artifact.
+
+func benchOptions() experiment.Options {
+	if os.Getenv("COHMELEON_BENCH") == "full" {
+		return experiment.Default()
+	}
+	return experiment.Quick()
+}
+
+func runExperimentBench(b *testing.B, id string) {
+	b.Helper()
+	entry, err := experiment.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := entry.Run(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && os.Getenv("COHMELEON_RENDER") != "" {
+			fmt.Println(rep.Render())
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4 (SoC parameters).
+func BenchmarkTable4(b *testing.B) { runExperimentBench(b, "table4") }
+
+// BenchmarkFigure2 regenerates Figure 2 (accelerators in isolation).
+func BenchmarkFigure2(b *testing.B) { runExperimentBench(b, "fig2") }
+
+// BenchmarkFigure3 regenerates Figure 3 (parallel accelerators).
+func BenchmarkFigure3(b *testing.B) { runExperimentBench(b, "fig3") }
+
+// BenchmarkFigure5 regenerates Figure 5 (phase analysis, 8 policies).
+func BenchmarkFigure5(b *testing.B) { runExperimentBench(b, "fig5") }
+
+// BenchmarkFigure6 regenerates Figure 6 (reward-function DSE).
+func BenchmarkFigure6(b *testing.B) { runExperimentBench(b, "fig6") }
+
+// BenchmarkFigure7 regenerates Figure 7 (decision breakdown).
+func BenchmarkFigure7(b *testing.B) { runExperimentBench(b, "fig7") }
+
+// BenchmarkFigure8 regenerates Figure 8 (training-time study).
+func BenchmarkFigure8(b *testing.B) { runExperimentBench(b, "fig8") }
+
+// BenchmarkFigure9 regenerates Figure 9 (cross-SoC comparison).
+func BenchmarkFigure9(b *testing.B) { runExperimentBench(b, "fig9") }
+
+// BenchmarkHeadline regenerates the §6 headline aggregates and reports
+// the measured speedup and off-chip reduction as benchmark metrics.
+func BenchmarkHeadline(b *testing.B) {
+	opt := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := experiment.Headline(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(h.AvgSpeedup*100, "%speedup")
+		b.ReportMetric(h.AvgMemReduction*100, "%offchip-reduction")
+		if i == 0 && os.Getenv("COHMELEON_RENDER") != "" {
+			fmt.Println(h.Render())
+		}
+	}
+}
+
+// BenchmarkOverhead regenerates the §6 overhead measurement.
+func BenchmarkOverhead(b *testing.B) {
+	opt := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiment.Overhead(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Points[0].Fraction*100, "%overhead-16kB")
+		if i == 0 && os.Getenv("COHMELEON_RENDER") != "" {
+			fmt.Println(r.Render())
+		}
+	}
+}
+
+// BenchmarkAblation runs the design-choice ablations from DESIGN.md.
+func BenchmarkAblation(b *testing.B) { runExperimentBench(b, "ablation") }
+
+// BenchmarkAppRun measures the simulator itself: one full evaluation
+// application on SoC0 under the manual policy (≈300 invocations).
+func BenchmarkAppRun(b *testing.B) {
+	cfg := SoC0(TrafficMixed, 42)
+	app := GenerateApp(cfg, GenConfig{}, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunApp(cfg, NewManual(), app, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

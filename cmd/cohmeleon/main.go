@@ -1,0 +1,124 @@
+// Command cohmeleon regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	cohmeleon list
+//	cohmeleon run [-profile quick|full|tiny] [-seed N] [-out FILE] <id>... | all
+//
+// Experiment IDs: table4, fig2, fig3, fig5, fig6, fig7, fig8, fig9,
+// headline, overhead, ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"cohmeleon/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cohmeleon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing command")
+	}
+	switch args[0] {
+	case "list":
+		for _, e := range experiment.List() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	case "run":
+		return runExperiments(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func runExperiments(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	profile := fs.String("profile", "quick", "experiment scale: quick, full or tiny")
+	seed := fs.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+	outPath := fs.String("out", "", "also append rendered reports to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("run: no experiment IDs (try 'cohmeleon list' or 'run all')")
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range experiment.List() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	var opt experiment.Options
+	switch *profile {
+	case "quick":
+		opt = experiment.Quick()
+	case "full":
+		opt = experiment.Default()
+	case "tiny":
+		opt = experiment.Tiny()
+	default:
+		return fmt.Errorf("run: unknown profile %q", *profile)
+	}
+	if *seed != 0 {
+		opt.Seed = *seed
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	for _, id := range ids {
+		entry, err := experiment.Lookup(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "### %s — %s (profile=%s, seed=%d)\n\n", entry.ID, entry.Title, *profile, opt.Seed)
+		start := time.Now()
+		rep, err := entry.Run(opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprintln(out, rep.Render())
+		fmt.Fprintf(out, "(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `cohmeleon — reproduce the MICRO 2021 Cohmeleon evaluation
+
+commands:
+  list                      list the reproducible tables and figures
+  run [flags] <id>...|all   regenerate artifacts
+
+run flags:
+  -profile quick|full|tiny  protocol scale (default quick)
+  -seed N                   override the experiment seed
+  -out FILE                 append rendered reports to FILE
+`)
+}

@@ -1,0 +1,85 @@
+// Command socviz prints the floorplan of each evaluation SoC and,
+// optionally, a monitor/utilization report after running its evaluation
+// application under a chosen policy — a quick way to see where tiles
+// sit and where the traffic goes.
+//
+// Usage:
+//
+//	socviz [-run] [-policy manual|rand|non-coh|llc-coh|coh-dma|full-coh] [soc...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cohmeleon/internal/esp"
+	"cohmeleon/internal/policy"
+	"cohmeleon/internal/soc"
+	"cohmeleon/internal/workload"
+)
+
+func main() {
+	runApp := flag.Bool("run", false, "run the SoC's evaluation application and print monitor readings")
+	polName := flag.String("policy", "manual", "policy for -run: manual, rand, non-coh, llc-coh, coh-dma, full-coh")
+	seed := flag.Uint64("seed", 42, "seed for traffic generators and workloads")
+	flag.Parse()
+
+	configs := map[string]*soc.Config{}
+	var order []string
+	for _, cfg := range soc.Table4(*seed) {
+		configs[cfg.Name] = cfg
+		order = append(order, cfg.Name)
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		names = order
+	}
+
+	for _, name := range names {
+		cfg, ok := configs[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "socviz: unknown SoC %q (have %v)\n", name, order)
+			os.Exit(1)
+		}
+		s, err := cfg.Build()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "socviz:", err)
+			os.Exit(1)
+		}
+		fmt.Println(s.Floorplan())
+		if !*runApp {
+			continue
+		}
+		pol, err := pickPolicy(*polName, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "socviz:", err)
+			os.Exit(1)
+		}
+		app := workload.AppFor(cfg, *seed)
+		if _, err := workload.Run(esp.NewSystem(s, pol), app, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "socviz:", err)
+			os.Exit(1)
+		}
+		fmt.Println(s.UtilizationReport())
+	}
+}
+
+func pickPolicy(name string, seed uint64) (esp.Policy, error) {
+	switch name {
+	case "manual":
+		return policy.NewManual(), nil
+	case "rand":
+		return policy.NewRandom(seed), nil
+	case "non-coh":
+		return policy.NewFixed(soc.NonCohDMA), nil
+	case "llc-coh":
+		return policy.NewFixed(soc.LLCCohDMA), nil
+	case "coh-dma":
+		return policy.NewFixed(soc.CohDMA), nil
+	case "full-coh":
+		return policy.NewFixed(soc.FullyCoh), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}

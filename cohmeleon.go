@@ -1,0 +1,239 @@
+// Package cohmeleon is a simulation-based reproduction of "Cohmeleon:
+// Learning-Based Orchestration of Accelerator Coherence in Heterogeneous
+// SoCs" (Zuckerman et al., MICRO 2021).
+//
+// The package is organized in three layers, all reachable from this
+// facade:
+//
+//   - A transaction-level, deterministic discrete-event simulator of an
+//     ESP-style tiled SoC: a 2D-mesh multi-plane NoC, MESI private
+//     caches, an inclusive directory-based partitioned LLC, DRAM
+//     controllers, and accelerator sockets implementing the paper's four
+//     coherence modes (non-coherent DMA, LLC-coherent DMA, coherent DMA,
+//     fully-coherent).
+//   - The Cohmeleon reinforcement-learning module: Table-3 state
+//     encoding, a 243×4 Q-table, the multi-objective reward built from
+//     hardware monitors, and ε-greedy selection with linear decay —
+//     alongside the paper's baselines (Random, four Fixed policies, a
+//     profiling-derived Fixed-heterogeneous policy, and the
+//     manually-tuned Algorithm 1).
+//   - An experiment harness that regenerates every evaluation artifact:
+//     Table 4, Figures 2–3 (motivation), Figures 5–9, the headline
+//     speedup/off-chip aggregates, the runtime-overhead sweep, and a set
+//     of design-choice ablations.
+//
+// Quick start:
+//
+//	cfg := cohmeleon.SoC5()                       // Table-4 preset
+//	agent := cohmeleon.NewAgent(cohmeleon.DefaultAgentConfig())
+//	app := cohmeleon.AppFor(cfg, 1)               // case-study workload
+//	cohmeleon.Train(cfg, agent, app, 10, 7)       // online learning
+//	res, err := cohmeleon.RunApp(cfg, agent, app, 3)
+//
+// All randomness flows from explicit seeds; identical inputs give
+// bit-identical results.
+package cohmeleon
+
+import (
+	"cohmeleon/internal/acc"
+	"cohmeleon/internal/core"
+	"cohmeleon/internal/esp"
+	"cohmeleon/internal/experiment"
+	"cohmeleon/internal/policy"
+	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc"
+	"cohmeleon/internal/workload"
+)
+
+// Core simulator types.
+type (
+	// Mode is an accelerator cache-coherence mode.
+	Mode = soc.Mode
+	// SoCConfig describes one SoC to build (Table 4 presets below).
+	SoCConfig = soc.Config
+	// SoC is a fully assembled simulated system.
+	SoC = soc.SoC
+	// AccInstance declares one accelerator to integrate.
+	AccInstance = soc.AccInstance
+	// AccSpec is an accelerator communication profile.
+	AccSpec = acc.Spec
+	// TrafficConfig parameterizes the configurable traffic generator.
+	TrafficConfig = acc.TrafficConfig
+	// Params holds the simulator's timing constants.
+	Params = soc.Params
+	// Cycles is a duration or instant of simulated time.
+	Cycles = sim.Cycles
+)
+
+// The four coherence modes, in paper order.
+const (
+	NonCohDMA = soc.NonCohDMA
+	LLCCohDMA = soc.LLCCohDMA
+	CohDMA    = soc.CohDMA
+	FullyCoh  = soc.FullyCoh
+)
+
+// Software-stack and policy types.
+type (
+	// Policy selects a coherence mode per accelerator invocation.
+	Policy = esp.Policy
+	// DecisionContext is the sensed snapshot handed to a policy.
+	DecisionContext = esp.Context
+	// InvocationResult is the evaluation of a completed invocation.
+	InvocationResult = esp.Result
+	// System binds a simulated SoC to a coherence policy.
+	System = esp.System
+	// Agent is the Cohmeleon Q-learning policy.
+	Agent = core.Cohmeleon
+	// AgentConfig parameterizes a Cohmeleon agent.
+	AgentConfig = core.Config
+	// RewardWeights are the x, y, z reward coefficients.
+	RewardWeights = core.RewardWeights
+)
+
+// Workload types.
+type (
+	// App is a phase/thread/chain evaluation application.
+	App = workload.App
+	// PhaseSpec is one application phase (threads launched together).
+	PhaseSpec = workload.PhaseSpec
+	// ThreadSpec is one software thread: a dataset and a chain of
+	// accelerator invocations over it.
+	ThreadSpec = workload.ThreadSpec
+	// AppResult holds one application run's measurements.
+	AppResult = workload.AppResult
+	// GenConfig controls the random application generator.
+	GenConfig = workload.GenConfig
+	// SizeClass is the paper's S/M/L/XL workload characterization.
+	SizeClass = workload.SizeClass
+)
+
+// Traffic-generator access patterns.
+const (
+	Streaming = acc.Streaming
+	Strided   = acc.Strided
+	Irregular = acc.Irregular
+)
+
+// Experiment types.
+type (
+	// Experiment is one reproducible artifact of the paper.
+	Experiment = experiment.Entry
+	// ExperimentOptions scales the experiment protocol.
+	ExperimentOptions = experiment.Options
+	// Report is a rendered experiment result.
+	Report = experiment.Report
+)
+
+// Table-4 SoC presets and the motivation SoCs.
+var (
+	// SoC1 through SoC6 return the corresponding Table-4 configurations;
+	// SoC0 additionally selects the traffic-generator mix.
+	SoC0 = soc.SoC0
+	SoC1 = soc.SoC1
+	SoC2 = soc.SoC2
+	SoC3 = soc.SoC3
+	SoC4 = soc.SoC4
+	SoC5 = soc.SoC5
+	SoC6 = soc.SoC6
+	// MotivationIsolation and MotivationParallel are the Figures-2/3
+	// SoCs.
+	MotivationIsolation = soc.MotivationIsolation
+	MotivationParallel  = soc.MotivationParallel
+	// Table4Configs returns all seven evaluation SoCs.
+	Table4Configs = soc.Table4
+	// DefaultParams is the timing-parameter set used in every experiment;
+	// custom SoCConfigs need it (or a modified copy).
+	DefaultParams = soc.DefaultParams
+)
+
+// Traffic-generator mixes for SoC0.
+const (
+	TrafficMixed     = soc.TrafficMixed
+	TrafficStreaming = soc.TrafficStreaming
+	TrafficIrregular = soc.TrafficIrregular
+)
+
+// Workload constructors.
+var (
+	// GenerateApp builds a seeded random evaluation application.
+	GenerateApp = workload.Generate
+	// Figure5App builds the four named Figure-5 phases.
+	Figure5App = workload.Figure5App
+	// AutonomousDrivingApp and ComputerVisionApp are the case studies.
+	AutonomousDrivingApp = workload.AutonomousDrivingApp
+	ComputerVisionApp    = workload.ComputerVisionApp
+	// AppFor picks the evaluation application matched to a SoC.
+	AppFor = workload.AppFor
+)
+
+// Policy constructors.
+var (
+	// NewAgent creates a Cohmeleon Q-learning agent.
+	NewAgent = core.New
+	// DefaultAgentConfig is the paper's training setup.
+	DefaultAgentConfig = core.DefaultConfig
+	// DefaultRewardWeights is the (67.5, 7.5, 25) reward.
+	DefaultRewardWeights = core.DefaultWeights
+	// NewFixed, NewRandom, NewManual and NewFixedHeterogeneous build the
+	// baseline policies.
+	NewFixed              = policy.NewFixed
+	NewRandom             = policy.NewRandom
+	NewManual             = policy.NewManual
+	NewFixedHeterogeneous = policy.NewFixedHeterogeneous
+)
+
+// Accelerator catalog access.
+var (
+	// AcceleratorNames lists the twelve cataloged kernels.
+	AcceleratorNames = acc.Names
+	// AcceleratorByName returns a cataloged communication profile.
+	AcceleratorByName = acc.ByName
+)
+
+// RunApp executes an application on a freshly built SoC under the given
+// policy and returns per-phase measurements. Policies persist across
+// calls (that is how Cohmeleon keeps learning); hardware state does not.
+func RunApp(cfg *SoCConfig, pol Policy, app *App, seed uint64) (*AppResult, error) {
+	s, err := cfg.Build()
+	if err != nil {
+		return nil, err
+	}
+	return workload.Run(esp.NewSystem(s, pol), app, seed)
+}
+
+// Train runs the agent through iters online-training iterations of the
+// application (a fresh SoC per iteration), advancing its ε/α decay
+// after each, exactly as the paper trains on successive runs of an
+// application instance.
+func Train(cfg *SoCConfig, agent *Agent, app *App, iters int, seed uint64) error {
+	agent.Unfreeze()
+	for i := 0; i < iters; i++ {
+		if _, err := RunApp(cfg, agent, app, seed+uint64(i)); err != nil {
+			return err
+		}
+		agent.EndIteration()
+	}
+	return nil
+}
+
+// Experiments lists every reproducible artifact (tables and figures).
+func Experiments() []Experiment { return experiment.List() }
+
+// RunExperiment executes one experiment by ID ("fig2" … "fig9",
+// "table4", "headline", "overhead", "ablation").
+func RunExperiment(id string, opt ExperimentOptions) (Report, error) {
+	e, err := experiment.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(opt)
+}
+
+// DefaultExperimentOptions is the paper-faithful protocol; Quick and
+// Tiny trade repetitions for runtime.
+var (
+	DefaultExperimentOptions = experiment.Default
+	QuickExperimentOptions   = experiment.Quick
+	TinyExperimentOptions    = experiment.Tiny
+)

@@ -1,0 +1,106 @@
+package cohmeleon
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := SoC6()
+	app := AppFor(cfg, 1)
+	agent := NewAgent(DefaultAgentConfig())
+	if err := Train(cfg, agent, app, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	if agent.Iteration() != 2 {
+		t.Fatalf("Iteration = %d", agent.Iteration())
+	}
+	agent.Freeze()
+	res, err := RunApp(cfg, agent, app, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || len(res.Phases) == 0 {
+		t.Fatal("empty result")
+	}
+	if res.Policy != "cohmeleon" {
+		t.Fatalf("policy = %q", res.Policy)
+	}
+}
+
+func TestFacadePolicyComparison(t *testing.T) {
+	cfg := SoC5()
+	app := AppFor(cfg, 2)
+	nonCoh, err := RunApp(cfg, NewFixed(NonCohDMA), app, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual, err := RunApp(cfg, NewManual(), app, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manual.OffChip >= nonCoh.OffChip {
+		t.Errorf("manual off-chip %d should beat fixed-non-coh %d", manual.OffChip, nonCoh.OffChip)
+	}
+}
+
+func TestExperimentsRegistryViaFacade(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 11 {
+		t.Fatalf("%d experiments", len(exps))
+	}
+	rep, err := RunExperiment("table4", TinyExperimentOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Render(), "SoC3") {
+		t.Fatal("table4 render incomplete")
+	}
+	if _, err := RunExperiment("nope", TinyExperimentOptions()); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestAcceleratorCatalogViaFacade(t *testing.T) {
+	names := AcceleratorNames()
+	if len(names) != 12 {
+		t.Fatalf("%d accelerators", len(names))
+	}
+	spec, err := AcceleratorByName("fft")
+	if err != nil || spec.Name != "fft" {
+		t.Fatalf("AcceleratorByName: %v", err)
+	}
+}
+
+func TestModeConstantsMatch(t *testing.T) {
+	if NonCohDMA.String() != "non-coh-dma" || FullyCoh.String() != "full-coh" {
+		t.Fatal("re-exported constants broken")
+	}
+}
+
+// customPolicy demonstrates (and verifies) that external code can
+// implement the Policy interface through the facade types alone.
+type customPolicy struct{}
+
+func (customPolicy) Name() string { return "custom" }
+func (customPolicy) Decide(ctx *DecisionContext) Mode {
+	if ctx.FootprintBytes <= ctx.L2Bytes {
+		return ctx.Clamp(FullyCoh)
+	}
+	return NonCohDMA
+}
+func (customPolicy) Observe(*InvocationResult) {}
+func (customPolicy) OverheadCycles() Cycles    { return 50 }
+
+func TestCustomPolicyThroughFacade(t *testing.T) {
+	var pol Policy = customPolicy{}
+	cfg := SoC6()
+	app := AppFor(cfg, 3)
+	res, err := RunApp(cfg, pol, app, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "custom" {
+		t.Fatalf("policy = %q", res.Policy)
+	}
+}

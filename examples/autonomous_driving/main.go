@@ -1,0 +1,62 @@
+// Autonomous driving (SoC5 case study): V2V decode pipelines (FFT →
+// Viterbi) and CNN inference pipelines (Conv-2D → GEMM) under every
+// coherence policy, with per-phase results — the workload the paper's
+// §5 motivates for collaborative autonomous vehicles.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cohmeleon"
+)
+
+func main() {
+	cfg := cohmeleon.SoC5()
+	train := cohmeleon.AutonomousDrivingApp(cfg, 100)
+	test := cohmeleon.AutonomousDrivingApp(cfg, 200)
+
+	agentCfg := cohmeleon.DefaultAgentConfig()
+	agentCfg.DecayIterations = 8
+	agent := cohmeleon.NewAgent(agentCfg)
+	if err := cohmeleon.Train(cfg, agent, train, 8, 1); err != nil {
+		log.Fatal(err)
+	}
+	agent.Freeze()
+
+	policies := []cohmeleon.Policy{
+		cohmeleon.NewFixed(cohmeleon.NonCohDMA),
+		cohmeleon.NewFixed(cohmeleon.LLCCohDMA),
+		cohmeleon.NewFixed(cohmeleon.CohDMA),
+		cohmeleon.NewFixed(cohmeleon.FullyCoh),
+		cohmeleon.NewRandom(1),
+		cohmeleon.NewManual(),
+		agent,
+	}
+
+	fmt.Printf("SoC5 autonomous-driving case study: %d invocations across %d phases\n\n",
+		test.Invocations(), len(test.Phases))
+	var phaseNames []string
+	for _, ph := range test.Phases {
+		phaseNames = append(phaseNames, ph.Name)
+	}
+	fmt.Printf("%-18s %14s %12s", "policy", "total cycles", "off-chip")
+	for _, n := range phaseNames {
+		fmt.Printf(" %14s", n)
+	}
+	fmt.Println()
+
+	for _, pol := range policies {
+		res, err := cohmeleon.RunApp(cfg, pol, test, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %14d %12d", res.Policy, res.Cycles, res.OffChip)
+		for _, ph := range res.Phases {
+			fmt.Printf(" %14d", ph.Cycles)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nphases: v2v-decode = small V2V frames; cnn-inference = camera tensors;")
+	fmt.Println("full-stack = both concurrently plus an XL map-fusion job")
+}

@@ -1,0 +1,54 @@
+// Computer vision (SoC6 case study): watch the Q-learning agent
+// converge. After each online training iteration the frozen model is
+// evaluated on a held-out application instance — the protocol behind
+// the paper's Figure 8 — and the resulting learning curve is printed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cohmeleon"
+)
+
+func main() {
+	cfg := cohmeleon.SoC6()
+	train := cohmeleon.ComputerVisionApp(cfg, 100)
+	test := cohmeleon.ComputerVisionApp(cfg, 200)
+
+	// Baseline for normalization: the fixed non-coherent design-time
+	// choice, as in every figure of the paper.
+	base, err := cohmeleon.RunApp(cfg, cohmeleon.NewFixed(cohmeleon.NonCohDMA), test, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const iterations = 8
+	agentCfg := cohmeleon.DefaultAgentConfig()
+	agentCfg.DecayIterations = iterations
+	agent := cohmeleon.NewAgent(agentCfg)
+
+	fmt.Println("SoC6 computer-vision pipelines: learning curve")
+	fmt.Printf("%-10s %12s %12s %8s %8s\n", "iteration", "norm exec", "norm mem", "ε", "α")
+	evaluate := func(iter int) {
+		agent.Freeze()
+		res, err := cohmeleon.RunApp(cfg, agent, test, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agent.Unfreeze()
+		fmt.Printf("%-10d %12.3f %12.3f %8.3f %8.3f\n", iter,
+			float64(res.Cycles)/float64(base.Cycles),
+			float64(res.OffChip)/float64(base.OffChip),
+			agent.Epsilon(), agent.Alpha())
+	}
+
+	evaluate(0) // untrained: equivalent to the Random policy
+	for i := 1; i <= iterations; i++ {
+		if err := cohmeleon.Train(cfg, agent, train, 1, uint64(i)); err != nil {
+			log.Fatal(err)
+		}
+		evaluate(i)
+	}
+	fmt.Printf("\nQ-table updates applied: %d\n", agent.Table().TotalVisits())
+}

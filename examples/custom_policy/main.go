@@ -1,0 +1,64 @@
+// Custom policy: the Policy interface is the paper's "Decide" hook, and
+// anything that implements it can drive coherence selection. This
+// example writes a simple footprint heuristic and benchmarks it against
+// the built-in policies on SoC4 (one instance of each ESP accelerator).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cohmeleon"
+)
+
+// footprintHeuristic picks the mode from the dataset size alone: cache
+// the small, bypass for the large. It ignores system load, which is
+// exactly the information Cohmeleon exploits — run the comparison to
+// see what that costs.
+type footprintHeuristic struct{}
+
+func (footprintHeuristic) Name() string { return "footprint-only" }
+
+func (footprintHeuristic) Decide(ctx *cohmeleon.DecisionContext) cohmeleon.Mode {
+	switch {
+	case ctx.FootprintBytes <= ctx.L2Bytes:
+		return ctx.Clamp(cohmeleon.FullyCoh)
+	case ctx.FootprintBytes <= ctx.TotalLLCBytes:
+		return cohmeleon.CohDMA
+	default:
+		return cohmeleon.NonCohDMA
+	}
+}
+
+func (footprintHeuristic) Observe(*cohmeleon.InvocationResult) {}
+
+func (footprintHeuristic) OverheadCycles() cohmeleon.Cycles { return 150 }
+
+func main() {
+	cfg := cohmeleon.SoC4()
+	app := cohmeleon.AppFor(cfg, 11)
+
+	agentCfg := cohmeleon.DefaultAgentConfig()
+	agentCfg.DecayIterations = 6
+	agent := cohmeleon.NewAgent(agentCfg)
+	if err := cohmeleon.Train(cfg, agent, cohmeleon.AppFor(cfg, 10), 6, 1); err != nil {
+		log.Fatal(err)
+	}
+	agent.Freeze()
+
+	fmt.Printf("SoC4 (%d heterogeneous accelerators), app with %d invocations\n\n",
+		len(cfg.Accs), app.Invocations())
+	fmt.Printf("%-18s %14s %12s\n", "policy", "total cycles", "off-chip")
+	for _, pol := range []cohmeleon.Policy{
+		footprintHeuristic{},
+		cohmeleon.NewManual(),
+		agent,
+		cohmeleon.NewFixed(cohmeleon.CohDMA),
+	} {
+		res, err := cohmeleon.RunApp(cfg, pol, app, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %14d %12d\n", res.Policy, res.Cycles, res.OffChip)
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: build a Table-4 SoC, train a Cohmeleon agent online, and
+// compare it against the fixed non-coherent baseline on the same
+// application.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cohmeleon"
+)
+
+func main() {
+	// SoC6 is the paper's computer-vision case study: three night-vision
+	// → autoencoder → MLP pipelines, one CPU, two memory tiles.
+	cfg := cohmeleon.SoC6()
+
+	// The matching evaluation application (phases of camera pipelines).
+	train := cohmeleon.AppFor(cfg, 100)
+	test := cohmeleon.AppFor(cfg, 200) // a different instance for testing
+
+	// Train a Q-learning agent online for five application iterations.
+	agentCfg := cohmeleon.DefaultAgentConfig()
+	agentCfg.DecayIterations = 5
+	agent := cohmeleon.NewAgent(agentCfg)
+	if err := cohmeleon.Train(cfg, agent, train, 5, 1); err != nil {
+		log.Fatal(err)
+	}
+	agent.Freeze() // evaluation mode: no exploration, no updates
+
+	// Compare against the design-time baseline.
+	baseline, err := cohmeleon.RunApp(cfg, cohmeleon.NewFixed(cohmeleon.NonCohDMA), test, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	learned, err := cohmeleon.RunApp(cfg, agent, test, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("SoC: %s, application: %s (%d invocations)\n",
+		cfg.Name, test.Name, test.Invocations())
+	fmt.Printf("%-22s %15s %15s\n", "policy", "cycles", "off-chip lines")
+	fmt.Printf("%-22s %15d %15d\n", baseline.Policy, baseline.Cycles, baseline.OffChip)
+	fmt.Printf("%-22s %15d %15d\n", learned.Policy, learned.Cycles, learned.OffChip)
+	fmt.Printf("\nspeedup: %.2fx   off-chip reduction: %.1f%%\n",
+		float64(baseline.Cycles)/float64(learned.Cycles),
+		100*(1-float64(learned.OffChip)/float64(baseline.OffChip)))
+
+	// Where did the agent's decisions land?
+	d := agent.Decisions()
+	fmt.Printf("\ncoherence decisions: non-coh=%d llc-coh=%d coh-dma=%d full-coh=%d\n",
+		d[cohmeleon.NonCohDMA], d[cohmeleon.LLCCohDMA], d[cohmeleon.CohDMA], d[cohmeleon.FullyCoh])
+}

@@ -1,0 +1,98 @@
+// Traffic sweep: the paper's traffic generator characterizes an
+// accelerator purely by its communication pattern. This example sweeps
+// the generator's parameter space — pattern, burst length, reuse,
+// compute intensity — on a one-accelerator SoC and reports which
+// coherence mode wins each point, showing how the optimum moves with
+// the traffic shape (the core observation motivating Cohmeleon).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cohmeleon"
+)
+
+func main() {
+	type point struct {
+		label string
+		cfg   cohmeleon.TrafficConfig
+		bytes int64
+	}
+	kib := int64(1024)
+	points := []point{
+		{"stream burst=64 reuse=1 16kB", stream(64, 1, 0.5), 16 * kib},
+		{"stream burst=64 reuse=1 2MB", stream(64, 1, 0.5), 2048 * kib},
+		{"stream burst=4  reuse=4 64kB", stream(4, 4, 0.5), 64 * kib},
+		{"stream burst=4  reuse=4 2MB", stream(4, 4, 0.5), 2048 * kib},
+		{"irregular 25%% 64kB", irregular(0.25), 64 * kib},
+		{"irregular 25%% 1MB", irregular(0.25), 1024 * kib},
+		{"compute-bound 256kB", computeBound(), 256 * kib},
+	}
+
+	fmt.Printf("%-28s %12s %12s %12s %12s %14s\n",
+		"traffic", "non-coh", "llc-coh", "coh-dma", "full-coh", "winner")
+	for _, pt := range points {
+		spec, err := pt.cfg.Spec("tgen")
+		if err != nil {
+			log.Fatal(err)
+		}
+		socCfg := &cohmeleon.SoCConfig{
+			Name: "sweep", MeshW: 3, MeshH: 3, CPUs: 1, MemTiles: 2,
+			LLCSliceKB: 256, L2KB: 32,
+			Accs:   []cohmeleon.AccInstance{{InstName: "tgen", Spec: spec, PrivateCache: true}},
+			Params: cohmeleon.DefaultParams(),
+		}
+		cycles := make(map[cohmeleon.Mode]int64)
+		var best cohmeleon.Mode
+		for _, mode := range []cohmeleon.Mode{
+			cohmeleon.NonCohDMA, cohmeleon.LLCCohDMA, cohmeleon.CohDMA, cohmeleon.FullyCoh,
+		} {
+			res, err := cohmeleon.RunApp(socCfg, cohmeleon.NewFixed(mode), sweepApp(pt.bytes), 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cycles[mode] = int64(res.Cycles)
+			if cycles[mode] < cycles[best] || best == mode {
+				best = mode
+			}
+		}
+		fmt.Printf("%-28s %12d %12d %12d %12d %14s\n", pt.label,
+			cycles[cohmeleon.NonCohDMA], cycles[cohmeleon.LLCCohDMA],
+			cycles[cohmeleon.CohDMA], cycles[cohmeleon.FullyCoh], best)
+	}
+}
+
+func sweepApp(bytes int64) *cohmeleon.App {
+	return &cohmeleon.App{
+		Name: "sweep",
+		Phases: []cohmeleon.PhaseSpec{{
+			Name: "sweep",
+			Threads: []cohmeleon.ThreadSpec{{
+				Name: "t0", FootprintBytes: bytes, Chain: []string{"tgen"},
+				Loops: 2, RewriteFraction: 0.25, ReadbackFraction: 0.25,
+			}},
+		}},
+	}
+}
+
+func stream(burst, reuse int, readWrite float64) cohmeleon.TrafficConfig {
+	return cohmeleon.TrafficConfig{
+		Pattern: cohmeleon.Streaming, BurstLines: burst, ComputePerByte: 0.3,
+		ReusePasses: reuse, ReadFraction: readWrite, InPlace: true, PLMBytes: 16 << 10,
+	}
+}
+
+func irregular(frac float64) cohmeleon.TrafficConfig {
+	return cohmeleon.TrafficConfig{
+		Pattern: cohmeleon.Irregular, BurstLines: 1, ComputePerByte: 0.2,
+		ReusePasses: 2, ReadFraction: 0.9, AccessFraction: frac, PLMBytes: 16 << 10,
+	}
+}
+
+func computeBound() cohmeleon.TrafficConfig {
+	return cohmeleon.TrafficConfig{
+		Pattern: cohmeleon.Streaming, BurstLines: 16, ComputePerByte: 4,
+		ReusePasses: 1, ReadFraction: 0.9, PLMBytes: 16 << 10,
+	}
+}

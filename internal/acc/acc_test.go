@@ -1,0 +1,378 @@
+package acc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cohmeleon/internal/mem"
+	"cohmeleon/internal/sim"
+)
+
+func TestCatalogSpecsValid(t *testing.T) {
+	names := Names()
+	if len(names) != 12 {
+		t.Fatalf("catalog has %d entries, want 12", len(names))
+	}
+	for _, n := range names {
+		s := MustByName(n)
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+		if s.Name != n {
+			t.Errorf("%s: name mismatch %q", n, s.Name)
+		}
+	}
+}
+
+func TestESPNamesExcludesNVDLA(t *testing.T) {
+	names := ESPNames()
+	if len(names) != 11 {
+		t.Fatalf("ESPNames has %d entries, want 11", len(names))
+	}
+	for _, n := range names {
+		if n == NVDLA {
+			t.Fatal("ESPNames should exclude NVDLA")
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustByName("nope")
+}
+
+func TestPatternString(t *testing.T) {
+	if Streaming.String() != "streaming" || Strided.String() != "strided" || Irregular.String() != "irregular" {
+		t.Fatal("pattern names wrong")
+	}
+}
+
+func TestConstReuse(t *testing.T) {
+	if ConstReuse(3)(1<<20, 1<<14) != 3 {
+		t.Fatal("ConstReuse broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ConstReuse(0) should panic")
+		}
+	}()
+	ConstReuse(0)
+}
+
+func TestLogReuseGrowsWithFootprint(t *testing.T) {
+	f := LogReuse(1)
+	small := f(16<<10, 16<<10) // fits in PLM
+	large := f(4<<20, 16<<10)  // 256× PLM → 8 doublings
+	if small != 1 {
+		t.Fatalf("small reuse = %d, want 1", small)
+	}
+	if large != 9 {
+		t.Fatalf("large reuse = %d, want 9", large)
+	}
+	if f(0, 16<<10) < 1 {
+		t.Fatal("reuse must be at least 1")
+	}
+}
+
+func TestStreamingPlanCoversDataset(t *testing.T) {
+	spec := &Spec{
+		Name: "t", Pattern: Streaming, BurstLines: 16, ComputePerByte: 1,
+		ReadFraction: 1, Reuse: ConstReuse(1), InPlace: true, PLMBytes: 16 << 10,
+	}
+	p := NewPlan(spec, 256<<10, nil)
+	var chunk ChunkPlan
+	covered := make(map[int64]bool)
+	chunks := 0
+	for p.Next(&chunk) {
+		chunks++
+		for _, r := range chunk.Reads {
+			if r.Lines > 16 {
+				t.Fatalf("burst of %d lines exceeds BurstLines", r.Lines)
+			}
+			for l := r.Start; l < r.Start+r.Lines; l++ {
+				covered[l] = true
+			}
+		}
+	}
+	wantLines := int64(256 << 10 / mem.LineBytes)
+	if int64(len(covered)) != wantLines {
+		t.Fatalf("covered %d lines, want %d", len(covered), wantLines)
+	}
+	if chunks != p.Chunks() {
+		t.Fatalf("produced %d chunks, Chunks() said %d", chunks, p.Chunks())
+	}
+}
+
+func TestPlanPassesRepeatCoverage(t *testing.T) {
+	spec := &Spec{
+		Name: "t", Pattern: Streaming, BurstLines: 8, ComputePerByte: 0,
+		ReadFraction: 1, Reuse: ConstReuse(3), InPlace: true, PLMBytes: 8 << 10,
+	}
+	p := NewPlan(spec, 32<<10, nil)
+	if p.Passes() != 3 {
+		t.Fatalf("Passes = %d", p.Passes())
+	}
+	var chunk ChunkPlan
+	var readLines int64
+	for p.Next(&chunk) {
+		for _, r := range chunk.Reads {
+			readLines += r.Lines
+		}
+	}
+	want := 3 * int64(32<<10/mem.LineBytes)
+	if readLines != want {
+		t.Fatalf("read %d lines, want %d (3 passes)", readLines, want)
+	}
+}
+
+func TestSmallFootprintSingleChunk(t *testing.T) {
+	spec := MustByName(MLP) // 16 KB PLM, 1 pass
+	p := NewPlan(spec, 8<<10, nil)
+	if p.Chunks() != 1 {
+		t.Fatalf("Chunks = %d, want 1 (fits in PLM)", p.Chunks())
+	}
+}
+
+func TestNonInPlaceSplitsReadWriteRegions(t *testing.T) {
+	spec := &Spec{
+		Name: "t", Pattern: Streaming, BurstLines: 16, ComputePerByte: 0,
+		ReadFraction: 0.75, Reuse: ConstReuse(1), InPlace: false, PLMBytes: 64 << 10,
+	}
+	p := NewPlan(spec, 64<<10, nil)
+	var chunk ChunkPlan
+	var maxRead, minWrite int64 = -1, 1 << 62
+	for p.Next(&chunk) {
+		for _, r := range chunk.Reads {
+			if end := r.Start + r.Lines; end > maxRead {
+				maxRead = end
+			}
+		}
+		for _, w := range chunk.Writes {
+			if w.Start < minWrite {
+				minWrite = w.Start
+			}
+		}
+	}
+	if maxRead > minWrite {
+		t.Fatalf("read region [0,%d) overlaps write region starting %d", maxRead, minWrite)
+	}
+	totalLines := int64(64 << 10 / mem.LineBytes)
+	if minWrite >= totalLines {
+		t.Fatalf("write region %d beyond dataset of %d lines", minWrite, totalLines)
+	}
+}
+
+func TestInPlaceWritesOverlapReads(t *testing.T) {
+	spec := &Spec{
+		Name: "t", Pattern: Streaming, BurstLines: 16, ComputePerByte: 0,
+		ReadFraction: 0.5, Reuse: ConstReuse(1), InPlace: true, PLMBytes: 64 << 10,
+	}
+	p := NewPlan(spec, 32<<10, nil)
+	var chunk ChunkPlan
+	if !p.Next(&chunk) {
+		t.Fatal("plan produced nothing")
+	}
+	if len(chunk.Writes) == 0 {
+		t.Fatal("in-place plan should write")
+	}
+	if chunk.Writes[0].Start != 0 {
+		t.Fatalf("in-place writes should start at chunk start, got %d", chunk.Writes[0].Start)
+	}
+}
+
+func TestStridedPlanVisitsAllLines(t *testing.T) {
+	spec := &Spec{
+		Name: "t", Pattern: Strided, BurstLines: 1, ComputePerByte: 0,
+		ReadFraction: 1, Reuse: ConstReuse(1), StrideLines: 4, InPlace: true,
+		PLMBytes: 4 << 10,
+	}
+	p := NewPlan(spec, 4<<10, nil)
+	var chunk ChunkPlan
+	covered := make(map[int64]bool)
+	for p.Next(&chunk) {
+		for _, r := range chunk.Reads {
+			if r.Lines != 1 {
+				t.Fatalf("strided burst of %d lines", r.Lines)
+			}
+			covered[r.Start] = true
+		}
+	}
+	if len(covered) != 64 {
+		t.Fatalf("strided covered %d lines, want 64", len(covered))
+	}
+}
+
+func TestStridedOrderIsStrided(t *testing.T) {
+	spec := &Spec{
+		Name: "t", Pattern: Strided, BurstLines: 1, ComputePerByte: 0,
+		ReadFraction: 1, Reuse: ConstReuse(1), StrideLines: 4, InPlace: true,
+		PLMBytes: 4 << 10,
+	}
+	p := NewPlan(spec, 4<<10, nil)
+	var chunk ChunkPlan
+	p.Next(&chunk)
+	if chunk.Reads[0].Start != 0 || chunk.Reads[1].Start != 4 {
+		t.Fatalf("first accesses %d,%d, want 0,4", chunk.Reads[0].Start, chunk.Reads[1].Start)
+	}
+}
+
+func TestIrregularPlanRespectsAccessFraction(t *testing.T) {
+	spec := &Spec{
+		Name: "t", Pattern: Irregular, BurstLines: 1, ComputePerByte: 0,
+		ReadFraction: 1, Reuse: ConstReuse(1), AccessFraction: 0.5, InPlace: true,
+		PLMBytes: 16 << 10,
+	}
+	rng := sim.NewRNG(1)
+	p := NewPlan(spec, 16<<10, rng)
+	var chunk ChunkPlan
+	var accesses int64
+	for p.Next(&chunk) {
+		for _, r := range chunk.Reads {
+			accesses += r.Lines
+			if r.Start < 0 || r.Start >= 256 {
+				t.Fatalf("irregular access %d out of range", r.Start)
+			}
+		}
+	}
+	if accesses != 128 {
+		t.Fatalf("irregular touched %d lines, want 128 (50%% of 256)", accesses)
+	}
+}
+
+func TestIrregularPlanDeterministicPerSeed(t *testing.T) {
+	spec := MustByName(SPMV)
+	collect := func(seed uint64) []int64 {
+		p := NewPlan(spec, 64<<10, sim.NewRNG(seed))
+		var chunk ChunkPlan
+		var out []int64
+		for p.Next(&chunk) {
+			for _, r := range chunk.Reads {
+				out = append(out, r.Start)
+			}
+		}
+		return out
+	}
+	a, b := collect(7), collect(7)
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestComputeCyclesScaleWithIntensity(t *testing.T) {
+	mk := func(cpb float64) sim.Cycles {
+		spec := &Spec{
+			Name: "t", Pattern: Streaming, BurstLines: 16, ComputePerByte: cpb,
+			ReadFraction: 1, Reuse: ConstReuse(1), InPlace: true, PLMBytes: 16 << 10,
+		}
+		p := NewPlan(spec, 16<<10, nil)
+		var chunk ChunkPlan
+		p.Next(&chunk)
+		return chunk.Compute
+	}
+	lo, hi := mk(0.5), mk(4.0)
+	if hi != 8*lo {
+		t.Fatalf("compute %d vs %d, want 8×", lo, hi)
+	}
+}
+
+func TestTrafficConfigCompiles(t *testing.T) {
+	cfg := TrafficConfig{
+		Pattern: Streaming, BurstLines: 16, ComputePerByte: 1,
+		ReusePasses: 2, ReadFraction: 0.8, PLMBytes: 16 << 10,
+	}
+	s, err := cfg.Spec("tg0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "tg0" || s.Reuse(1, 1) != 2 {
+		t.Fatalf("compiled spec = %+v", s)
+	}
+}
+
+func TestTrafficConfigInvalid(t *testing.T) {
+	cfg := TrafficConfig{Pattern: Streaming, BurstLines: 0, ReadFraction: 0.5, PLMBytes: 1 << 14}
+	if _, err := cfg.Spec("bad"); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestRandomTrafficConfigsAlwaysValid(t *testing.T) {
+	rng := sim.NewRNG(11)
+	for i := 0; i < 200; i++ {
+		cfg := RandomTrafficConfig(rng)
+		if _, err := cfg.Spec("tg"); err != nil {
+			t.Fatalf("random config invalid: %v (%+v)", err, cfg)
+		}
+	}
+}
+
+func TestStreamingAndIrregularVariants(t *testing.T) {
+	rng := sim.NewRNG(3)
+	for i := 0; i < 50; i++ {
+		s := StreamingTrafficConfig(rng)
+		if s.Pattern != Streaming {
+			t.Fatal("StreamingTrafficConfig produced non-streaming")
+		}
+		if _, err := s.Spec("s"); err != nil {
+			t.Fatal(err)
+		}
+		ir := IrregularTrafficConfig(rng)
+		if ir.Pattern != Irregular {
+			t.Fatal("IrregularTrafficConfig produced non-irregular")
+		}
+		if _, err := ir.Spec("i"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Property: for any random traffic config and footprint, the plan
+// terminates, produces Chunks() chunks, and all accesses stay in range.
+func TestPlanBoundedProperty(t *testing.T) {
+	f := func(seed uint64, kb uint16) bool {
+		rng := sim.NewRNG(seed)
+		cfg := RandomTrafficConfig(rng)
+		spec, err := cfg.Spec("p")
+		if err != nil {
+			return false
+		}
+		footprint := int64(kb%512+1) * 1024
+		p := NewPlan(spec, footprint, rng)
+		total := p.TotalLines()
+		var chunk ChunkPlan
+		chunks := 0
+		for p.Next(&chunk) {
+			chunks++
+			if chunks > 1<<20 {
+				return false // runaway
+			}
+			for _, r := range append(append([]LineRange{}, chunk.Reads...), chunk.Writes...) {
+				if r.Start < 0 || r.Start+r.Lines > total || r.Lines < 1 {
+					return false
+				}
+			}
+			if chunk.Compute < 0 {
+				return false
+			}
+		}
+		return chunks == p.Chunks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

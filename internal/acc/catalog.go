@@ -1,0 +1,157 @@
+package acc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The catalog models the twelve kernels evaluated in the paper (the
+// eleven ESP-release accelerators plus the NVDLA; Table 2 / Figure 2).
+// Parameters are derived from each kernel's published algorithmic
+// structure — arithmetic intensity, pass count, access regularity — not
+// from the authors' RTL, which is the substitution documented in
+// DESIGN.md. What matters for reproducing the paper is the *diversity*
+// of profiles: compute-bound vs. memory-bound, regular vs. irregular,
+// single-pass streaming vs. heavy reuse.
+
+const kib = int64(1024)
+
+// Names of the cataloged accelerators.
+const (
+	Autoencoder = "autoencoder"
+	Cholesky    = "cholesky"
+	Conv2D      = "conv2d"
+	FFT         = "fft"
+	GEMM        = "gemm"
+	MLP         = "mlp"
+	MRIQ        = "mri-q"
+	NVDLA       = "nvdla"
+	NightVision = "night-vision"
+	Sort        = "sort"
+	SPMV        = "spmv"
+	Viterbi     = "viterbi"
+)
+
+var catalog = map[string]*Spec{
+	// Denoising autoencoder (SVHN): streamed matrix–vector layers; weights
+	// are re-read per batch element, giving moderate reuse.
+	Autoencoder: {
+		Name: Autoencoder, Pattern: Streaming, BurstLines: 16,
+		ComputePerByte: 0.8, ReadFraction: 0.8, Reuse: ConstReuse(2),
+		InPlace: false, PLMBytes: 16 * kib,
+	},
+	// Cholesky decomposition: in-place triangular updates that sweep the
+	// matrix repeatedly with long row bursts.
+	Cholesky: {
+		Name: Cholesky, Pattern: Streaming, BurstLines: 32,
+		ComputePerByte: 1.0, ReadFraction: 0.6, Reuse: LogReuse(2),
+		InPlace: true, PLMBytes: 32 * kib,
+	},
+	// 2D convolution: streaming image tiles, high arithmetic intensity
+	// from filter reuse inside the PLM.
+	Conv2D: {
+		Name: Conv2D, Pattern: Streaming, BurstLines: 16,
+		ComputePerByte: 1.6, ReadFraction: 0.85, Reuse: ConstReuse(1),
+		InPlace: false, PLMBytes: 32 * kib,
+	},
+	// 1D FFT: in-place butterfly stages; passes grow with log of the
+	// transform size relative to the PLM.
+	FFT: {
+		Name: FFT, Pattern: Streaming, BurstLines: 16,
+		ComputePerByte: 0.5, ReadFraction: 0.55, Reuse: LogReuse(1),
+		InPlace: true, PLMBytes: 16 * kib,
+	},
+	// Dense matrix multiply: high reuse (tiles re-read) and compute-heavy.
+	GEMM: {
+		Name: GEMM, Pattern: Streaming, BurstLines: 32,
+		ComputePerByte: 2.0, ReadFraction: 0.9, Reuse: LogReuse(2),
+		InPlace: false, PLMBytes: 64 * kib,
+	},
+	// MLP classifier (SVHN): streamed weight matrices, single pass.
+	MLP: {
+		Name: MLP, Pattern: Streaming, BurstLines: 16,
+		ComputePerByte: 0.9, ReadFraction: 0.9, Reuse: ConstReuse(1),
+		InPlace: false, PLMBytes: 16 * kib,
+	},
+	// MRI-Q (Parboil): trigonometric kernel, strongly compute-bound; the
+	// memory system is rarely the bottleneck.
+	MRIQ: {
+		Name: MRIQ, Pattern: Streaming, BurstLines: 16,
+		ComputePerByte: 4.0, ReadFraction: 0.9, Reuse: ConstReuse(1),
+		InPlace: false, PLMBytes: 16 * kib,
+	},
+	// NVDLA-style CNN engine: long weight/activation bursts, moderate
+	// intensity, large local buffers.
+	NVDLA: {
+		Name: NVDLA, Pattern: Streaming, BurstLines: 64,
+		ComputePerByte: 1.2, ReadFraction: 0.85, Reuse: ConstReuse(2),
+		InPlace: false, PLMBytes: 128 * kib,
+	},
+	// Night-vision pipeline (noise filter → histogram → equalization →
+	// DWT): four engines storing and reloading intermediates in place.
+	NightVision: {
+		Name: NightVision, Pattern: Streaming, BurstLines: 16,
+		ComputePerByte: 0.6, ReadFraction: 0.55, Reuse: ConstReuse(4),
+		InPlace: true, PLMBytes: 16 * kib,
+	},
+	// Merge sort: log-many full passes, balanced read/write, in place.
+	Sort: {
+		Name: Sort, Pattern: Streaming, BurstLines: 16,
+		ComputePerByte: 0.4, ReadFraction: 0.5, Reuse: LogReuse(1),
+		InPlace: true, PLMBytes: 16 * kib,
+	},
+	// Sparse matrix–vector multiply: irregular vector gathers, memory
+	// bound, touching a fraction of the vector per row block.
+	SPMV: {
+		Name: SPMV, Pattern: Irregular, BurstLines: 1,
+		ComputePerByte: 0.15, ReadFraction: 0.9, Reuse: ConstReuse(2),
+		AccessFraction: 0.6, InPlace: false, PLMBytes: 16 * kib,
+	},
+	// Viterbi decoder: strided trellis walks with modest compute.
+	Viterbi: {
+		Name: Viterbi, Pattern: Strided, BurstLines: 1,
+		ComputePerByte: 1.0, ReadFraction: 0.75, Reuse: ConstReuse(2),
+		StrideLines: 4, InPlace: false, PLMBytes: 16 * kib,
+	},
+}
+
+// ByName returns the cataloged spec, or an error for unknown names.
+func ByName(name string) (*Spec, error) {
+	s, ok := catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("acc: unknown accelerator %q", name)
+	}
+	return s, nil
+}
+
+// MustByName returns the cataloged spec or panics; for static tables.
+func MustByName(name string) *Spec {
+	s, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Names returns all catalog names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(catalog))
+	for n := range catalog {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ESPNames returns the eleven ESP-release accelerators (the catalog
+// without the NVDLA), sorted — the set integrated in SoC4.
+func ESPNames() []string {
+	out := make([]string, 0, len(catalog)-1)
+	for n := range catalog {
+		if n != NVDLA {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,100 @@
+package acc
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/sim"
+)
+
+// TrafficConfig holds the paper's traffic-generator parameters (§5):
+// access pattern, DMA burst length, compute duration, data reuse factor,
+// read-to-write ratio, stride length, access fraction, and in-place
+// storage. A TrafficConfig compiles into a Spec, so generated traffic
+// flows through exactly the same socket datapaths as the cataloged
+// accelerators.
+type TrafficConfig struct {
+	Pattern        Pattern
+	BurstLines     int
+	ComputePerByte float64 // "compute duration" normalized per byte
+	ReusePasses    int     // "data reuse factor"
+	ReadFraction   float64 // derived from the read-to-write ratio
+	StrideLines    int
+	AccessFraction float64
+	InPlace        bool
+	PLMBytes       int64
+}
+
+// Spec compiles the configuration into an accelerator spec with the
+// given instance name.
+func (c TrafficConfig) Spec(name string) (*Spec, error) {
+	s := &Spec{
+		Name:           name,
+		Pattern:        c.Pattern,
+		BurstLines:     c.BurstLines,
+		ComputePerByte: c.ComputePerByte,
+		ReadFraction:   c.ReadFraction,
+		Reuse:          ConstReuse(max(1, c.ReusePasses)),
+		StrideLines:    c.StrideLines,
+		AccessFraction: c.AccessFraction,
+		InPlace:        c.InPlace,
+		PLMBytes:       c.PLMBytes,
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("trafficgen %s: %w", name, err)
+	}
+	return s, nil
+}
+
+// RandomTrafficConfig draws a configuration that covers the generator's
+// parameter space, mirroring how the paper randomizes traffic-generator
+// instances across evaluation applications.
+func RandomTrafficConfig(rng *sim.RNG) TrafficConfig {
+	pattern := Pattern(rng.Intn(3))
+	cfg := TrafficConfig{
+		Pattern:        pattern,
+		BurstLines:     []int{4, 8, 16, 32, 64}[rng.Intn(5)],
+		ComputePerByte: []float64{0.1, 0.25, 0.5, 1.0, 2.0, 4.0}[rng.Intn(6)],
+		ReusePasses:    1 + rng.Intn(4),
+		ReadFraction:   []float64{0.5, 0.65, 0.8, 0.9}[rng.Intn(4)],
+		InPlace:        rng.Intn(2) == 0,
+		PLMBytes:       []int64{8 * kib, 16 * kib, 32 * kib, 64 * kib}[rng.Intn(4)],
+	}
+	switch pattern {
+	case Strided:
+		cfg.BurstLines = 1
+		cfg.StrideLines = []int{2, 4, 8, 16}[rng.Intn(4)]
+	case Irregular:
+		cfg.BurstLines = 1
+		cfg.AccessFraction = []float64{0.25, 0.5, 0.75, 1.0}[rng.Intn(4)]
+	}
+	return cfg
+}
+
+// StreamingTrafficConfig draws a random configuration restricted to
+// streaming patterns (Figure 9's "SoC0 - Streaming" row).
+func StreamingTrafficConfig(rng *sim.RNG) TrafficConfig {
+	cfg := RandomTrafficConfig(rng)
+	cfg.Pattern = Streaming
+	cfg.BurstLines = []int{16, 32, 64}[rng.Intn(3)]
+	cfg.StrideLines = 0
+	cfg.AccessFraction = 0
+	return cfg
+}
+
+// IrregularTrafficConfig draws a random configuration restricted to
+// irregular patterns (Figure 9's "SoC0 - Irregular" row).
+func IrregularTrafficConfig(rng *sim.RNG) TrafficConfig {
+	cfg := RandomTrafficConfig(rng)
+	cfg.Pattern = Irregular
+	cfg.BurstLines = 1
+	cfg.StrideLines = 0
+	cfg.AccessFraction = []float64{0.25, 0.5, 0.75, 1.0}[rng.Intn(4)]
+	return cfg
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,271 @@
+package cache
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/mem"
+)
+
+// DirState is the state of a line in an LLC partition.
+type DirState uint8
+
+// LLC line states. A Dirty line holds data newer than DRAM.
+const (
+	DirInvalid DirState = iota
+	DirClean
+	DirDirty
+)
+
+// String returns a short name for the LLC state.
+func (s DirState) String() string {
+	switch s {
+	case DirInvalid:
+		return "inv"
+	case DirClean:
+		return "clean"
+	case DirDirty:
+		return "dirty"
+	default:
+		return fmt.Sprintf("DirState(%d)", uint8(s))
+	}
+}
+
+// NoOwner marks a directory entry with no exclusive private-cache owner.
+const NoOwner = -1
+
+// DirEntry is the directory+tag state of one LLC line: whether the LLC
+// data is valid/dirty, which coherent agent (if any) holds the line
+// Exclusive/Modified, and which agents share it. Pointers returned by
+// Probe remain valid only until the next Insert on the directory.
+type DirEntry struct {
+	Line    mem.LineAddr
+	State   DirState
+	Owner   int // agent index holding M/E, or NoOwner
+	Sharers uint64
+	lru     uint64
+}
+
+// HasSharers reports whether any agent holds a Shared copy.
+func (e *DirEntry) HasSharers() bool { return e.Sharers != 0 }
+
+// SharerList expands the sharer bitmask into agent indices, ascending.
+func (e *DirEntry) SharerList() []int {
+	var out []int
+	for i := 0; i < 64; i++ {
+		if e.Sharers&(1<<uint(i)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// AddSharer marks agent as holding a Shared copy.
+func (e *DirEntry) AddSharer(agent int) { e.Sharers |= 1 << uint(agent) }
+
+// RemoveSharer clears agent's Shared copy.
+func (e *DirEntry) RemoveSharer(agent int) { e.Sharers &^= 1 << uint(agent) }
+
+// IsSharer reports whether agent holds a Shared copy.
+func (e *DirEntry) IsSharer(agent int) bool { return e.Sharers&(1<<uint(agent)) != 0 }
+
+// DirStats counts directory events.
+type DirStats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Writebacks int64 // dirty evictions + flush writebacks to DRAM
+	Recalls    int64 // evictions/flushes that had to recall private copies
+}
+
+// Directory is one inclusive LLC partition with per-line directory
+// state. Inclusion is enforced by the SoC layer: when Insert evicts a
+// line whose entry still lists an owner or sharers, the caller must
+// recall/invalidate those private copies (the victim carries the
+// bookkeeping needed to do so).
+type Directory struct {
+	name    string
+	sets    [][]DirEntry
+	numSets int64
+	setMask int64 // numSets-1 when numSets is a power of two, else 0
+	tick    uint64
+	stats   DirStats
+	lines   int
+}
+
+// NewDirectory creates an LLC partition of the given size/associativity.
+func NewDirectory(name string, sizeBytes int64, assoc int) *Directory {
+	if assoc <= 0 {
+		panic("cache: associativity must be positive")
+	}
+	totalLines := sizeBytes / mem.LineBytes
+	if totalLines <= 0 || totalLines%int64(assoc) != 0 {
+		panic(fmt.Sprintf("cache: LLC size %d not divisible into %d-way sets", sizeBytes, assoc))
+	}
+	numSets := totalLines / int64(assoc)
+	d := &Directory{name: name, numSets: numSets, sets: make([][]DirEntry, numSets)}
+	if numSets&(numSets-1) == 0 {
+		d.setMask = numSets - 1
+	}
+	backing := make([]DirEntry, totalLines)
+	for i := range d.sets {
+		d.sets[i] = backing[int64(i)*int64(assoc) : (int64(i)+1)*int64(assoc)]
+	}
+	return d
+}
+
+// Name returns the partition name.
+func (d *Directory) Name() string { return d.name }
+
+// SizeBytes returns the partition capacity.
+func (d *Directory) SizeBytes() int64 {
+	return d.numSets * int64(len(d.sets[0])) * mem.LineBytes
+}
+
+// Stats returns a copy of the event counters.
+func (d *Directory) Stats() DirStats { return d.stats }
+
+// ValidLines returns the number of valid lines currently held.
+func (d *Directory) ValidLines() int { return d.lines }
+
+func (d *Directory) setOf(line mem.LineAddr) []DirEntry {
+	if d.setMask != 0 {
+		return d.sets[int64(line)&d.setMask]
+	}
+	idx := int64(line) % d.numSets
+	if idx < 0 {
+		idx += d.numSets
+	}
+	return d.sets[idx]
+}
+
+// Probe returns the entry for the line without counting an access, or
+// nil when absent.
+func (d *Directory) Probe(line mem.LineAddr) *DirEntry {
+	set := d.setOf(line)
+	for i := range set {
+		e := &set[i]
+		if e.State != DirInvalid && e.Line == line {
+			return e
+		}
+	}
+	return nil
+}
+
+// Access looks the line up, counting a hit or miss and refreshing LRU on
+// hit. It returns nil on miss.
+func (d *Directory) Access(line mem.LineAddr) *DirEntry {
+	set := d.setOf(line)
+	for i := range set {
+		e := &set[i]
+		if e.State != DirInvalid && e.Line == line {
+			d.tick++
+			e.lru = d.tick
+			d.stats.Hits++
+			return e
+		}
+	}
+	d.stats.Misses++
+	return nil
+}
+
+// DirVictim describes a line displaced from the LLC. If Owner or Sharers
+// are set, inclusion requires the caller to recall/invalidate the
+// private copies; WasDirty tells it whether the LLC data itself must go
+// to DRAM (the recalled private data may be dirtier still).
+type DirVictim struct {
+	Line     mem.LineAddr
+	WasDirty bool
+	Owner    int
+	Sharers  uint64
+	Valid    bool
+}
+
+// Insert fills the line with the given state and returns both the new
+// entry (for the caller to set owner/sharers) and the victim, if a valid
+// line was displaced. Inserting a present line updates state in place.
+func (d *Directory) Insert(line mem.LineAddr, st DirState) (*DirEntry, DirVictim) {
+	if st == DirInvalid {
+		panic("cache: directory Insert with invalid state")
+	}
+	set := d.setOf(line)
+	d.tick++
+	lruIdx := -1
+	for i := range set {
+		e := &set[i]
+		if e.State != DirInvalid && e.Line == line {
+			e.State = st
+			e.lru = d.tick
+			return e, DirVictim{}
+		}
+		if e.State == DirInvalid {
+			if lruIdx < 0 || set[lruIdx].State != DirInvalid {
+				lruIdx = i
+			}
+			continue
+		}
+		if lruIdx < 0 || (set[lruIdx].State != DirInvalid && e.lru < set[lruIdx].lru) {
+			lruIdx = i
+		}
+	}
+	e := &set[lruIdx]
+	var v DirVictim
+	if e.State != DirInvalid {
+		v = DirVictim{
+			Line:     e.Line,
+			WasDirty: e.State == DirDirty,
+			Owner:    e.Owner,
+			Sharers:  e.Sharers,
+			Valid:    true,
+		}
+		d.stats.Evictions++
+		if v.WasDirty {
+			d.stats.Writebacks++
+		}
+		if v.Owner != NoOwner || v.Sharers != 0 {
+			d.stats.Recalls++
+		}
+	} else {
+		d.lines++
+	}
+	*e = DirEntry{Line: line, State: st, Owner: NoOwner, lru: d.tick}
+	return e, v
+}
+
+// ForEachValid calls fn for every valid entry. The callback must not
+// mutate the directory; collect lines first, then act.
+func (d *Directory) ForEachValid(fn func(e *DirEntry)) {
+	for _, set := range d.sets {
+		for i := range set {
+			if set[i].State != DirInvalid {
+				fn(&set[i])
+			}
+		}
+	}
+}
+
+// Invalidate drops the line, returning its final directory state so the
+// caller can write dirty data back and invalidate private copies.
+func (d *Directory) Invalidate(line mem.LineAddr) (DirVictim, bool) {
+	set := d.setOf(line)
+	for i := range set {
+		e := &set[i]
+		if e.State != DirInvalid && e.Line == line {
+			v := DirVictim{
+				Line:     e.Line,
+				WasDirty: e.State == DirDirty,
+				Owner:    e.Owner,
+				Sharers:  e.Sharers,
+				Valid:    true,
+			}
+			if v.WasDirty {
+				d.stats.Writebacks++
+			}
+			e.State = DirInvalid
+			e.Owner = NoOwner
+			e.Sharers = 0
+			d.lines--
+			return v, true
+		}
+	}
+	return DirVictim{}, false
+}

@@ -1,0 +1,216 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cohmeleon/internal/mem"
+)
+
+func smallDir() *Directory { return NewDirectory("llc0", 8*mem.LineBytes, 2) }
+
+func TestDirStateString(t *testing.T) {
+	if DirInvalid.String() != "inv" || DirClean.String() != "clean" || DirDirty.String() != "dirty" {
+		t.Fatal("DirState names wrong")
+	}
+}
+
+func TestDirectoryInsertAccess(t *testing.T) {
+	d := smallDir()
+	if d.Access(10) != nil {
+		t.Fatal("empty LLC should miss")
+	}
+	e, v := d.Insert(10, DirClean)
+	if v.Valid {
+		t.Fatal("insert into empty set evicted")
+	}
+	if e.Owner != NoOwner || e.Sharers != 0 {
+		t.Fatalf("fresh entry = %+v, want no owner/sharers", e)
+	}
+	got := d.Access(10)
+	if got == nil || got.State != DirClean {
+		t.Fatalf("Access = %+v", got)
+	}
+	s := d.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDirectoryOwnerSharers(t *testing.T) {
+	d := smallDir()
+	e, _ := d.Insert(5, DirClean)
+	e.Owner = 3
+	e.AddSharer(1)
+	e.AddSharer(7)
+	if !e.IsSharer(1) || !e.IsSharer(7) || e.IsSharer(2) {
+		t.Fatal("sharer bitmask broken")
+	}
+	list := e.SharerList()
+	if len(list) != 2 || list[0] != 1 || list[1] != 7 {
+		t.Fatalf("SharerList = %v", list)
+	}
+	e.RemoveSharer(1)
+	if e.IsSharer(1) || !e.HasSharers() {
+		t.Fatal("RemoveSharer broken")
+	}
+	e.RemoveSharer(7)
+	if e.HasSharers() {
+		t.Fatal("bitmask should be empty")
+	}
+	// The entry persists across Probe.
+	p := d.Probe(5)
+	if p.Owner != 3 {
+		t.Fatalf("Probe lost owner: %+v", p)
+	}
+}
+
+func TestDirectoryVictimCarriesCoherenceState(t *testing.T) {
+	d := smallDir() // 4 sets × 2 ways; 0, 4, 8 share a set
+	e, _ := d.Insert(0, DirDirty)
+	e.Owner = 2
+	e.AddSharer(5)
+	d.Insert(4, DirClean)
+	_, v := d.Insert(8, DirClean)
+	if !v.Valid || v.Line != 0 {
+		t.Fatalf("victim = %+v, want line 0 (LRU)", v)
+	}
+	if !v.WasDirty || v.Owner != 2 || v.Sharers != 1<<5 {
+		t.Fatalf("victim lost coherence state: %+v", v)
+	}
+	s := d.Stats()
+	if s.Evictions != 1 || s.Writebacks != 1 || s.Recalls != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDirectoryInvalidate(t *testing.T) {
+	d := smallDir()
+	e, _ := d.Insert(9, DirDirty)
+	e.Owner = 1
+	v, ok := d.Invalidate(9)
+	if !ok || !v.WasDirty || v.Owner != 1 {
+		t.Fatalf("Invalidate = %+v, %v", v, ok)
+	}
+	if d.Probe(9) != nil {
+		t.Fatal("line still present")
+	}
+	if _, ok := d.Invalidate(9); ok {
+		t.Fatal("double invalidate should fail")
+	}
+	if d.ValidLines() != 0 {
+		t.Fatalf("ValidLines = %d", d.ValidLines())
+	}
+}
+
+func TestDirectoryReinsertKeepsEntry(t *testing.T) {
+	d := smallDir()
+	e, _ := d.Insert(3, DirClean)
+	e.Owner = 4
+	e2, v := d.Insert(3, DirDirty)
+	if v.Valid {
+		t.Fatal("re-insert evicted")
+	}
+	if e2.State != DirDirty {
+		t.Fatalf("state = %v", e2.State)
+	}
+	// Re-insert keeps the entry identity (owner untouched).
+	if e2.Owner != 4 {
+		t.Fatalf("owner = %d, want 4", e2.Owner)
+	}
+}
+
+func TestDirectoryCapacity(t *testing.T) {
+	d := smallDir()
+	for i := mem.LineAddr(0); i < 64; i++ {
+		d.Insert(i, DirClean)
+	}
+	if d.ValidLines() != 8 {
+		t.Fatalf("ValidLines = %d, want 8", d.ValidLines())
+	}
+	if d.SizeBytes() != 8*mem.LineBytes {
+		t.Fatalf("SizeBytes = %d", d.SizeBytes())
+	}
+}
+
+func TestDirectoryInsertInvalidPanics(t *testing.T) {
+	d := smallDir()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Insert(0, DirInvalid)
+}
+
+// Property: the directory never holds two entries for the same line, and
+// lines reported live by Insert victims are truly gone.
+func TestDirectoryConsistencyProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d := NewDirectory("p", 64*mem.LineBytes, 4)
+		live := make(map[mem.LineAddr]bool)
+		for _, op := range ops {
+			line := mem.LineAddr(op % 200)
+			switch op % 3 {
+			case 0:
+				_, v := d.Insert(line, DirDirty)
+				live[line] = true
+				if v.Valid {
+					delete(live, v.Line)
+				}
+			case 1:
+				_, ok := d.Invalidate(line)
+				if ok != live[line] {
+					return false
+				}
+				delete(live, line)
+			case 2:
+				if (d.Probe(line) != nil) != live[line] {
+					return false
+				}
+			}
+		}
+		n := 0
+		for line := range live {
+			if d.Probe(line) == nil {
+				return false
+			}
+			n++
+		}
+		return n == d.ValidLines()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sharer bitmask operations behave like a set.
+func TestSharerSetProperty(t *testing.T) {
+	f := func(agents []uint8) bool {
+		var e DirEntry
+		ref := make(map[int]bool)
+		for _, a := range agents {
+			agent := int(a % 64)
+			if a%2 == 0 {
+				e.AddSharer(agent)
+				ref[agent] = true
+			} else {
+				e.RemoveSharer(agent)
+				delete(ref, agent)
+			}
+		}
+		list := e.SharerList()
+		if len(list) != len(ref) {
+			return false
+		}
+		for _, a := range list {
+			if !ref[a] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

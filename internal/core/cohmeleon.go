@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/esp"
+	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc"
+)
+
+// Config parameterizes a Cohmeleon agent. The zero value is not valid;
+// use DefaultConfig as a base.
+type Config struct {
+	// Weights are the reward coefficients (x, y, z).
+	Weights RewardWeights
+	// Epsilon0 is the initial exploration rate (paper: 0.5).
+	Epsilon0 float64
+	// Alpha0 is the initial learning rate (paper: 0.25).
+	Alpha0 float64
+	// DecayIterations is the training-iteration count over which ε and α
+	// decay linearly to zero.
+	DecayIterations int
+	// OverheadCycles is the CPU cost charged per invocation for status
+	// tracking, Q-table lookup and bookkeeping.
+	OverheadCycles sim.Cycles
+	// Seed drives ε-greedy exploration.
+	Seed uint64
+	// Encoder maps contexts to states; nil means the full five-attribute
+	// encoder (set an ablated encoder for the state-ablation study).
+	Encoder *Encoder
+	// NoDecay disables the linear ε/α schedule (both stay at their
+	// initial values) — the decay-schedule ablation.
+	NoDecay bool
+	// TrueDDRReward feeds the reward the simulator's ground-truth
+	// off-chip counts instead of the monitor approximation — the
+	// attribution ablation.
+	TrueDDRReward bool
+}
+
+// DefaultConfig returns the paper's training setup: ε0 = 0.5, α0 = 0.25
+// decaying over 10 iterations, reward weights (67.5, 7.5, 25).
+func DefaultConfig() Config {
+	return Config{
+		Weights:         DefaultWeights(),
+		Epsilon0:        0.5,
+		Alpha0:          0.25,
+		DecayIterations: 10,
+		OverheadCycles:  3000,
+		Seed:            1,
+	}
+}
+
+// Cohmeleon is the learning coherence policy (esp.Policy). It selects a
+// mode per invocation by ε-greedy lookup in its Q-table and updates the
+// table online from each invocation's reward. Training proceeds in
+// iterations (whole application runs); call EndIteration after each to
+// advance the linear decay, and Freeze to evaluate the learned policy
+// without exploration or updates.
+type Cohmeleon struct {
+	cfg     Config
+	enc     *Encoder
+	table   *QTable
+	rewards *RewardComputer
+	rng     *sim.RNG
+
+	iter    int
+	frozen  bool
+	pending map[int]pendingDecision // per accelerator tile ID
+
+	// Decision counters for the Figure-7 breakdown.
+	decisions [soc.NumModes]int64
+}
+
+type pendingDecision struct {
+	state State
+	mode  soc.Mode
+}
+
+// New creates an agent from the configuration.
+func New(cfg Config) *Cohmeleon {
+	if cfg.Epsilon0 < 0 || cfg.Epsilon0 > 1 || cfg.Alpha0 < 0 || cfg.Alpha0 > 1 {
+		panic(fmt.Sprintf("core: ε0=%g α0=%g outside [0,1]", cfg.Epsilon0, cfg.Alpha0))
+	}
+	if cfg.DecayIterations < 1 {
+		panic("core: DecayIterations must be ≥ 1")
+	}
+	enc := cfg.Encoder
+	if enc == nil {
+		enc = NewEncoder()
+	}
+	c := &Cohmeleon{
+		cfg:     cfg,
+		enc:     enc,
+		table:   NewQTable(),
+		rewards: NewRewardComputer(cfg.Weights),
+		rng:     sim.NewRNG(cfg.Seed ^ 0xc0de1e0f),
+		pending: make(map[int]pendingDecision),
+	}
+	c.rewards.UseTrueDDR(cfg.TrueDDRReward)
+	return c
+}
+
+// Name implements esp.Policy.
+func (c *Cohmeleon) Name() string { return "cohmeleon" }
+
+// OverheadCycles implements esp.Policy.
+func (c *Cohmeleon) OverheadCycles() sim.Cycles { return c.cfg.OverheadCycles }
+
+// decayFactor is the remaining fraction of ε0/α0 at the current
+// iteration: 1 at iteration 0, 0 from DecayIterations on. With NoDecay
+// the factor stays 1 forever.
+func (c *Cohmeleon) decayFactor() float64 {
+	if c.cfg.NoDecay {
+		return 1
+	}
+	f := 1 - float64(c.iter)/float64(c.cfg.DecayIterations)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Epsilon returns the current exploration rate.
+func (c *Cohmeleon) Epsilon() float64 {
+	if c.frozen {
+		return 0
+	}
+	return c.cfg.Epsilon0 * c.decayFactor()
+}
+
+// Alpha returns the current learning rate.
+func (c *Cohmeleon) Alpha() float64 {
+	if c.frozen {
+		return 0
+	}
+	return c.cfg.Alpha0 * c.decayFactor()
+}
+
+// Decide implements esp.Policy: ε-greedy selection over the Q-table.
+func (c *Cohmeleon) Decide(ctx *esp.Context) soc.Mode {
+	s := c.enc.Encode(ctx)
+	var mode soc.Mode
+	if !c.frozen && c.rng.Float64() < c.Epsilon() {
+		mode = ctx.Available[c.rng.Intn(len(ctx.Available))]
+	} else {
+		mode = c.table.Best(s, ctx.Available)
+	}
+	c.pending[ctx.Acc.ID] = pendingDecision{state: s, mode: mode}
+	c.decisions[mode]++
+	return mode
+}
+
+// Observe implements esp.Policy: compute the reward and update the
+// Q-table entry of the recorded (state, action).
+func (c *Cohmeleon) Observe(res *esp.Result) {
+	pd, ok := c.pending[res.Acc.ID]
+	if !ok || pd.mode != res.Mode {
+		// Result from a forced-mode invocation or an unmatched decision:
+		// nothing to update, but history still accumulates so future
+		// rewards are normalized against everything the system has seen.
+		c.rewards.Reward(res)
+		return
+	}
+	delete(c.pending, res.Acc.ID)
+	reward := c.rewards.Reward(res)
+	if alpha := c.Alpha(); alpha > 0 {
+		c.table.Update(pd.state, pd.mode, reward, alpha)
+	}
+}
+
+// EndIteration advances the linear ε/α decay by one training iteration.
+func (c *Cohmeleon) EndIteration() { c.iter++ }
+
+// Iteration returns the number of completed training iterations.
+func (c *Cohmeleon) Iteration() int { return c.iter }
+
+// Freeze stops exploration and learning (evaluation mode).
+func (c *Cohmeleon) Freeze() { c.frozen = true }
+
+// Unfreeze resumes training.
+func (c *Cohmeleon) Unfreeze() { c.frozen = false }
+
+// Frozen reports whether the agent is in evaluation mode.
+func (c *Cohmeleon) Frozen() bool { return c.frozen }
+
+// Table exposes the Q-table (reports, checkpoints, tests).
+func (c *Cohmeleon) Table() *QTable { return c.table }
+
+// SetTable replaces the Q-table (restoring a checkpoint).
+func (c *Cohmeleon) SetTable(t *QTable) { c.table = t }
+
+// Decisions returns how many times each mode has been selected.
+func (c *Cohmeleon) Decisions() [soc.NumModes]int64 { return c.decisions }
+
+// ResetDecisions clears the selection counters (e.g. before an
+// evaluation pass whose breakdown will be reported).
+func (c *Cohmeleon) ResetDecisions() { c.decisions = [soc.NumModes]int64{} }

@@ -1,0 +1,447 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cohmeleon/internal/esp"
+	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc"
+)
+
+// ctxWith builds a minimal context with the given sensed values.
+func ctxWith(fullyCoh int, nonCoh, toLLC, tileFoot float64, accFoot int64) *esp.Context {
+	return &esp.Context{
+		Acc:                &soc.AccTile{ID: 0},
+		Available:          []soc.Mode{soc.NonCohDMA, soc.LLCCohDMA, soc.CohDMA, soc.FullyCoh},
+		FullyCohActive:     fullyCoh,
+		NonCohPerTile:      nonCoh,
+		ToLLCPerTile:       toLLC,
+		TileFootprintBytes: tileFoot,
+		FootprintBytes:     accFoot,
+		L2Bytes:            32 << 10,
+		LLCSliceBytes:      256 << 10,
+		TotalLLCBytes:      1 << 20,
+	}
+}
+
+func TestStateSpaceSize(t *testing.T) {
+	if NumStates != 243 {
+		t.Fatalf("NumStates = %d, want 243 (3^5)", NumStates)
+	}
+}
+
+func TestEncodeExtremes(t *testing.T) {
+	e := NewEncoder()
+	if s := e.Encode(ctxWith(0, 0, 0, 0, 1)); s != 0 {
+		t.Fatalf("all-zero state = %d, want 0", s)
+	}
+	s := e.Encode(ctxWith(5, 5, 5, 10<<20, 10<<20))
+	if s != NumStates-1 {
+		t.Fatalf("all-max state = %d, want %d", s, NumStates-1)
+	}
+}
+
+func TestEncodeBuckets(t *testing.T) {
+	e := NewEncoder()
+	// Footprint buckets at the L2 and LLC-slice thresholds.
+	cases := []struct {
+		bytes int64
+		want  int
+	}{
+		{16 << 10, 0},  // ≤ L2
+		{32 << 10, 0},  // == L2
+		{33 << 10, 1},  // ≤ slice
+		{256 << 10, 1}, // == slice
+		{257 << 10, 2}, // > slice
+		{4 << 20, 2},
+	}
+	for _, c := range cases {
+		v := e.Values(ctxWith(0, 0, 0, 0, c.bytes))
+		if v[AttrAccFootprint] != c.want {
+			t.Errorf("footprint %d bucketed to %d, want %d", c.bytes, v[AttrAccFootprint], c.want)
+		}
+	}
+	// Count buckets round and saturate.
+	v := e.Values(ctxWith(0, 0.4, 1.5, 0, 1))
+	if v[AttrNonCohPerTile] != 0 || v[AttrToLLCPerTile] != 2 {
+		t.Errorf("count buckets: %v", v)
+	}
+	v = e.Values(ctxWith(7, 0, 0, 0, 1))
+	if v[AttrFullyCohAcc] != 2 {
+		t.Errorf("fully-coh bucket = %d, want 2 (saturated)", v[AttrFullyCohAcc])
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		s := State(raw % NumStates)
+		v := Decode(s)
+		idx := 0
+		for a := Attribute(0); a < NumAttributes; a++ {
+			if v[a] < 0 || v[a] >= 3 {
+				return false
+			}
+			idx = idx*3 + v[a]
+		}
+		return State(idx) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblatedEncoderPinsAttribute(t *testing.T) {
+	e := NewAblatedEncoder(AttrFullyCohAcc)
+	a := e.Encode(ctxWith(0, 1, 1, 0, 1))
+	b := e.Encode(ctxWith(2, 1, 1, 0, 1))
+	if a != b {
+		t.Fatal("ablated attribute still distinguishes states")
+	}
+	full := NewEncoder()
+	if full.Encode(ctxWith(0, 1, 1, 0, 1)) == full.Encode(ctxWith(2, 1, 1, 0, 1)) {
+		t.Fatal("full encoder should distinguish")
+	}
+}
+
+func TestAttributeNames(t *testing.T) {
+	want := []string{"fully-coh-acc", "non-coh-acc-per-tile", "to-llc-per-tile", "tile-footprint", "acc-footprint"}
+	for a := Attribute(0); a < NumAttributes; a++ {
+		if a.String() != want[a] {
+			t.Errorf("attr %d = %q", a, a.String())
+		}
+	}
+}
+
+func TestQTableUpdateRule(t *testing.T) {
+	q := NewQTable()
+	q.Update(5, soc.CohDMA, 1.0, 0.25)
+	if got := q.Q(5, soc.CohDMA); got != 0.25 {
+		t.Fatalf("Q = %g, want 0.25 ((1-α)·0 + α·1)", got)
+	}
+	q.Update(5, soc.CohDMA, 1.0, 0.25)
+	if got := q.Q(5, soc.CohDMA); math.Abs(got-0.4375) > 1e-12 {
+		t.Fatalf("Q = %g, want 0.4375", got)
+	}
+	if q.Visits(5, soc.CohDMA) != 2 {
+		t.Fatalf("visits = %d", q.Visits(5, soc.CohDMA))
+	}
+	if q.TotalVisits() != 2 {
+		t.Fatalf("total visits = %d", q.TotalVisits())
+	}
+}
+
+func TestQTableBestRespectsAvailability(t *testing.T) {
+	q := NewQTable()
+	q.Update(0, soc.FullyCoh, 1, 1)
+	all := []soc.Mode{soc.NonCohDMA, soc.LLCCohDMA, soc.CohDMA, soc.FullyCoh}
+	if got := q.Best(0, all); got != soc.FullyCoh {
+		t.Fatalf("Best = %v", got)
+	}
+	noFC := []soc.Mode{soc.NonCohDMA, soc.LLCCohDMA, soc.CohDMA}
+	if got := q.Best(0, noFC); got == soc.FullyCoh {
+		t.Fatal("Best returned unavailable mode")
+	}
+}
+
+func TestQTableBestTieBreaksInModeOrder(t *testing.T) {
+	q := NewQTable()
+	all := []soc.Mode{soc.NonCohDMA, soc.LLCCohDMA, soc.CohDMA, soc.FullyCoh}
+	if got := q.Best(7, all); got != soc.NonCohDMA {
+		t.Fatalf("untrained Best = %v, want NonCohDMA (first)", got)
+	}
+}
+
+func TestQTableClone(t *testing.T) {
+	q := NewQTable()
+	q.Update(1, soc.CohDMA, 1, 0.5)
+	c := q.Clone()
+	q.Update(1, soc.CohDMA, 0, 1)
+	if c.Q(1, soc.CohDMA) != 0.5 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+// Property: Q-values stay within [min(0,R..), max(0,R..)] for rewards in
+// [0,1] — the exponential moving average never escapes the reward range.
+func TestQValueBoundedProperty(t *testing.T) {
+	f := func(rewards []uint8) bool {
+		q := NewQTable()
+		for _, r := range rewards {
+			q.Update(3, soc.LLCCohDMA, float64(r%101)/100, 0.25)
+			v := q.Q(3, soc.LLCCohDMA)
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRewardFirstInvocationIsMaximal(t *testing.T) {
+	rc := NewRewardComputer(RewardWeights{Exec: 1, Comm: 1, Mem: 2})
+	res := &esp.Result{
+		Acc: &soc.AccTile{ID: 1}, FootprintBytes: 1000,
+		ExecCycles: 5000, ActiveCycles: 4000, CommCycles: 2000, OffChipApprox: 100,
+	}
+	r := rc.Reward(res)
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("first reward = %g, want 1 (all components maximal)", r)
+	}
+}
+
+func TestRewardPenalizesWorseExec(t *testing.T) {
+	rc := NewRewardComputer(RewardWeights{Exec: 1, Comm: 0, Mem: 0})
+	base := &esp.Result{
+		Acc: &soc.AccTile{ID: 1}, FootprintBytes: 1000,
+		ExecCycles: 1000, ActiveCycles: 800, CommCycles: 100, OffChipApprox: 0,
+	}
+	rc.Reward(base)
+	worse := &esp.Result{
+		Acc: &soc.AccTile{ID: 1}, FootprintBytes: 1000,
+		ExecCycles: 2000, ActiveCycles: 1600, CommCycles: 200, OffChipApprox: 0,
+	}
+	r := rc.Reward(worse)
+	if math.Abs(r-0.5) > 1e-12 {
+		t.Fatalf("reward = %g, want 0.5 (twice the best exec)", r)
+	}
+}
+
+func TestRewardMemComponentRange(t *testing.T) {
+	rc := NewRewardComputer(RewardWeights{Exec: 0.0001, Comm: 0.0001, Mem: 1})
+	mk := func(mem float64) *esp.Result {
+		return &esp.Result{
+			Acc: &soc.AccTile{ID: 2}, FootprintBytes: 1000,
+			ExecCycles: 1000, ActiveCycles: 1000, CommCycles: 100, OffChipApprox: mem,
+		}
+	}
+	rc.Reward(mk(0))    // establishes min
+	rc.Reward(mk(1000)) // establishes max
+	_, _, low := rc.Components(mk(1000))
+	if low != 0 {
+		t.Fatalf("worst mem Rmem = %g, want 0", low)
+	}
+	_, _, high := rc.Components(mk(0))
+	if high != 1 {
+		t.Fatalf("best mem Rmem = %g, want 1", high)
+	}
+	_, _, mid := rc.Components(mk(500))
+	if math.Abs(mid-0.5) > 1e-12 {
+		t.Fatalf("middle Rmem = %g, want 0.5", mid)
+	}
+}
+
+func TestRewardZeroCommGetsFullComponent(t *testing.T) {
+	rc := NewRewardComputer(RewardWeights{Exec: 0, Comm: 1, Mem: 0})
+	res := &esp.Result{
+		Acc: &soc.AccTile{ID: 3}, FootprintBytes: 1000,
+		ExecCycles: 1000, ActiveCycles: 1000, CommCycles: 0, OffChipApprox: 0,
+	}
+	if r := rc.Reward(res); r != 1 {
+		t.Fatalf("zero-comm reward = %g, want 1", r)
+	}
+}
+
+func TestRewardHistoriesIndependentPerAccelerator(t *testing.T) {
+	rc := NewRewardComputer(RewardWeights{Exec: 1, Comm: 0, Mem: 0})
+	fast := &esp.Result{Acc: &soc.AccTile{ID: 1}, FootprintBytes: 1000,
+		ExecCycles: 100, ActiveCycles: 100, CommCycles: 10}
+	slow := &esp.Result{Acc: &soc.AccTile{ID: 2}, FootprintBytes: 1000,
+		ExecCycles: 10000, ActiveCycles: 100, CommCycles: 10}
+	rc.Reward(fast)
+	if r := rc.Reward(slow); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("different accelerator shares history: %g", r)
+	}
+}
+
+func TestWeightsNormalized(t *testing.T) {
+	w := RewardWeights{Exec: 67.5, Comm: 7.5, Mem: 25}.Normalized()
+	if math.Abs(w.Exec+w.Comm+w.Mem-1) > 1e-12 {
+		t.Fatal("normalization broken")
+	}
+	if math.Abs(w.Exec-0.675) > 1e-12 {
+		t.Fatalf("Exec = %g", w.Exec)
+	}
+	def := DefaultWeights()
+	if math.Abs(def.Exec-0.675) > 1e-9 || math.Abs(def.Mem-0.25) > 1e-9 {
+		t.Fatalf("DefaultWeights = %+v", def)
+	}
+}
+
+// Property: rewards always lie in [0, 1] for non-negative inputs.
+func TestRewardBoundedProperty(t *testing.T) {
+	f := func(execs []uint16) bool {
+		rc := NewRewardComputer(DefaultWeights())
+		for i, e := range execs {
+			res := &esp.Result{
+				Acc:            &soc.AccTile{ID: int(e % 3)},
+				FootprintBytes: 1000,
+				ExecCycles:     sim64(int64(e) + 1),
+				ActiveCycles:   sim64(int64(e) + 1),
+				CommCycles:     sim64(int64(e) / 2),
+				OffChipApprox:  float64(i * 10),
+			}
+			r := rc.Reward(res)
+			if r < 0 || r > 1+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgentDecaySchedule(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DecayIterations = 10
+	c := New(cfg)
+	if c.Epsilon() != 0.5 || c.Alpha() != 0.25 {
+		t.Fatalf("initial ε=%g α=%g", c.Epsilon(), c.Alpha())
+	}
+	for i := 0; i < 5; i++ {
+		c.EndIteration()
+	}
+	if math.Abs(c.Epsilon()-0.25) > 1e-12 || math.Abs(c.Alpha()-0.125) > 1e-12 {
+		t.Fatalf("halfway ε=%g α=%g", c.Epsilon(), c.Alpha())
+	}
+	for i := 0; i < 10; i++ {
+		c.EndIteration()
+	}
+	if c.Epsilon() != 0 || c.Alpha() != 0 {
+		t.Fatalf("post-decay ε=%g α=%g", c.Epsilon(), c.Alpha())
+	}
+	if c.Iteration() != 15 {
+		t.Fatalf("Iteration = %d", c.Iteration())
+	}
+}
+
+func TestAgentFreeze(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Freeze()
+	if c.Epsilon() != 0 || c.Alpha() != 0 || !c.Frozen() {
+		t.Fatal("freeze should zero ε and α")
+	}
+	c.Unfreeze()
+	if c.Epsilon() == 0 {
+		t.Fatal("unfreeze should restore exploration")
+	}
+}
+
+func TestAgentLearnsFromObservation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epsilon0 = 0 // pure exploitation: deterministic decisions
+	c := New(cfg)
+	ctx := ctxWith(0, 0, 0, 0, 16<<10)
+	mode := c.Decide(ctx)
+	if mode != soc.NonCohDMA {
+		t.Fatalf("untrained agent chose %v, want first mode", mode)
+	}
+	res := &esp.Result{
+		Acc: ctx.Acc, Mode: mode, FootprintBytes: 16 << 10,
+		ExecCycles: 1000, ActiveCycles: 900, CommCycles: 100, OffChipApprox: 50,
+	}
+	c.Observe(res)
+	s := NewEncoder().Encode(ctx)
+	if c.Table().Q(s, mode) <= 0 {
+		t.Fatal("observation did not update the Q-table")
+	}
+}
+
+func TestAgentChoosesHigherValuedMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epsilon0 = 0
+	c := New(cfg)
+	ctx := ctxWith(0, 0, 0, 0, 16<<10)
+	s := NewEncoder().Encode(ctx)
+	c.Table().Update(s, soc.FullyCoh, 1.0, 1.0)
+	if got := c.Decide(ctx); got != soc.FullyCoh {
+		t.Fatalf("Decide = %v, want trained FullyCoh", got)
+	}
+}
+
+func TestAgentRespectsAvailability(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epsilon0 = 1 // always explore
+	c := New(cfg)
+	ctx := ctxWith(0, 0, 0, 0, 16<<10)
+	ctx.Available = []soc.Mode{soc.NonCohDMA, soc.LLCCohDMA, soc.CohDMA}
+	for i := 0; i < 200; i++ {
+		if got := c.Decide(ctx); got == soc.FullyCoh {
+			t.Fatal("explored into unavailable mode")
+		}
+	}
+}
+
+func TestAgentFrozenDoesNotLearn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epsilon0 = 0
+	c := New(cfg)
+	c.Freeze()
+	ctx := ctxWith(0, 0, 0, 0, 16<<10)
+	mode := c.Decide(ctx)
+	res := &esp.Result{
+		Acc: ctx.Acc, Mode: mode, FootprintBytes: 16 << 10,
+		ExecCycles: 1000, ActiveCycles: 900, CommCycles: 100,
+	}
+	c.Observe(res)
+	if c.Table().TotalVisits() != 0 {
+		t.Fatal("frozen agent updated its table")
+	}
+}
+
+func TestAgentObserveUnmatchedResultIsSafe(t *testing.T) {
+	c := New(DefaultConfig())
+	res := &esp.Result{
+		Acc: &soc.AccTile{ID: 9}, Mode: soc.CohDMA, FootprintBytes: 1 << 10,
+		ExecCycles: 100, ActiveCycles: 90, CommCycles: 10,
+	}
+	c.Observe(res) // no pending decision: must not panic or update
+	if c.Table().TotalVisits() != 0 {
+		t.Fatal("unmatched observe updated the table")
+	}
+}
+
+func TestAgentDecisionCounters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epsilon0 = 0
+	c := New(cfg)
+	ctx := ctxWith(0, 0, 0, 0, 16<<10)
+	c.Decide(ctx)
+	c.Decide(ctx)
+	d := c.Decisions()
+	if d[soc.NonCohDMA] != 2 {
+		t.Fatalf("decisions = %v", d)
+	}
+	c.ResetDecisions()
+	if c.Decisions()[soc.NonCohDMA] != 0 {
+		t.Fatal("ResetDecisions failed")
+	}
+}
+
+func TestAgentDeterministicPerSeed(t *testing.T) {
+	run := func(seed uint64) []soc.Mode {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		c := New(cfg)
+		ctx := ctxWith(0, 0, 0, 0, 16<<10)
+		var out []soc.Mode
+		for i := 0; i < 50; i++ {
+			out = append(out, c.Decide(ctx))
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func sim64(v int64) sim.Cycles { return sim.Cycles(v) }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"cohmeleon/internal/soc"
+)
+
+// Q-table persistence. A deployment trains once and then ships the
+// learned table (or keeps refining it across reboots); these helpers
+// serialize the table with integrity checks so a table trained for one
+// mode/state geometry is never loaded into another.
+
+// tableImage is the serialized form.
+type tableImage struct {
+	Version int
+	States  int
+	Modes   int
+	Q       [][]float64
+	Visits  [][]int64
+}
+
+const tableVersion = 1
+
+// Encode serializes the table.
+func (t *QTable) Encode(w io.Writer) error {
+	img := tableImage{
+		Version: tableVersion,
+		States:  NumStates,
+		Modes:   int(soc.NumModes),
+		Q:       make([][]float64, NumStates),
+		Visits:  make([][]int64, NumStates),
+	}
+	for s := 0; s < NumStates; s++ {
+		img.Q[s] = append([]float64(nil), t.q[s][:]...)
+		img.Visits[s] = append([]int64(nil), t.visits[s][:]...)
+	}
+	if err := gob.NewEncoder(w).Encode(&img); err != nil {
+		return fmt.Errorf("core: encoding Q-table: %w", err)
+	}
+	return nil
+}
+
+// DecodeTable deserializes a table written by Encode.
+func DecodeTable(r io.Reader) (*QTable, error) {
+	var img tableImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("core: decoding Q-table: %w", err)
+	}
+	if img.Version != tableVersion {
+		return nil, fmt.Errorf("core: Q-table version %d, want %d", img.Version, tableVersion)
+	}
+	if img.States != NumStates || img.Modes != int(soc.NumModes) {
+		return nil, fmt.Errorf("core: Q-table geometry %dx%d, want %dx%d",
+			img.States, img.Modes, NumStates, soc.NumModes)
+	}
+	t := NewQTable()
+	for s := 0; s < NumStates; s++ {
+		if len(img.Q[s]) != int(soc.NumModes) || len(img.Visits[s]) != int(soc.NumModes) {
+			return nil, fmt.Errorf("core: truncated Q-table row %d", s)
+		}
+		copy(t.q[s][:], img.Q[s])
+		copy(t.visits[s][:], img.Visits[s])
+	}
+	return t, nil
+}
+
+// SaveFile writes the table to a file.
+func (t *QTable) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.Encode(f)
+}
+
+// LoadTableFile reads a table from a file.
+func LoadTableFile(path string) (*QTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeTable(f)
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"cohmeleon/internal/esp"
+	"cohmeleon/internal/soc"
+)
+
+func TestQTableRoundTrip(t *testing.T) {
+	q := NewQTable()
+	q.Update(0, soc.NonCohDMA, 0.7, 0.5)
+	q.Update(242, soc.FullyCoh, 0.3, 0.25)
+	q.Update(100, soc.CohDMA, 1.0, 1.0)
+
+	var buf bytes.Buffer
+	if err := q.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := State(0); s < NumStates; s++ {
+		for _, m := range soc.AllModes {
+			if got.Q(s, m) != q.Q(s, m) {
+				t.Fatalf("Q(%d,%v) = %g, want %g", s, m, got.Q(s, m), q.Q(s, m))
+			}
+			if got.Visits(s, m) != q.Visits(s, m) {
+				t.Fatalf("Visits(%d,%v) mismatch", s, m)
+			}
+		}
+	}
+}
+
+func TestQTableFileRoundTrip(t *testing.T) {
+	q := NewQTable()
+	q.Update(7, soc.LLCCohDMA, 0.9, 0.25)
+	path := filepath.Join(t.TempDir(), "model.qtable")
+	if err := q.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTableFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Q(7, soc.LLCCohDMA) != q.Q(7, soc.LLCCohDMA) {
+		t.Fatal("file round-trip lost data")
+	}
+}
+
+func TestDecodeTableRejectsGarbage(t *testing.T) {
+	if _, err := DecodeTable(bytes.NewReader([]byte("not a table"))); err == nil {
+		t.Fatal("garbage should fail to decode")
+	}
+}
+
+func TestLoadTableFileMissing(t *testing.T) {
+	if _, err := LoadTableFile(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestTrainedAgentSurvivesReload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Epsilon0 = 0
+	a := New(cfg)
+	ctx := ctxWith(0, 0, 0, 0, 16<<10)
+	mode := a.Decide(ctx)
+	a.Observe(&stubResult(ctx, mode).res)
+
+	var buf bytes.Buffer
+	if err := a.Table().Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := DecodeTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(cfg)
+	b.SetTable(restored)
+	if got := b.Decide(ctx); got != a.Decide(ctx) {
+		t.Fatalf("restored agent decided %v, original %v", got, mode)
+	}
+}
+
+// stubResult builds a plausible result for a decided (ctx, mode).
+type stub struct{ res esp.Result }
+
+func stubResult(ctx *esp.Context, mode soc.Mode) *stub {
+	return &stub{res: esp.Result{
+		Acc: ctx.Acc, Mode: mode, FootprintBytes: ctx.FootprintBytes,
+		ExecCycles: 1000, ActiveCycles: 900, CommCycles: 100, OffChipApprox: 10,
+	}}
+}

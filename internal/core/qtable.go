@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/soc"
+)
+
+// QTable holds the expected reward of taking each coherence mode from
+// each state: 243 × 4 = 972 entries, initialized to zero (paper §4.2).
+type QTable struct {
+	q      [NumStates][soc.NumModes]float64
+	visits [NumStates][soc.NumModes]int64
+}
+
+// NewQTable returns a zeroed table.
+func NewQTable() *QTable { return &QTable{} }
+
+// Q returns the value of (state, mode).
+func (t *QTable) Q(s State, m soc.Mode) float64 { return t.q[s][m] }
+
+// Visits returns how many updates (state, mode) has received.
+func (t *QTable) Visits(s State, m soc.Mode) int64 { return t.visits[s][m] }
+
+// Update applies the paper's learning rule:
+// Q(s,a) ← (1−α)·Q(s,a) + α·R.
+func (t *QTable) Update(s State, m soc.Mode, reward, alpha float64) {
+	if alpha < 0 || alpha > 1 {
+		panic(fmt.Sprintf("core: learning rate %g outside [0,1]", alpha))
+	}
+	t.q[s][m] = (1-alpha)*t.q[s][m] + alpha*reward
+	t.visits[s][m]++
+}
+
+// Best returns the available mode with the highest Q-value from s; ties
+// resolve in mode order, so an untrained table prefers less hardware
+// coherence (non-coherent DMA first).
+func (t *QTable) Best(s State, available []soc.Mode) soc.Mode {
+	if len(available) == 0 {
+		panic("core: Best with no available modes")
+	}
+	best := available[0]
+	for _, m := range available[1:] {
+		if t.q[s][m] > t.q[s][best] {
+			best = m
+		}
+	}
+	return best
+}
+
+// Clone deep-copies the table (for checkpointing across training
+// iterations in the Figure-8 experiment).
+func (t *QTable) Clone() *QTable {
+	c := *t
+	return &c
+}
+
+// TotalVisits returns the number of updates across all entries.
+func (t *QTable) TotalVisits() int64 {
+	var n int64
+	for s := range t.visits {
+		for m := range t.visits[s] {
+			n += t.visits[s][m]
+		}
+	}
+	return n
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"cohmeleon/internal/core"
+	"cohmeleon/internal/policy"
+	"cohmeleon/internal/soc"
+	"cohmeleon/internal/workload"
+)
+
+// AblationPoint is one variant's geomean normalized performance.
+type AblationPoint struct {
+	Variant  string
+	NormExec float64
+	NormMem  float64
+}
+
+// AblationResult covers the design-choice ablations DESIGN.md calls
+// out beyond the paper's own reward DSE: dropping each Table-3 state
+// attribute, disabling the linear ε/α decay, and replacing the paper's
+// DDR-attribution approximation with simulator ground truth.
+type AblationResult struct {
+	Points []AblationPoint
+}
+
+// Ablation trains one Cohmeleon variant per design choice on SoC0 and
+// tests all of them on the same application instance.
+func Ablation(opt Options) (*AblationResult, error) {
+	cfg := soc.SoC0(soc.TrafficMixed, opt.Seed)
+	train := workload.Generate(cfg, workload.GenConfig{MinInvocations: opt.MinInvocations}, opt.Seed+1000)
+	test := workload.Generate(cfg, workload.GenConfig{MinInvocations: opt.MinInvocations}, opt.Seed+2000)
+	baseline, err := runApp(cfg, policy.NewFixed(soc.NonCohDMA), test, opt.Seed+3)
+	if err != nil {
+		return nil, err
+	}
+
+	type variant struct {
+		name string
+		mut  func(*core.Config)
+	}
+	variants := []variant{
+		{"full (paper)", func(*core.Config) {}},
+		{"no-decay", func(c *core.Config) { c.NoDecay = true }},
+		{"true-ddr-reward", func(c *core.Config) { c.TrueDDRReward = true }},
+	}
+	for a := core.Attribute(0); a < core.NumAttributes; a++ {
+		a := a
+		variants = append(variants, variant{
+			name: "drop-" + a.String(),
+			mut:  func(c *core.Config) { c.Encoder = core.NewAblatedEncoder(a) },
+		})
+	}
+
+	out := &AblationResult{}
+	for _, v := range variants {
+		agentCfg := core.DefaultConfig()
+		agentCfg.DecayIterations = opt.TrainIterations
+		agentCfg.Seed = opt.Seed
+		v.mut(&agentCfg)
+		agent := core.New(agentCfg)
+		if err := trainCohmeleon(cfg, agent, train, opt.TrainIterations, opt.Seed+7); err != nil {
+			return nil, err
+		}
+		res, err := testPolicy(cfg, agent, test, opt.Seed+3)
+		if err != nil {
+			return nil, err
+		}
+		exec, mem := geoNormalized(res, baseline)
+		out.Points = append(out.Points, AblationPoint{Variant: v.name, NormExec: exec, NormMem: mem})
+	}
+	return out, nil
+}
+
+// Point returns a variant's measurement.
+func (r *AblationResult) Point(variant string) (AblationPoint, bool) {
+	for _, p := range r.Points {
+		if p.Variant == variant {
+			return p, true
+		}
+	}
+	return AblationPoint{}, false
+}
+
+// Render formats the ablation table.
+func (r *AblationResult) Render() string {
+	t := &Table{
+		Title:  "Ablations — Cohmeleon variants on SoC0 (normalized to fixed-non-coh-dma)",
+		Header: []string{"variant", "norm exec", "norm off-chip"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(p.Variant, f2(p.NormExec), f2(p.NormMem))
+	}
+	return t.Render()
+}

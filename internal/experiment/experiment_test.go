@@ -1,0 +1,291 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"cohmeleon/internal/soc"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "b"}}
+	tab.AddRow("x", "1")
+	tab.AddRow("longer", "22")
+	tab.AddNote("n=%d", 2)
+	out := tab.Render()
+	for _, want := range []string{"T\n=", "a", "longer", "note: n=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryLookupAndList(t *testing.T) {
+	ids := []string{"table4", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "headline", "overhead", "ablation"}
+	for _, id := range ids {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", id, err)
+		}
+		if e.ID != id || e.Title == "" || e.Run == nil {
+			t.Fatalf("entry %q malformed: %+v", id, e)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown id should error")
+	}
+	if got := len(List()); got != len(ids) {
+		t.Fatalf("List has %d entries, want %d", got, len(ids))
+	}
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	res, err := Table4(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Configs) != 7 {
+		t.Fatalf("%d configs", len(res.Configs))
+	}
+	out := res.Render()
+	for _, want := range []string{"SoC0", "SoC6", "5x5", "512kB", "2MB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 4 render missing %q", want)
+		}
+	}
+}
+
+func TestOverheadShape(t *testing.T) {
+	res, err := Overhead(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	small := res.Points[0]
+	large := res.Points[len(res.Points)-1]
+	if small.FootprintKB != 16 || large.FootprintKB != 4096 {
+		t.Fatalf("sweep endpoints wrong: %d..%d", small.FootprintKB, large.FootprintKB)
+	}
+	// Paper: 3-6% at 16kB, <0.1% at 4MB. Accept the same order of
+	// magnitude: noticeable for small, negligible for large.
+	if small.Fraction < 0.01 || small.Fraction > 0.15 {
+		t.Errorf("16kB overhead fraction = %.4f, want a few percent", small.Fraction)
+	}
+	if large.Fraction > 0.002 {
+		t.Errorf("4MB overhead fraction = %.5f, want negligible", large.Fraction)
+	}
+	if !strings.Contains(res.Render(), "overhead") {
+		t.Error("render broken")
+	}
+}
+
+func TestIsolatedInvocationDeterministic(t *testing.T) {
+	cfg := soc.MotivationIsolation()
+	a := isolatedInvocation(cfg, cfg.Accs[0].InstName, 16<<10, soc.CohDMA, 1, 5)
+	b := isolatedInvocation(cfg, cfg.Accs[0].InstName, 16<<10, soc.CohDMA, 1, 5)
+	if a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestFigure2WarmCacheModesZeroOffChip(t *testing.T) {
+	// One accelerator/size slice of Figure 2 (full sweep is a bench).
+	cfg := soc.MotivationIsolation()
+	non := isolatedInvocation(cfg, "fft.0", 16<<10, soc.NonCohDMA, 1, 42)
+	llc := isolatedInvocation(cfg, "fft.0", 16<<10, soc.LLCCohDMA, 1, 42)
+	if llc.OffChip != 0 {
+		t.Errorf("warm small llc-coh off-chip = %g, want 0", llc.OffChip)
+	}
+	if non.OffChip == 0 {
+		t.Error("non-coh must go off-chip")
+	}
+	if llc.ExecCycles >= non.ExecCycles {
+		t.Errorf("warm small: llc-coh (%g) should beat non-coh (%g)", llc.ExecCycles, non.ExecCycles)
+	}
+}
+
+func TestFigure3ShapePreserved(t *testing.T) {
+	opt := Tiny()
+	res, err := Figure3(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(fig3Counts)*int(soc.NumModes) {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	// Degradation grows with concurrency for every mode.
+	for _, mode := range soc.AllModes {
+		if res.Slowdown(mode, 12) <= res.Slowdown(mode, 1) {
+			t.Errorf("%v: no degradation from 1 to 12 accs", mode)
+		}
+	}
+	// Non-coherent suffers least at full contention; coherent DMA
+	// degrades more (relative to its own 1-acc point), as in the paper.
+	nonCohLoss := res.Slowdown(soc.NonCohDMA, 12) / res.Slowdown(soc.NonCohDMA, 1)
+	cohLoss := res.Slowdown(soc.CohDMA, 12) / res.Slowdown(soc.CohDMA, 1)
+	if cohLoss <= nonCohLoss {
+		t.Errorf("coh-dma relative loss %.2f should exceed non-coh %.2f", cohLoss, nonCohLoss)
+	}
+	if !strings.Contains(res.Render(), "Figure 3") {
+		t.Error("render broken")
+	}
+}
+
+func TestFigure5PoliciesAndPhases(t *testing.T) {
+	res, err := Figure5(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 4 {
+		t.Fatalf("%d phases", len(res.Phases))
+	}
+	if len(res.Policies) != 8 {
+		t.Fatalf("%d policies", len(res.Policies))
+	}
+	// The baseline normalizes to itself.
+	for _, ph := range res.Phases {
+		c, ok := res.Cell(ph, "fixed-non-coh-dma")
+		if !ok {
+			t.Fatalf("missing baseline cell for %q", ph)
+		}
+		if c.NormExec != 1 {
+			t.Errorf("baseline norm exec = %g, want 1", c.NormExec)
+		}
+	}
+	// Cohmeleon and manual should not be catastrophically worse than the
+	// best fixed policy in any phase (paper: they match or improve).
+	for _, ph := range res.Phases {
+		manual, _ := res.Cell(ph, "manual")
+		if manual.NormExec > 1.6 {
+			t.Errorf("manual %.2f on %q: far off the baseline", manual.NormExec, ph)
+		}
+	}
+}
+
+func TestFigure7SharesSumTo100(t *testing.T) {
+	res, err := Figure7(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		var sum float64
+		for _, p := range row.Percent {
+			sum += p
+		}
+		if sum < 99.9 || sum > 100.1 {
+			t.Errorf("%s(%s): shares sum to %g", row.Policy, row.Size, sum)
+		}
+	}
+	// Both policies appear, with an "all" row each.
+	if res.Share("manual", "all", soc.NonCohDMA)+res.Share("manual", "all", soc.CohDMA)+
+		res.Share("manual", "all", soc.LLCCohDMA)+res.Share("manual", "all", soc.FullyCoh) == 0 {
+		t.Error("manual has no decisions recorded")
+	}
+}
+
+func TestFigure8LearningImproves(t *testing.T) {
+	opt := Tiny()
+	opt.Fig8Schedules = []int{3}
+	opt.MinInvocations = 80
+	res, err := Figure8(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, ok := res.At(3, 0)
+	if !ok {
+		t.Fatal("missing iteration 0")
+	}
+	last, ok := res.Final(3)
+	if !ok || last.Iteration != 3 {
+		t.Fatalf("missing final point: %+v", last)
+	}
+	// Training should not make things worse than the untrained (random)
+	// model; typically it improves markedly after one iteration.
+	if last.NormExec > first.NormExec*1.05 {
+		t.Errorf("training hurt: iter0 %.3f -> final %.3f", first.NormExec, last.NormExec)
+	}
+}
+
+func TestFigure6RewardModelsCluster(t *testing.T) {
+	opt := Tiny()
+	res, err := Figure6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cohmeleon) != opt.Fig6Models {
+		t.Fatalf("%d cohmeleon points, want %d", len(res.Cohmeleon), opt.Fig6Models)
+	}
+	if len(res.Baselines) != 7 {
+		t.Fatalf("%d baseline points, want 7", len(res.Baselines))
+	}
+	for _, p := range res.Cohmeleon {
+		if p.NormExec <= 0 || p.NormMem < 0 {
+			t.Errorf("degenerate point %+v", p)
+		}
+	}
+}
+
+func TestProfileHeterogeneousCoversAllSpecs(t *testing.T) {
+	cfg := soc.SoC5() // 4 spec types
+	het := profileHeterogeneous(cfg, 1)
+	seen := map[string]bool{}
+	for _, a := range cfg.Accs {
+		if seen[a.Spec.Name] {
+			continue
+		}
+		seen[a.Spec.Name] = true
+		// Assignment must be one of the four modes (always defined).
+		m := het.Assignment(a.Spec.Name)
+		if m > soc.FullyCoh {
+			t.Fatalf("bad assignment %v for %s", m, a.Spec.Name)
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("expected 4 spec types, saw %d", len(seen))
+	}
+}
+
+func TestHeadlineFromSyntheticFig9(t *testing.T) {
+	fig9 := &Fig9Result{Points: []Fig9Point{
+		{SoC: "X", Policy: "fixed-non-coh-dma", RawExec: 200, RawMem: 100},
+		{SoC: "X", Policy: "fixed-llc-coh-dma", RawExec: 150, RawMem: 40},
+		{SoC: "X", Policy: "fixed-coh-dma", RawExec: 150, RawMem: 40},
+		{SoC: "X", Policy: "fixed-full-coh", RawExec: 250, RawMem: 60},
+		{SoC: "X", Policy: "fixed-hetero", RawExec: 150, RawMem: 40},
+		{SoC: "X", Policy: "manual", RawExec: 100, RawMem: 30},
+		{SoC: "X", Policy: "cohmeleon", RawExec: 100, RawMem: 20},
+	}}
+	h := HeadlineFrom(fig9)
+	// speedups: 1.0, 0.5, 0.5, 1.5, 0.5 → mean 0.8
+	if h.AvgSpeedup < 0.79 || h.AvgSpeedup > 0.81 {
+		t.Errorf("AvgSpeedup = %g, want 0.8", h.AvgSpeedup)
+	}
+	// reductions: 0.8, 0.5, 0.5, 2/3, 0.5 → mean ≈ 0.5933
+	if h.AvgMemReduction < 0.59 || h.AvgMemReduction > 0.60 {
+		t.Errorf("AvgMemReduction = %g", h.AvgMemReduction)
+	}
+	if h.VsManualExec != 1.0 {
+		t.Errorf("VsManualExec = %g", h.VsManualExec)
+	}
+	if !strings.Contains(h.Render(), "38%") {
+		t.Error("render should cite the paper number")
+	}
+}
+
+func TestAblationRunsAllVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation trains 8 agents; skipped in -short")
+	}
+	res, err := Ablation(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 8 { // full + no-decay + true-ddr + 5 attribute drops
+		t.Fatalf("%d variants", len(res.Points))
+	}
+	if _, ok := res.Point("full (paper)"); !ok {
+		t.Fatal("missing the paper variant")
+	}
+}

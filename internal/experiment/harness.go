@@ -1,0 +1,174 @@
+package experiment
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/core"
+	"cohmeleon/internal/esp"
+	"cohmeleon/internal/mem"
+	"cohmeleon/internal/policy"
+	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc"
+	"cohmeleon/internal/stats"
+	"cohmeleon/internal/workload"
+)
+
+// mustBuild builds a fresh SoC (hardware state never survives between
+// measurements; policies may).
+func mustBuild(cfg *soc.Config) *soc.SoC {
+	s, err := cfg.Build()
+	if err != nil {
+		panic(fmt.Sprintf("experiment: %v", err))
+	}
+	return s
+}
+
+// runApp executes one application run of a policy on a fresh SoC.
+func runApp(cfg *soc.Config, pol esp.Policy, app *workload.App, seed uint64) (*workload.AppResult, error) {
+	return workload.Run(esp.NewSystem(mustBuild(cfg), pol), app, seed)
+}
+
+// trainCohmeleon runs the agent through iters training iterations of the
+// training application (fresh SoC each iteration, as each FPGA run
+// reboots the platform but the learned table persists).
+func trainCohmeleon(cfg *soc.Config, agent *core.Cohmeleon, train *workload.App, iters int, seed uint64) error {
+	agent.Unfreeze()
+	for i := 0; i < iters; i++ {
+		if _, err := runApp(cfg, agent, train, seed+uint64(i)); err != nil {
+			return err
+		}
+		agent.EndIteration()
+	}
+	return nil
+}
+
+// testPolicy evaluates a policy on the test application; learning
+// policies are frozen for the measurement and restored afterwards.
+func testPolicy(cfg *soc.Config, pol esp.Policy, test *workload.App, seed uint64) (*workload.AppResult, error) {
+	if agent, ok := pol.(*core.Cohmeleon); ok {
+		wasFrozen := agent.Frozen()
+		agent.Freeze()
+		defer func() {
+			if !wasFrozen {
+				agent.Unfreeze()
+			}
+		}()
+	}
+	return runApp(cfg, pol, test, seed)
+}
+
+// profileHeterogeneous derives the fixed-heterogeneous assignment the
+// way the paper does: profile each accelerator type in isolation under
+// every mode while sweeping the workload footprint, then fix the mode
+// with the best mean normalized execution time.
+func profileHeterogeneous(cfg *soc.Config, seed uint64) *policy.FixedHeterogeneous {
+	classes := []workload.SizeClass{workload.Small, workload.Medium, workload.Large, workload.ExtraLarge}
+	assignment := make(map[string]soc.Mode)
+	seen := make(map[string]bool)
+	for _, inst := range cfg.Accs {
+		specName := inst.Spec.Name
+		if seen[specName] {
+			continue
+		}
+		seen[specName] = true
+
+		// Mean exec per mode, each size normalized against NonCohDMA so
+		// sizes weigh equally.
+		execs := make([][]float64, soc.NumModes) // [mode][size]
+		for _, mode := range soc.AllModes {
+			for _, class := range classes {
+				bytes := workload.ClassBytes(class, cfg)
+				res := isolatedInvocation(cfg, inst.InstName, bytes, mode, 1, seed)
+				execs[mode] = append(execs[mode], float64(res.ExecCycles))
+			}
+		}
+		scores := make([]float64, soc.NumModes)
+		for m := range execs {
+			scores[m] = stats.Mean(stats.Normalize(execs[m], execs[soc.NonCohDMA]))
+		}
+		assignment[specName] = soc.Mode(stats.ArgMin(scores))
+	}
+	return policy.NewFixedHeterogeneous(assignment, soc.CohDMA)
+}
+
+// isolationMeasurement is one averaged isolation data point.
+type isolationMeasurement struct {
+	ExecCycles float64
+	OffChip    float64
+}
+
+// isolatedInvocation measures one accelerator alone on a fresh SoC:
+// warm the dataset, then run `runs` invocations under the mode and
+// average. Matches the paper's Figure-2 methodology (measurements
+// include driver overhead and flushes).
+func isolatedInvocation(cfg *soc.Config, instName string, bytes int64, mode soc.Mode, runs int, seed uint64) isolationMeasurement {
+	s := mustBuild(cfg)
+	sys := esp.NewSystem(s, policy.NewFixed(mode))
+	var out isolationMeasurement
+	s.Eng.Go("isolation", func(p *sim.Proc) {
+		buf, err := s.Heap.Alloc(bytes)
+		if err != nil {
+			panic(err)
+		}
+		a, err := s.AccByName(instName)
+		if err != nil {
+			panic(err)
+		}
+		rng := sim.NewRNG(seed)
+		p.WaitUntil(s.CPUTouchRange(s.CPUs[0], buf, 0, buf.Lines(), true, p.Now(), &soc.Meter{}))
+		s.CPUPool.Acquire(p)
+		for r := 0; r < runs; r++ {
+			res := sys.InvokeWithMode(p, a, buf, mode, s.CPUPool, rng.Split())
+			out.ExecCycles += float64(res.ExecCycles)
+			out.OffChip += float64(res.OffChipTrue)
+		}
+		s.CPUPool.Release()
+	})
+	if err := s.Eng.Run(); err != nil {
+		panic(err)
+	}
+	out.ExecCycles /= float64(runs)
+	out.OffChip /= float64(runs)
+	return out
+}
+
+// policySet builds the paper's eight policies for one SoC, training
+// Cohmeleon and profiling the heterogeneous baseline. The training and
+// test applications differ (different generator seeds).
+func policySet(cfg *soc.Config, opt Options, weights core.RewardWeights) ([]esp.Policy, error) {
+	train := workload.AppFor(cfg, opt.Seed+1000)
+	agentCfg := core.DefaultConfig()
+	agentCfg.Weights = weights
+	agentCfg.DecayIterations = opt.TrainIterations
+	agentCfg.Seed = opt.Seed
+	agent := core.New(agentCfg)
+	if err := trainCohmeleon(cfg, agent, train, opt.TrainIterations, opt.Seed+7); err != nil {
+		return nil, err
+	}
+	return []esp.Policy{
+		policy.NewFixed(soc.NonCohDMA),
+		policy.NewFixed(soc.LLCCohDMA),
+		policy.NewFixed(soc.CohDMA),
+		policy.NewFixed(soc.FullyCoh),
+		policy.NewRandom(opt.Seed),
+		profileHeterogeneous(cfg, opt.Seed),
+		policy.NewManual(),
+		agent,
+	}, nil
+}
+
+// geoNormalized computes the geometric mean over phases of a result's
+// exec and mem series normalized to a baseline result.
+func geoNormalized(res, base *workload.AppResult) (exec, mem float64) {
+	exec = stats.GeoMean(stats.Normalize(res.ExecSeries(), base.ExecSeries()))
+	mem = stats.GeoMean(stats.Normalize(res.MemSeries(), base.MemSeries()))
+	return exec, mem
+}
+
+// sizeClassOf buckets an invocation result for Figure 7.
+func sizeClassOf(res *esp.Result, cfg *soc.Config) workload.SizeClass {
+	return workload.Classify(res.FootprintBytes, cfg)
+}
+
+// lineBytes re-exports the line size for reports.
+const lineBytes = mem.LineBytes

@@ -1,0 +1,68 @@
+package experiment
+
+// Options scales the experiments. Defaults reproduce the paper's
+// protocol; Quick returns a reduced configuration for tests and
+// continuous benchmarking, trading statistical weight for runtime while
+// keeping every code path identical.
+type Options struct {
+	// Seed drives SoC traffic-generator instantiation, application
+	// generation and every stochastic policy.
+	Seed uint64
+	// Runs is the number of repeated executions averaged per measurement
+	// point in the motivation studies (the paper averages ten).
+	Runs int
+	// TrainIterations is Cohmeleon's training length for Figures 5, 7
+	// and 9 (the paper finds ten sufficient).
+	TrainIterations int
+	// MinInvocations sizes generated applications (the paper's instances
+	// have several hundred invocations).
+	MinInvocations int
+	// Fig6Models is the number of reward-weight settings explored.
+	Fig6Models int
+	// Fig6TrainIterations is the training length per Figure-6 model
+	// (the paper uses 50).
+	Fig6TrainIterations int
+	// Fig8Schedules are the decay schedules compared in Figure 8.
+	Fig8Schedules []int
+}
+
+// Default returns the paper-faithful configuration.
+func Default() Options {
+	return Options{
+		Seed:                42,
+		Runs:                10,
+		TrainIterations:     10,
+		MinInvocations:      300,
+		Fig6Models:          15,
+		Fig6TrainIterations: 50,
+		Fig8Schedules:       []int{10, 30, 50},
+	}
+}
+
+// Quick returns a scaled-down configuration: same protocol, fewer
+// repetitions and shorter training, sized to finish a full suite in
+// minutes.
+func Quick() Options {
+	return Options{
+		Seed:                42,
+		Runs:                2,
+		TrainIterations:     4,
+		MinInvocations:      120,
+		Fig6Models:          6,
+		Fig6TrainIterations: 5,
+		Fig8Schedules:       []int{4, 8},
+	}
+}
+
+// Tiny returns the smallest meaningful configuration, for unit tests.
+func Tiny() Options {
+	return Options{
+		Seed:                42,
+		Runs:                1,
+		TrainIterations:     2,
+		MinInvocations:      40,
+		Fig6Models:          2,
+		Fig6TrainIterations: 2,
+		Fig8Schedules:       []int{2},
+	}
+}

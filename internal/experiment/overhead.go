@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/core"
+	"cohmeleon/internal/esp"
+	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc"
+)
+
+// OverheadPoint is Cohmeleon's bookkeeping cost relative to one
+// invocation's total time at a given footprint.
+type OverheadPoint struct {
+	FootprintKB int64
+	ExecCycles  float64
+	Fraction    float64 // overhead / total execution time
+}
+
+// OverheadResult reproduces the §6 overhead measurement: Cohmeleon's
+// status tracking, computation and decision-making as a fraction of
+// invocation time, from small (16 kB) to large (4 MB) workloads.
+type OverheadResult struct {
+	Points []OverheadPoint
+}
+
+// Overhead measures the overhead sweep on the motivation SoC.
+func Overhead(opt Options) (*OverheadResult, error) {
+	cfg := soc.MotivationIsolation()
+	agentCfg := core.DefaultConfig()
+	overhead := agentCfg.OverheadCycles
+	out := &OverheadResult{}
+	for _, kb := range []int64{16, 64, 256, 1024, 4096} {
+		agent := core.New(agentCfg)
+		agent.Freeze()
+		s := mustBuild(cfg)
+		sys := esp.NewSystem(s, agent)
+		var exec float64
+		s.Eng.Go("overhead", func(p *sim.Proc) {
+			buf, err := s.Heap.Alloc(kb << 10)
+			if err != nil {
+				panic(err)
+			}
+			a := s.Accs[0]
+			p.WaitUntil(s.CPUTouchRange(s.CPUs[0], buf, 0, buf.Lines(), true, p.Now(), &soc.Meter{}))
+			s.CPUPool.Acquire(p)
+			res := sys.Invoke(p, a, buf, s.CPUPool, sim.NewRNG(opt.Seed))
+			s.CPUPool.Release()
+			exec = float64(res.ExecCycles)
+		})
+		if err := s.Eng.Run(); err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, OverheadPoint{
+			FootprintKB: kb,
+			ExecCycles:  exec,
+			Fraction:    float64(overhead) / exec,
+		})
+	}
+	return out, nil
+}
+
+// Render formats the sweep.
+func (r *OverheadResult) Render() string {
+	t := &Table{
+		Title:  "Cohmeleon overhead — fraction of invocation time spent on tracking and deciding",
+		Header: []string{"footprint", "exec cycles", "overhead %"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprintf("%dKB", p.FootprintKB),
+			fmt.Sprintf("%.0f", p.ExecCycles),
+			fmt.Sprintf("%.2f%%", p.Fraction*100))
+	}
+	t.AddNote("paper: 3-6%% at 16kB, below 0.1%% at 4MB")
+	return t.Render()
+}

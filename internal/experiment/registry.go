@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment under the given options.
+type Runner func(Options) (Report, error)
+
+// Entry describes one reproducible artifact of the paper.
+type Entry struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+// registry maps experiment IDs to runners.
+var registry = map[string]Entry{
+	"table4": {
+		ID: "table4", Title: "Table 4: parameters of the evaluation SoCs",
+		Run: func(o Options) (Report, error) { return Table4(o) },
+	},
+	"fig2": {
+		ID: "fig2", Title: "Figure 2: accelerators in isolation",
+		Run: func(o Options) (Report, error) { return Figure2(o) },
+	},
+	"fig3": {
+		ID: "fig3", Title: "Figure 3: parallel accelerator execution",
+		Run: func(o Options) (Report, error) { return Figure3(o) },
+	},
+	"fig5": {
+		ID: "fig5", Title: "Figure 5: phase analysis across policies",
+		Run: func(o Options) (Report, error) { return Figure5(o) },
+	},
+	"fig6": {
+		ID: "fig6", Title: "Figure 6: reward-function design-space exploration",
+		Run: func(o Options) (Report, error) { return Figure6(o) },
+	},
+	"fig7": {
+		ID: "fig7", Title: "Figure 7: breakdown of coherence decisions",
+		Run: func(o Options) (Report, error) { return Figure7(o) },
+	},
+	"fig8": {
+		ID: "fig8", Title: "Figure 8: performance over training iterations",
+		Run: func(o Options) (Report, error) { return Figure8(o) },
+	},
+	"fig9": {
+		ID: "fig9", Title: "Figure 9: performance across SoC configurations",
+		Run: func(o Options) (Report, error) { return Figure9(o) },
+	},
+	"headline": {
+		ID: "headline", Title: "Headline: average speedup and off-chip reduction",
+		Run: func(o Options) (Report, error) { return Headline(o) },
+	},
+	"overhead": {
+		ID: "overhead", Title: "Cohmeleon runtime overhead",
+		Run: func(o Options) (Report, error) { return Overhead(o) },
+	},
+	"ablation": {
+		ID: "ablation", Title: "Ablations: state attributes, decay schedule, DDR attribution",
+		Run: func(o Options) (Report, error) { return Ablation(o) },
+	},
+}
+
+// Lookup returns the entry for an experiment ID.
+func Lookup(id string) (Entry, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Entry{}, fmt.Errorf("experiment: unknown id %q (try List())", id)
+	}
+	return e, nil
+}
+
+// List returns all experiments sorted by ID.
+func List() []Entry {
+	out := make([]Entry, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,103 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation: the Table-4 SoC inventory, the motivation studies
+// (Figures 2 and 3), the policy comparisons (Figure 5), the
+// reward-function design-space exploration (Figure 6), the coherence
+// decision breakdown (Figure 7), the training-time study (Figure 8),
+// the cross-SoC comparison (Figure 9), the headline speedup/off-chip
+// aggregates, and the runtime-overhead measurement. Each experiment
+// returns a typed result that renders to an aligned text table.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment artifact: a titled grid of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			if i == 0 {
+				b.WriteString(c + strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad) + c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Report is anything an experiment can print.
+type Report interface {
+	Render() string
+}
+
+// MultiTable groups several tables into one report.
+type MultiTable struct {
+	Tables []*Table
+}
+
+// Render concatenates the tables.
+func (m *MultiTable) Render() string {
+	var parts []string
+	for _, t := range m.Tables {
+		parts = append(parts, t.Render())
+	}
+	return strings.Join(parts, "\n")
+}
+
+// f2 formats a float with two decimals; f1 with one.
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }
+func f1(x float64) string { return fmt.Sprintf("%.1f", x) }

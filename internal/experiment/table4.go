@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/soc"
+)
+
+// Table4Result reproduces Table 4: the parameters of the evaluation
+// SoCs, regenerated from the configuration presets (and verified by
+// building each SoC).
+type Table4Result struct {
+	Configs []*soc.Config
+}
+
+// Table4 builds every evaluation SoC and reports its parameters.
+func Table4(opt Options) (*Table4Result, error) {
+	configs := soc.Table4(opt.Seed)
+	for _, cfg := range configs {
+		if _, err := cfg.Build(); err != nil {
+			return nil, err
+		}
+	}
+	return &Table4Result{Configs: configs}, nil
+}
+
+// Render formats the parameter table in the paper's row order.
+func (r *Table4Result) Render() string {
+	t := &Table{
+		Title:  "Table 4 — parameters of the evaluation SoCs",
+		Header: []string{"parameter"},
+	}
+	for _, cfg := range r.Configs {
+		t.Header = append(t.Header, cfg.Name)
+	}
+	row := func(name string, get func(c *soc.Config) string) {
+		cells := []string{name}
+		for _, cfg := range r.Configs {
+			cells = append(cells, get(cfg))
+		}
+		t.AddRow(cells...)
+	}
+	row("Accelerators", func(c *soc.Config) string { return fmt.Sprintf("%d", len(c.Accs)) })
+	row("NoC size", func(c *soc.Config) string { return fmt.Sprintf("%dx%d", c.MeshW, c.MeshH) })
+	row("CPUs", func(c *soc.Config) string { return fmt.Sprintf("%d", c.CPUs) })
+	row("DDRs", func(c *soc.Config) string { return fmt.Sprintf("%d", c.MemTiles) })
+	row("LLC part.", func(c *soc.Config) string { return fmt.Sprintf("%dkB", c.LLCSliceKB) })
+	row("Total LLC", func(c *soc.Config) string {
+		total := c.TotalLLCBytes() / 1024
+		if total >= 1024 && total%1024 == 0 {
+			return fmt.Sprintf("%dMB", total/1024)
+		}
+		return fmt.Sprintf("%dkB", total)
+	})
+	row("L2 cache", func(c *soc.Config) string { return fmt.Sprintf("%dkB", c.L2KB) })
+	return t.Render()
+}

@@ -1,0 +1,286 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testMap() *AddressMap { return NewAddressMap(4, 64*PageBytes) }
+
+func TestAddressMapHome(t *testing.T) {
+	m := testMap()
+	if m.Partitions() != 4 {
+		t.Fatalf("Partitions = %d", m.Partitions())
+	}
+	if m.Home(0) != 0 {
+		t.Fatal("line 0 should live on partition 0")
+	}
+	last := LineAddr(m.PartLines()*4 - 1)
+	if m.Home(last) != 3 {
+		t.Fatalf("last line on partition %d, want 3", m.Home(last))
+	}
+	for p := 0; p < 4; p++ {
+		if m.Home(m.PartitionBase(p)) != p {
+			t.Fatalf("PartitionBase(%d) not homed correctly", p)
+		}
+	}
+}
+
+func TestAddressMapOutOfRangePanics(t *testing.T) {
+	m := testMap()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Home(LineAddr(m.TotalBytes())) // way past the end
+}
+
+func TestAllocSinglePage(t *testing.T) {
+	m := testMap()
+	a := NewAllocator(m)
+	buf, err := a.Alloc(16 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Bytes != 16<<10 {
+		t.Fatalf("Bytes = %d", buf.Bytes)
+	}
+	if buf.Lines() != 256 {
+		t.Fatalf("Lines = %d, want 256", buf.Lines())
+	}
+	if buf.Pages() != 1 {
+		t.Fatalf("Pages = %d, want 1", buf.Pages())
+	}
+	if got := len(buf.Partitions(m)); got != 1 {
+		t.Fatalf("partitions touched = %d, want 1", got)
+	}
+}
+
+func TestAllocSpreadsAcrossPartitions(t *testing.T) {
+	m := testMap()
+	a := NewAllocator(m)
+	buf, err := a.Alloc(4 << 20) // 4 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(buf.Partitions(m)); got != 4 {
+		t.Fatalf("4MB buffer touches %d partitions, want 4 (load balancing)", got)
+	}
+	var total int64
+	for p := 0; p < 4; p++ {
+		total += buf.BytesOnPartition(m, p)
+	}
+	if total != buf.Bytes {
+		t.Fatalf("BytesOnPartition sums to %d, want %d", total, buf.Bytes)
+	}
+}
+
+func TestAllocLeastLoadedPlacement(t *testing.T) {
+	m := testMap()
+	a := NewAllocator(m)
+	// First four single-page buffers land on four distinct partitions.
+	seen := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		buf, err := a.Alloc(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := buf.Partitions(m)
+		if len(parts) != 1 {
+			t.Fatalf("single page on %d partitions", len(parts))
+		}
+		seen[parts[0]] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("pages landed on %d partitions, want 4", len(seen))
+	}
+}
+
+func TestLineAtCoversWholeBuffer(t *testing.T) {
+	m := testMap()
+	a := NewAllocator(m)
+	buf, err := a.Alloc(3 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[LineAddr]bool)
+	for i := int64(0); i < buf.Lines(); i++ {
+		l := buf.LineAt(i)
+		if seen[l] {
+			t.Fatalf("line %d mapped twice", l)
+		}
+		seen[l] = true
+	}
+	if int64(len(seen)) != buf.Lines() {
+		t.Fatalf("mapped %d distinct lines, want %d", len(seen), buf.Lines())
+	}
+}
+
+func TestLineAtBeyondBufferPanics(t *testing.T) {
+	m := testMap()
+	a := NewAllocator(m)
+	buf, _ := a.Alloc(PageBytes)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	buf.LineAt(PageLines + 5)
+}
+
+func TestFreeReturnsPages(t *testing.T) {
+	m := testMap()
+	a := NewAllocator(m)
+	before := a.FreePages(0) + a.FreePages(1) + a.FreePages(2) + a.FreePages(3)
+	buf, err := a.Alloc(8 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free(buf)
+	after := a.FreePages(0) + a.FreePages(1) + a.FreePages(2) + a.FreePages(3)
+	if before != after {
+		t.Fatalf("pages leaked: %d before, %d after", before, after)
+	}
+	for p := 0; p < 4; p++ {
+		if a.UsedBytes(p) != 0 {
+			t.Fatalf("partition %d still reports %d used bytes", p, a.UsedBytes(p))
+		}
+	}
+}
+
+func TestFreeNilIsNoop(t *testing.T) {
+	a := NewAllocator(testMap())
+	a.Free(nil) // must not panic
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	m := NewAddressMap(1, 2*PageBytes)
+	a := NewAllocator(m)
+	if _, err := a.Alloc(2 * PageBytes); err != nil {
+		t.Fatalf("first alloc should fit: %v", err)
+	}
+	if _, err := a.Alloc(1); err == nil {
+		t.Fatal("exhausted allocator should error")
+	}
+}
+
+func TestAllocZeroRejected(t *testing.T) {
+	a := NewAllocator(testMap())
+	if _, err := a.Alloc(0); err == nil {
+		t.Fatal("zero-byte alloc should error")
+	}
+}
+
+func TestExtentMergingWithinPartition(t *testing.T) {
+	m := NewAddressMap(1, 64*PageBytes) // single partition forces contiguity
+	a := NewAllocator(m)
+	buf, err := a.Alloc(4 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.Extents) != 1 {
+		t.Fatalf("contiguous pages should merge into one extent, got %d", len(buf.Extents))
+	}
+}
+
+// Property: alloc/free round-trips conserve free-page counts and every
+// allocated line is homed on a valid partition.
+func TestAllocFreeConservationProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		m := testMap()
+		a := NewAllocator(m)
+		var bufs []*Buffer
+		for _, s := range sizes {
+			b, err := a.Alloc(int64(s%16+1) * 256 * 1024)
+			if err != nil {
+				break
+			}
+			for _, e := range b.Extents {
+				p := m.Home(e.Start)
+				if p < 0 || p >= m.Partitions() {
+					return false
+				}
+			}
+			bufs = append(bufs, b)
+		}
+		for _, b := range bufs {
+			a.Free(b)
+		}
+		total := 0
+		for p := 0; p < m.Partitions(); p++ {
+			if a.UsedBytes(p) != 0 {
+				return false
+			}
+			total += a.FreePages(p)
+		}
+		return total == 4*64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: no two live buffers share a physical line.
+func TestNoAliasingProperty(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		m := testMap()
+		a := NewAllocator(m)
+		owned := make(map[LineAddr]bool)
+		for _, s := range sizes {
+			b, err := a.Alloc(int64(s%8+1) * PageBytes)
+			if err != nil {
+				break
+			}
+			for _, e := range b.Extents {
+				for l := e.Start; l < e.End(); l += PageLines {
+					if owned[l] {
+						return false
+					}
+					owned[l] = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerBurstTiming(t *testing.T) {
+	c := NewController(0, 100, 16)
+	done := c.Access(0, 4, false)
+	if done != 4*16+100 {
+		t.Fatalf("done = %d, want 164", done)
+	}
+	// Second burst queues behind the first on the channel.
+	done2 := c.Access(0, 4, true)
+	if done2 != 8*16+100 {
+		t.Fatalf("done2 = %d, want 228", done2)
+	}
+	if c.Reads() != 4 || c.Writes() != 4 || c.Total() != 8 {
+		t.Fatalf("counters reads=%d writes=%d total=%d", c.Reads(), c.Writes(), c.Total())
+	}
+}
+
+func TestControllerZeroLines(t *testing.T) {
+	c := NewController(0, 100, 16)
+	if done := c.Access(50, 0, false); done != 50 {
+		t.Fatalf("zero-line access should be free, got %d", done)
+	}
+	if c.Total() != 0 {
+		t.Fatal("zero-line access should not count")
+	}
+}
+
+func TestControllerBusyCycles(t *testing.T) {
+	c := NewController(2, 100, 16)
+	c.Access(0, 10, false)
+	if c.BusyCycles() != 160 {
+		t.Fatalf("busy = %d, want 160", c.BusyCycles())
+	}
+	if c.Tile() != 2 {
+		t.Fatalf("Tile = %d", c.Tile())
+	}
+}

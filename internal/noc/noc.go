@@ -1,0 +1,223 @@
+// Package noc models the ESP-style 2D-mesh network-on-chip: a W×H grid
+// of routers with one cycle of latency between neighbours, six 32-bit
+// physical planes, and XY dimension-order routing. Messages are modelled
+// at transaction granularity: a transfer reserves bandwidth on every
+// directed link along its path and accumulates head latency, so hotspot
+// congestion near memory tiles emerges from overlapping reservations.
+package noc
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/sim"
+)
+
+// Plane identifies one of the six physical NoC planes. ESP dedicates
+// separate planes to coherence requests, responses, and forwards (to
+// avoid protocol deadlock) and to DMA request/data traffic; the sixth
+// carries interrupts and register accesses.
+type Plane int
+
+// The six planes, named by the traffic class they carry.
+const (
+	PlaneCohReq  Plane = iota // coherence requests (GetS/GetM/PutM headers)
+	PlaneCohRsp               // coherence responses (data to/from caches)
+	PlaneCohFwd               // forwards: recalls and invalidations
+	PlaneDMAReq               // DMA request headers
+	PlaneDMAData              // DMA data payloads
+	PlaneMisc                 // interrupts, configuration, monitors
+	NumPlanes
+)
+
+// String returns the conventional ESP plane name.
+func (p Plane) String() string {
+	switch p {
+	case PlaneCohReq:
+		return "coh-req"
+	case PlaneCohRsp:
+		return "coh-rsp"
+	case PlaneCohFwd:
+		return "coh-fwd"
+	case PlaneDMAReq:
+		return "dma-req"
+	case PlaneDMAData:
+		return "dma-data"
+	case PlaneMisc:
+		return "misc"
+	default:
+		return fmt.Sprintf("plane(%d)", int(p))
+	}
+}
+
+// FlitBytes is the width of every NoC plane: 32 bits, per the paper.
+const FlitBytes = 4
+
+// HopCycles is the router-to-router latency: one cycle, per the paper.
+const HopCycles = 1
+
+// HeaderFlits is the per-message header overhead in flits.
+const HeaderFlits = 1
+
+// Coord is a tile position on the mesh.
+type Coord struct{ X, Y int }
+
+// Mesh is the NoC fabric. It owns one sim.Resource per directed link per
+// plane. Tiles are addressed by their mesh coordinate.
+type Mesh struct {
+	width, height int
+	// links[plane][linkIndex]; linkIndex encodes (from, direction).
+	links [][]*sim.Resource
+}
+
+// direction indices for the four mesh neighbours.
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+	numDirs
+)
+
+// NewMesh builds a width×height mesh with all links idle.
+func NewMesh(width, height int) *Mesh {
+	if width <= 0 || height <= 0 {
+		panic("noc: mesh dimensions must be positive")
+	}
+	m := &Mesh{width: width, height: height}
+	m.links = make([][]*sim.Resource, NumPlanes)
+	n := width * height * numDirs
+	for p := range m.links {
+		m.links[p] = make([]*sim.Resource, n)
+		for i := range m.links[p] {
+			m.links[p][i] = sim.NewResource(fmt.Sprintf("link-%s-%d", Plane(p), i))
+		}
+	}
+	return m
+}
+
+// Width returns the mesh width in tiles.
+func (m *Mesh) Width() int { return m.width }
+
+// Height returns the mesh height in tiles.
+func (m *Mesh) Height() int { return m.height }
+
+// InBounds reports whether c lies on the mesh.
+func (m *Mesh) InBounds(c Coord) bool {
+	return c.X >= 0 && c.X < m.width && c.Y >= 0 && c.Y < m.height
+}
+
+// linkIndex returns the resource index for the link leaving from in the
+// given direction.
+func (m *Mesh) linkIndex(from Coord, dir int) int {
+	return (from.Y*m.width+from.X)*numDirs + dir
+}
+
+// Route returns the XY dimension-order route from src to dst as the list
+// of (coordinate, direction) steps. An empty route means src == dst.
+func (m *Mesh) Route(src, dst Coord) []step {
+	if !m.InBounds(src) || !m.InBounds(dst) {
+		panic(fmt.Sprintf("noc: route %v -> %v out of bounds", src, dst))
+	}
+	var path []step
+	cur := src
+	for cur.X != dst.X {
+		d := dirEast
+		next := Coord{cur.X + 1, cur.Y}
+		if dst.X < cur.X {
+			d = dirWest
+			next = Coord{cur.X - 1, cur.Y}
+		}
+		path = append(path, step{cur, d})
+		cur = next
+	}
+	for cur.Y != dst.Y {
+		d := dirSouth
+		next := Coord{cur.X, cur.Y + 1}
+		if dst.Y < cur.Y {
+			d = dirNorth
+			next = Coord{cur.X, cur.Y - 1}
+		}
+		path = append(path, step{cur, d})
+		cur = next
+	}
+	return path
+}
+
+type step struct {
+	from Coord
+	dir  int
+}
+
+// Hops returns the Manhattan distance between two coordinates.
+func Hops(a, b Coord) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Transfer sends a message of size bytes from src to dst on the given
+// plane, starting no earlier than at, and returns the arrival time of the
+// tail flit. The model is wormhole-like: the head advances one cycle per
+// hop and the payload reserves serialization time on every link; queueing
+// at any congested link delays the tail accordingly.
+//
+// A zero-hop transfer (src == dst, e.g. an accelerator talking to the
+// memory controller in its own tile) costs only serialization.
+//
+// Transfer walks the XY route inline rather than via Route: it runs on
+// every simulated message, and materializing the path dominates the
+// whole simulator's allocation profile otherwise.
+func (m *Mesh) Transfer(plane Plane, src, dst Coord, bytes int, at sim.Cycles) sim.Cycles {
+	service := sim.Cycles((bytes+FlitBytes-1)/FlitBytes + HeaderFlits)
+	if src == dst {
+		return at + service
+	}
+	links := m.links[plane]
+	cur := at
+	var tail sim.Cycles
+	pos := src
+	step := func(dir int, next Coord) {
+		start, end := links[m.linkIndex(pos, dir)].Acquire(cur, service)
+		cur = start + HopCycles // head moves to the next router
+		tail = end
+		pos = next
+	}
+	for pos.X < dst.X {
+		step(dirEast, Coord{pos.X + 1, pos.Y})
+	}
+	for pos.X > dst.X {
+		step(dirWest, Coord{pos.X - 1, pos.Y})
+	}
+	for pos.Y < dst.Y {
+		step(dirSouth, Coord{pos.X, pos.Y + 1})
+	}
+	for pos.Y > dst.Y {
+		step(dirNorth, Coord{pos.X, pos.Y - 1})
+	}
+	// Tail arrives one hop after leaving the last link's upstream router.
+	return tail + HopCycles
+}
+
+// RoundTrip models a small request (header-only) to dst followed by a
+// response of size bytes back to src; it returns the time the response
+// tail arrives. remoteService is extra time spent at the destination
+// before the response departs.
+func (m *Mesh) RoundTrip(reqPlane, rspPlane Plane, src, dst Coord, bytes int, remoteService, at sim.Cycles) sim.Cycles {
+	reqArrive := m.Transfer(reqPlane, src, dst, 0, at)
+	return m.Transfer(rspPlane, dst, src, bytes, reqArrive+remoteService)
+}
+
+// LinkBusy returns the total busy cycles summed over all links of a
+// plane, for utilization reporting.
+func (m *Mesh) LinkBusy(plane Plane) sim.Cycles {
+	var total sim.Cycles
+	for _, l := range m.links[plane] {
+		total += l.BusyCycles()
+	}
+	return total
+}

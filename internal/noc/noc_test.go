@@ -1,0 +1,198 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cohmeleon/internal/sim"
+)
+
+func TestHops(t *testing.T) {
+	cases := []struct {
+		a, b Coord
+		want int
+	}{
+		{Coord{0, 0}, Coord{0, 0}, 0},
+		{Coord{0, 0}, Coord{3, 0}, 3},
+		{Coord{0, 0}, Coord{0, 2}, 2},
+		{Coord{1, 1}, Coord{4, 3}, 5},
+		{Coord{4, 3}, Coord{1, 1}, 5},
+	}
+	for _, c := range cases {
+		if got := Hops(c.a, c.b); got != c.want {
+			t.Errorf("Hops(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRouteLengthEqualsHops(t *testing.T) {
+	m := NewMesh(5, 4)
+	for x1 := 0; x1 < 5; x1++ {
+		for y1 := 0; y1 < 4; y1++ {
+			for x2 := 0; x2 < 5; x2++ {
+				for y2 := 0; y2 < 4; y2++ {
+					a, b := Coord{x1, y1}, Coord{x2, y2}
+					if got := len(m.Route(a, b)); got != Hops(a, b) {
+						t.Fatalf("route %v->%v has %d steps, want %d", a, b, got, Hops(a, b))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRouteIsXYOrder(t *testing.T) {
+	m := NewMesh(4, 4)
+	path := m.Route(Coord{0, 0}, Coord{2, 2})
+	// First two steps move in X, then two in Y.
+	if path[0].dir != dirEast || path[1].dir != dirEast {
+		t.Fatalf("XY routing should move X first: %+v", path)
+	}
+	if path[2].dir != dirSouth || path[3].dir != dirSouth {
+		t.Fatalf("XY routing should move Y second: %+v", path)
+	}
+}
+
+func TestTransferUncontendedLatency(t *testing.T) {
+	m := NewMesh(4, 4)
+	// 64 bytes = 16 flits + 1 header = 17 cycles serialization, 2 hops.
+	arrive := m.Transfer(PlaneDMAData, Coord{0, 0}, Coord{2, 0}, 64, 0)
+	// Head: start+1 per hop; tail: last link end + 1.
+	// link1: acquire(0,17) -> (0,17); cur=1. link2: acquire(1,17) -> (1,18).
+	// tail = 18 + 1 = 19.
+	if arrive != 19 {
+		t.Fatalf("arrive = %d, want 19", arrive)
+	}
+}
+
+func TestTransferZeroHop(t *testing.T) {
+	m := NewMesh(2, 2)
+	arrive := m.Transfer(PlaneDMAData, Coord{1, 1}, Coord{1, 1}, 64, 100)
+	if arrive != 117 {
+		t.Fatalf("arrive = %d, want 117 (serialization only)", arrive)
+	}
+}
+
+func TestTransferContentionQueues(t *testing.T) {
+	m := NewMesh(4, 1)
+	src, dst := Coord{0, 0}, Coord{3, 0}
+	first := m.Transfer(PlaneDMAData, src, dst, 256, 0)
+	second := m.Transfer(PlaneDMAData, src, dst, 256, 0)
+	if second <= first {
+		t.Fatalf("overlapping transfers should queue: first %d, second %d", first, second)
+	}
+	// Different plane does not contend.
+	other := m.Transfer(PlaneCohRsp, src, dst, 256, 0)
+	if other != first {
+		t.Fatalf("other plane should be uncontended: %d vs %d", other, first)
+	}
+}
+
+func TestDisjointPathsDoNotContend(t *testing.T) {
+	m := NewMesh(4, 4)
+	a := m.Transfer(PlaneDMAData, Coord{0, 0}, Coord{1, 0}, 64, 0)
+	b := m.Transfer(PlaneDMAData, Coord{0, 3}, Coord{1, 3}, 64, 0)
+	if a != b {
+		t.Fatalf("disjoint transfers should see identical latency: %d vs %d", a, b)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := NewMesh(3, 1)
+	// Request 0->2 (header only), 10 cycles remote service, 64B response.
+	arrive := m.RoundTrip(PlaneCohReq, PlaneCohRsp, Coord{0, 0}, Coord{2, 0}, 64, 10, 0)
+	// Request: 1-flit message over 2 hops: link1 (0,1) cur=1, link2 (1,2),
+	// tail=2+1=3. Response departs at 13, 17 cycles serialization over 2
+	// hops: link1 (13,30) cur=14, link2 (14,31), tail arrives 32.
+	if arrive != 32 {
+		t.Fatalf("arrive = %d, want 32", arrive)
+	}
+}
+
+func TestLinkBusyAccounting(t *testing.T) {
+	m := NewMesh(2, 1)
+	if m.LinkBusy(PlaneDMAData) != 0 {
+		t.Fatal("fresh mesh should be idle")
+	}
+	m.Transfer(PlaneDMAData, Coord{0, 0}, Coord{1, 0}, 64, 0)
+	if m.LinkBusy(PlaneDMAData) != 17 {
+		t.Fatalf("busy = %d, want 17", m.LinkBusy(PlaneDMAData))
+	}
+	if m.LinkBusy(PlaneMisc) != 0 {
+		t.Fatal("other planes should be idle")
+	}
+}
+
+func TestOutOfBoundsRoutePanics(t *testing.T) {
+	m := NewMesh(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Route(Coord{0, 0}, Coord{5, 5})
+}
+
+func TestPlaneString(t *testing.T) {
+	names := map[Plane]string{
+		PlaneCohReq: "coh-req", PlaneCohRsp: "coh-rsp", PlaneCohFwd: "coh-fwd",
+		PlaneDMAReq: "dma-req", PlaneDMAData: "dma-data", PlaneMisc: "misc",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+	if Plane(99).String() != "plane(99)" {
+		t.Errorf("unknown plane formatting broken")
+	}
+}
+
+// Property: transfer arrival is never before departure plus hop latency
+// plus serialization, and identical repeated transfers never get faster.
+func TestTransferMonotoneProperty(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		m := NewMesh(5, 5)
+		var last sim.Cycles = -1
+		for _, raw := range pairs {
+			src := Coord{int(raw % 5), int((raw / 5) % 5)}
+			dst := Coord{int((raw / 25) % 5), int((raw / 125) % 5)}
+			arrive := m.Transfer(PlaneDMAData, src, dst, 64, 0)
+			minimum := sim.Cycles(Hops(src, dst)) + 17
+			if src == dst {
+				minimum = 17
+			}
+			if arrive < minimum {
+				return false
+			}
+			if src == (Coord{0, 0}) && dst == (Coord{4, 4}) {
+				if arrive <= last {
+					return false // same congested path must strictly queue
+				}
+				last = arrive
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mesh routes never step off the grid.
+func TestRouteStaysInBoundsProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		m := NewMesh(6, 3)
+		src := Coord{int(raw % 6), int((raw / 6) % 3)}
+		dst := Coord{int((raw / 18) % 6), int((raw / 108) % 3)}
+		for _, st := range m.Route(src, dst) {
+			if !m.InBounds(st.from) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

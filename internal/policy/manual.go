@@ -1,0 +1,64 @@
+package policy
+
+import (
+	"cohmeleon/internal/esp"
+	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc"
+)
+
+// ExtraSmallThreshold is Algorithm 1's EXTRA_SMALL_THRESHOLD: workloads
+// at or below it always run fully coherent.
+const ExtraSmallThreshold = 4 << 10
+
+// Manual is the paper's manually-tuned, introspective runtime algorithm
+// (Algorithm 1), built by its authors from tens of thousands of
+// profiled invocations on ESP. It reads the same tracker state as
+// Cohmeleon but encodes a hand-written decision tree; the paper uses it
+// as the "expert ceiling" Cohmeleon should match without any tuning.
+type Manual struct{}
+
+// NewManual returns the Algorithm-1 policy.
+func NewManual() *Manual { return &Manual{} }
+
+// Name implements esp.Policy.
+func (m *Manual) Name() string { return "manual" }
+
+// Decide implements esp.Policy. This is Algorithm 1 verbatim:
+//
+//	if footprint ≤ EXTRA_SMALL_THRESHOLD:            FULLY-COH
+//	else if footprint ≤ CACHE_L2_SIZE:
+//	    if active_coh_dma > active_fully_coh:        FULLY-COH
+//	    else:                                        COH-DMA
+//	else if footprint + active_footprint > CACHE_LLC_SIZE: NON-COH
+//	else:
+//	    if active_non_coh ≥ 2:                       LLC-COH-DMA
+//	    else:                                        COH-DMA
+func (m *Manual) Decide(ctx *esp.Context) soc.Mode {
+	var coh soc.Mode
+	switch {
+	case ctx.FootprintBytes <= ExtraSmallThreshold:
+		coh = soc.FullyCoh
+	case ctx.FootprintBytes <= ctx.L2Bytes:
+		if ctx.ActiveCohDMA > ctx.ActiveFullyCoh {
+			coh = soc.FullyCoh
+		} else {
+			coh = soc.CohDMA
+		}
+	case ctx.FootprintBytes+ctx.ActiveFootprintBytes > ctx.TotalLLCBytes:
+		coh = soc.NonCohDMA
+	default:
+		if ctx.ActiveNonCoh >= 2 {
+			coh = soc.LLCCohDMA
+		} else {
+			coh = soc.CohDMA
+		}
+	}
+	return ctx.Clamp(coh)
+}
+
+// Observe implements esp.Policy.
+func (m *Manual) Observe(*esp.Result) {}
+
+// OverheadCycles implements esp.Policy: the decision tree is cheap but
+// still reads the tracker.
+func (m *Manual) OverheadCycles() sim.Cycles { return 400 }

@@ -1,0 +1,108 @@
+// Package policy provides the baseline coherence policies the paper
+// compares Cohmeleon against (§4.3 "Decide"): Random, the four fixed
+// homogeneous policies, the profiling-derived fixed heterogeneous
+// policy, and the manually-tuned runtime algorithm (Algorithm 1).
+// All implement esp.Policy.
+package policy
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/esp"
+	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc"
+)
+
+// Random chooses a coherence mode uniformly at random per invocation.
+type Random struct {
+	rng *sim.RNG
+}
+
+// NewRandom returns a random policy seeded deterministically.
+func NewRandom(seed uint64) *Random { return &Random{rng: sim.NewRNG(seed ^ 0xabcd)} }
+
+// Name implements esp.Policy.
+func (r *Random) Name() string { return "rand" }
+
+// Decide implements esp.Policy.
+func (r *Random) Decide(ctx *esp.Context) soc.Mode {
+	return ctx.Available[r.rng.Intn(len(ctx.Available))]
+}
+
+// Observe implements esp.Policy.
+func (r *Random) Observe(*esp.Result) {}
+
+// OverheadCycles implements esp.Policy.
+func (r *Random) OverheadCycles() sim.Cycles { return 100 }
+
+// Fixed applies one coherence mode to every invocation — the
+// design-time homogeneous choice that represents nearly all prior work.
+// Tiles lacking the mode (no private cache) fall back to the nearest
+// available one.
+type Fixed struct {
+	mode soc.Mode
+}
+
+// NewFixed returns the fixed policy for a mode.
+func NewFixed(mode soc.Mode) *Fixed { return &Fixed{mode: mode} }
+
+// Name implements esp.Policy.
+func (f *Fixed) Name() string { return "fixed-" + f.mode.String() }
+
+// Mode returns the configured mode.
+func (f *Fixed) Mode() soc.Mode { return f.mode }
+
+// Decide implements esp.Policy.
+func (f *Fixed) Decide(ctx *esp.Context) soc.Mode { return ctx.Clamp(f.mode) }
+
+// Observe implements esp.Policy.
+func (f *Fixed) Observe(*esp.Result) {}
+
+// OverheadCycles implements esp.Policy.
+func (f *Fixed) OverheadCycles() sim.Cycles { return 0 }
+
+// FixedHeterogeneous assigns one design-time mode per accelerator type,
+// the per-accelerator static choice of prior work (Bhardwaj et al.).
+// The assignment comes from profiling each accelerator in isolation
+// across workload footprints (see the experiment package's profiler).
+type FixedHeterogeneous struct {
+	assignment map[string]soc.Mode // keyed by spec name
+	fallback   soc.Mode
+}
+
+// NewFixedHeterogeneous builds the policy from a profiling-derived
+// assignment. Unknown accelerators use the fallback mode.
+func NewFixedHeterogeneous(assignment map[string]soc.Mode, fallback soc.Mode) *FixedHeterogeneous {
+	cp := make(map[string]soc.Mode, len(assignment))
+	for k, v := range assignment {
+		cp[k] = v
+	}
+	return &FixedHeterogeneous{assignment: cp, fallback: fallback}
+}
+
+// Name implements esp.Policy.
+func (f *FixedHeterogeneous) Name() string { return "fixed-hetero" }
+
+// Assignment returns the mode chosen for a spec name.
+func (f *FixedHeterogeneous) Assignment(specName string) soc.Mode {
+	if m, ok := f.assignment[specName]; ok {
+		return m
+	}
+	return f.fallback
+}
+
+// Decide implements esp.Policy.
+func (f *FixedHeterogeneous) Decide(ctx *esp.Context) soc.Mode {
+	return ctx.Clamp(f.Assignment(ctx.Acc.Spec.Name))
+}
+
+// Observe implements esp.Policy.
+func (f *FixedHeterogeneous) Observe(*esp.Result) {}
+
+// OverheadCycles implements esp.Policy.
+func (f *FixedHeterogeneous) OverheadCycles() sim.Cycles { return 100 }
+
+// String describes the assignment (for reports).
+func (f *FixedHeterogeneous) String() string {
+	return fmt.Sprintf("fixed-hetero(%d accelerators profiled)", len(f.assignment))
+}

@@ -1,0 +1,164 @@
+package policy
+
+import (
+	"testing"
+
+	"cohmeleon/internal/acc"
+	"cohmeleon/internal/esp"
+	"cohmeleon/internal/soc"
+)
+
+func fullCtx(footprint, activeFootprint int64) *esp.Context {
+	return &esp.Context{
+		Acc: &soc.AccTile{ID: 0, InstName: "a0", Spec: acc.MustByName(acc.FFT), Agent: 1},
+		Available: []soc.Mode{
+			soc.NonCohDMA, soc.LLCCohDMA, soc.CohDMA, soc.FullyCoh,
+		},
+		FootprintBytes:       footprint,
+		ActiveFootprintBytes: activeFootprint,
+		L2Bytes:              32 << 10,
+		LLCSliceBytes:        256 << 10,
+		TotalLLCBytes:        1 << 20,
+	}
+}
+
+func TestRandomStaysAvailable(t *testing.T) {
+	r := NewRandom(3)
+	ctx := fullCtx(16<<10, 0)
+	ctx.Available = []soc.Mode{soc.NonCohDMA, soc.CohDMA}
+	seen := make(map[soc.Mode]bool)
+	for i := 0; i < 300; i++ {
+		m := r.Decide(ctx)
+		if m != soc.NonCohDMA && m != soc.CohDMA {
+			t.Fatalf("random chose unavailable %v", m)
+		}
+		seen[m] = true
+	}
+	if len(seen) != 2 {
+		t.Fatal("random never explored one of the modes")
+	}
+	if r.Name() != "rand" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a, b := NewRandom(5), NewRandom(5)
+	ctx := fullCtx(16<<10, 0)
+	for i := 0; i < 50; i++ {
+		if a.Decide(ctx) != b.Decide(ctx) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestFixedPolicies(t *testing.T) {
+	for _, m := range soc.AllModes {
+		f := NewFixed(m)
+		if f.Mode() != m {
+			t.Fatalf("Mode = %v", f.Mode())
+		}
+		if f.Name() != "fixed-"+m.String() {
+			t.Fatalf("Name = %q", f.Name())
+		}
+		if got := f.Decide(fullCtx(16<<10, 0)); got != m {
+			t.Fatalf("Decide = %v, want %v", got, m)
+		}
+		if f.OverheadCycles() != 0 {
+			t.Fatal("fixed policies have no runtime overhead")
+		}
+	}
+}
+
+func TestFixedFullCohClampsWithoutPrivateCache(t *testing.T) {
+	f := NewFixed(soc.FullyCoh)
+	ctx := fullCtx(16<<10, 0)
+	ctx.Available = []soc.Mode{soc.NonCohDMA, soc.LLCCohDMA, soc.CohDMA}
+	if got := f.Decide(ctx); got != soc.CohDMA {
+		t.Fatalf("clamped Decide = %v, want CohDMA", got)
+	}
+}
+
+func TestFixedHeterogeneous(t *testing.T) {
+	f := NewFixedHeterogeneous(map[string]soc.Mode{
+		acc.FFT:  soc.NonCohDMA,
+		acc.SPMV: soc.LLCCohDMA,
+	}, soc.CohDMA)
+	ctx := fullCtx(16<<10, 0) // FFT accelerator
+	if got := f.Decide(ctx); got != soc.NonCohDMA {
+		t.Fatalf("FFT assignment = %v", got)
+	}
+	if f.Assignment(acc.SPMV) != soc.LLCCohDMA {
+		t.Fatal("SPMV assignment lost")
+	}
+	if f.Assignment("unknown") != soc.CohDMA {
+		t.Fatal("fallback broken")
+	}
+	if f.Name() != "fixed-hetero" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+}
+
+func TestFixedHeterogeneousCopiesAssignment(t *testing.T) {
+	m := map[string]soc.Mode{acc.FFT: soc.NonCohDMA}
+	f := NewFixedHeterogeneous(m, soc.CohDMA)
+	m[acc.FFT] = soc.FullyCoh // mutate caller's map
+	if f.Assignment(acc.FFT) != soc.NonCohDMA {
+		t.Fatal("policy aliases the caller's map")
+	}
+}
+
+func TestManualAlgorithm1(t *testing.T) {
+	m := NewManual()
+	cases := []struct {
+		name string
+		ctx  *esp.Context
+		want soc.Mode
+	}{
+		{"extra-small", fullCtx(4<<10, 0), soc.FullyCoh},
+		{"fits-l2-quiet", fullCtx(32<<10, 0), soc.CohDMA},
+		{"exceeds-llc", fullCtx(2<<20, 0), soc.NonCohDMA},
+		{"active-pushes-over-llc", fullCtx(512<<10, 600<<10), soc.NonCohDMA},
+		{"mid-quiet", fullCtx(128<<10, 0), soc.CohDMA},
+	}
+	for _, c := range cases {
+		if got := m.Decide(c.ctx); got != c.want {
+			t.Errorf("%s: Decide = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestManualPrefersFullyCohUnderCohDMAContention(t *testing.T) {
+	m := NewManual()
+	ctx := fullCtx(32<<10, 0)
+	ctx.ActiveCohDMA = 3
+	ctx.ActiveFullyCoh = 1
+	if got := m.Decide(ctx); got != soc.FullyCoh {
+		t.Fatalf("Decide = %v, want FullyCoh (coh-dma congested)", got)
+	}
+}
+
+func TestManualAvoidsNonCohContentionWithLLCCoh(t *testing.T) {
+	m := NewManual()
+	ctx := fullCtx(128<<10, 0)
+	ctx.ActiveNonCoh = 2
+	if got := m.Decide(ctx); got != soc.LLCCohDMA {
+		t.Fatalf("Decide = %v, want LLCCohDMA (non-coh congested)", got)
+	}
+}
+
+func TestManualClampsWithoutPrivateCache(t *testing.T) {
+	m := NewManual()
+	ctx := fullCtx(2<<10, 0) // would pick FullyCoh
+	ctx.Available = []soc.Mode{soc.NonCohDMA, soc.LLCCohDMA, soc.CohDMA}
+	if got := m.Decide(ctx); got != soc.CohDMA {
+		t.Fatalf("Decide = %v, want CohDMA (clamped)", got)
+	}
+}
+
+func TestPoliciesSatisfyInterface(t *testing.T) {
+	var _ esp.Policy = NewRandom(1)
+	var _ esp.Policy = NewFixed(soc.CohDMA)
+	var _ esp.Policy = NewFixedHeterogeneous(nil, soc.CohDMA)
+	var _ esp.Policy = NewManual()
+}

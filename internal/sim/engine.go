@@ -1,0 +1,121 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock measured in Cycles and executes
+// events in (time, insertion-order) order. Long-running activities are
+// written as processes: ordinary functions running on their own goroutine
+// that park themselves on the engine whenever they wait for virtual time
+// to pass or for a semaphore to be granted. Exactly one goroutine (either
+// the engine or a single process) runs at any instant, so simulations are
+// bit-reproducible for a given seed regardless of GOMAXPROCS.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycles is a duration or instant of virtual time, measured in clock
+// cycles of the simulated SoC.
+type Cycles int64
+
+// event is a scheduled callback.
+type event struct {
+	at  Cycles
+	seq uint64 // tie-break: FIFO among same-cycle events
+	fn  func()
+}
+
+// eventQueue is a min-heap of events ordered by (at, seq).
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation kernel. The zero value is not
+// usable; create engines with NewEngine.
+type Engine struct {
+	now     Cycles
+	seq     uint64
+	queue   eventQueue
+	parked  int // processes blocked on semaphores (no pending event)
+	running bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Cycles { return e.now }
+
+// Schedule runs fn at the given absolute time. Scheduling in the past is
+// an error in the caller; it is clamped to the current time so that the
+// event still runs (in insertion order) rather than corrupting the clock.
+func (e *Engine) Schedule(at Cycles, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn after delay cycles.
+func (e *Engine) After(delay Cycles, fn func()) {
+	e.Schedule(e.now+delay, fn)
+}
+
+// Run executes events until the queue is empty. If processes remain
+// parked on semaphores when the queue drains, Run returns ErrDeadlock so
+// that tests can detect wiring mistakes (a real deadlock would otherwise
+// silently truncate the simulation).
+func (e *Engine) Run() error {
+	if e.running {
+		return fmt.Errorf("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(event)
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fn()
+	}
+	if e.parked > 0 {
+		return fmt.Errorf("sim: %w: %d process(es) still waiting", ErrDeadlock, e.parked)
+	}
+	return nil
+}
+
+// RunUntil executes events with time ≤ deadline, leaving later events
+// queued, and advances the clock to the deadline.
+func (e *Engine) RunUntil(deadline Cycles) {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		ev := heap.Pop(&e.queue).(event)
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDeadlock is reported by Engine.Run when the event queue drains while
+// processes are still parked on semaphores.
+var ErrDeadlock = errors.New("deadlock")
+
+// Proc is a simulated process: a goroutine that alternates with the
+// engine, running only between its Wait calls. A Proc must only be used
+// from the goroutine it was started on.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+}
+
+// Go spawns fn as a new process. fn starts executing at the current
+// virtual time (via an immediate event) and may call the blocking methods
+// of its Proc. Go may be called from the engine (inside events) or from
+// another process.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.Schedule(e.now, func() {
+		go func() {
+			<-p.resume
+			fn(p)
+			p.done = true
+			p.yield <- struct{}{}
+		}()
+		p.transfer()
+	})
+	return p
+}
+
+// transfer hands control to the process goroutine and blocks the caller
+// (the engine or another process's event) until it yields back.
+func (p *Proc) transfer() {
+	p.resume <- struct{}{}
+	<-p.yield
+}
+
+// park suspends the process until some event calls transfer again.
+func (p *Proc) park() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the process name (for diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Cycles { return p.eng.now }
+
+// WaitUntil blocks the process until the given absolute virtual time.
+// Times in the past return immediately.
+func (p *Proc) WaitUntil(t Cycles) {
+	if t <= p.eng.now {
+		return
+	}
+	p.eng.Schedule(t, func() { p.transfer() })
+	p.park()
+}
+
+// Delay blocks the process for d cycles.
+func (p *Proc) Delay(d Cycles) { p.WaitUntil(p.eng.now + d) }
+
+// Semaphore is a counting semaphore with a FIFO wait queue, usable by
+// processes to model exclusive devices, thread joins, and completion
+// signals. The zero value is invalid; use NewSemaphore.
+type Semaphore struct {
+	eng     *Engine
+	name    string
+	permits int
+	waiters []*Proc
+}
+
+// NewSemaphore returns a semaphore holding the given number of permits.
+func NewSemaphore(e *Engine, name string, permits int) *Semaphore {
+	if permits < 0 {
+		panic(fmt.Sprintf("sim: semaphore %q with negative permits", name))
+	}
+	return &Semaphore{eng: e, name: name, permits: permits}
+}
+
+// Acquire takes one permit, blocking the process in FIFO order until one
+// is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	if s.permits > 0 && len(s.waiters) == 0 {
+		s.permits--
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	s.eng.parked++
+	p.park()
+}
+
+// TryAcquire takes a permit if one is immediately available.
+func (s *Semaphore) TryAcquire() bool {
+	if s.permits > 0 && len(s.waiters) == 0 {
+		s.permits--
+		return true
+	}
+	return false
+}
+
+// Release returns one permit, waking the longest-waiting process if any.
+// It may be called from events or processes.
+func (s *Semaphore) Release() {
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.eng.parked--
+		// Hand the permit directly to the waiter at the current time.
+		s.eng.Schedule(s.eng.now, func() { w.transfer() })
+		return
+	}
+	s.permits++
+}
+
+// Available reports the number of free permits.
+func (s *Semaphore) Available() int { return s.permits }
+
+// Waiting reports the number of queued processes.
+func (s *Semaphore) Waiting() int { return len(s.waiters) }
+
+// WaitGroup counts outstanding activities; Wait blocks a process until
+// the count returns to zero. Unlike sync.WaitGroup it is tied to virtual
+// time and FIFO-fair.
+type WaitGroup struct {
+	eng     *Engine
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns an empty wait group.
+func NewWaitGroup(e *Engine) *WaitGroup { return &WaitGroup{eng: e} }
+
+// Add increments the counter by n (n may be negative via Done only).
+func (wg *WaitGroup) Add(n int) {
+	if n < 0 {
+		panic("sim: WaitGroup.Add with negative delta")
+	}
+	wg.count += n
+}
+
+// Done decrements the counter, waking waiters when it reaches zero.
+func (wg *WaitGroup) Done() {
+	wg.count--
+	if wg.count < 0 {
+		panic("sim: WaitGroup counter below zero")
+	}
+	if wg.count == 0 {
+		ws := wg.waiters
+		wg.waiters = nil
+		for _, w := range ws {
+			w := w
+			wg.eng.parked--
+			wg.eng.Schedule(wg.eng.now, func() { w.transfer() })
+		}
+	}
+}
+
+// Wait blocks the process until the counter is zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.count == 0 {
+		return
+	}
+	wg.waiters = append(wg.waiters, p)
+	wg.eng.parked++
+	p.park()
+}

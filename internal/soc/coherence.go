@@ -1,0 +1,323 @@
+package soc
+
+import (
+	"cohmeleon/internal/cache"
+	"cohmeleon/internal/mem"
+	"cohmeleon/internal/noc"
+	"cohmeleon/internal/sim"
+)
+
+// This file implements the transaction flows of the cache hierarchy:
+// how cached agents (CPUs and fully-coherent accelerators) and DMA
+// engines reach the LLC and DRAM under each coherence mode. Flows
+// operate on "groups" — up to Params.GroupLines contiguous lines homed
+// on one partition — paying per-message costs (headers, DRAM latency)
+// once per group and per-line costs (LLC pipeline, channel bandwidth)
+// per line. That models the MSHR-style pipelining of real controllers
+// while keeping the simulation at transaction granularity.
+
+// Meter accumulates the ground-truth off-chip accesses caused by one
+// activity (an invocation, a flush, a software touch). The paper's
+// runtime cannot observe this directly — it uses the footprint-
+// proportional approximation — but the simulator tracks it for
+// reporting and for validating the approximation.
+type Meter struct {
+	OffChip int64
+}
+
+func (m *Meter) add(n int64) {
+	if m != nil {
+		m.OffChip += n
+	}
+}
+
+// recallFromOwner pulls the line out of its owner's private cache.
+// For reads the owner downgrades to Shared; for writes (and evictions)
+// it invalidates. Dirty data travels back to the memory tile on the
+// response plane and marks the LLC copy dirty. Returns the new cursor.
+func (s *SoC) recallFromOwner(mt *MemTile, e *cache.DirEntry, invalidate bool, at sim.Cycles, meter *Meter) sim.Cycles {
+	ownerID := e.Owner
+	if ownerID == cache.NoOwner {
+		return at
+	}
+	owner := &s.agents[ownerID]
+	// Forward from the directory to the owner.
+	t := s.Mesh.Transfer(noc.PlaneCohFwd, mt.Coord, owner.coord, 0, at)
+	_, t = owner.port.Acquire(t, s.P.L2HitCycles)
+	var present, dirty bool
+	if invalidate {
+		present, dirty = owner.cache.Invalidate(e.Line)
+	} else {
+		present, dirty = owner.cache.Downgrade(e.Line)
+	}
+	if present && dirty {
+		// Dirty data returns to the LLC.
+		t = s.Mesh.Transfer(noc.PlaneCohRsp, owner.coord, mt.Coord, mem.LineBytes, t)
+		_, t = mt.Port.Acquire(t, s.P.LLCFillCycles)
+		e.State = cache.DirDirty
+	}
+	e.Owner = cache.NoOwner
+	if present && !invalidate {
+		e.AddSharer(ownerID)
+	}
+	return t
+}
+
+// invalidateSharers sends invalidation forwards to every sharer. The
+// forwards are fire-and-forget; the directory pays header issue cost.
+func (s *SoC) invalidateSharers(mt *MemTile, e *cache.DirEntry, at sim.Cycles) sim.Cycles {
+	t := at
+	for _, id := range e.SharerList() {
+		ag := &s.agents[id]
+		_, t = mt.Port.Acquire(t, s.P.RecallHeaderCycles)
+		arrive := s.Mesh.Transfer(noc.PlaneCohFwd, mt.Coord, ag.coord, 0, t)
+		_, _ = ag.port.Acquire(arrive, s.P.L2HitCycles)
+		ag.cache.Invalidate(e.Line) // may be a stale sharer (silent eviction): harmless
+	}
+	e.Sharers = 0
+	return t
+}
+
+// evictLLCVictim enforces inclusion when the LLC displaces a line:
+// private copies are recalled/invalidated, and dirty data (from the LLC
+// or the recalled owner) is posted to DRAM.
+func (s *SoC) evictLLCVictim(mt *MemTile, v cache.DirVictim, at sim.Cycles, meter *Meter) sim.Cycles {
+	if !v.Valid {
+		return at
+	}
+	t := at
+	dirty := v.WasDirty
+	if v.Owner != cache.NoOwner {
+		owner := &s.agents[v.Owner]
+		t = s.Mesh.Transfer(noc.PlaneCohFwd, mt.Coord, owner.coord, 0, t)
+		_, t = owner.port.Acquire(t, s.P.L2HitCycles)
+		present, ownerDirty := owner.cache.Invalidate(v.Line)
+		if present && ownerDirty {
+			t = s.Mesh.Transfer(noc.PlaneCohRsp, owner.coord, mt.Coord, mem.LineBytes, t)
+			dirty = true
+		}
+	}
+	for id := uint(0); v.Sharers != 0 && id < 64; id++ {
+		bit := uint64(1) << id
+		if v.Sharers&bit == 0 {
+			continue
+		}
+		v.Sharers &^= bit
+		ag := &s.agents[id]
+		_, t = mt.Port.Acquire(t, s.P.RecallHeaderCycles)
+		arrive := s.Mesh.Transfer(noc.PlaneCohFwd, mt.Coord, ag.coord, 0, t)
+		_, _ = ag.port.Acquire(arrive, s.P.L2HitCycles)
+		ag.cache.Invalidate(v.Line)
+	}
+	if dirty {
+		mt.DRAM.Post(t, 1, true)
+		meter.add(1)
+	}
+	return t
+}
+
+// writebackToLLC handles a dirty private-cache victim (PutM): the data
+// travels to the line's home LLC, which becomes dirty and drops the
+// owner. Posted: the returned time is when the LLC accepted it, but
+// callers typically do not wait on it.
+func (s *SoC) writebackToLLC(from *agent, fromID int, line mem.LineAddr, at sim.Cycles, meter *Meter) sim.Cycles {
+	mt := s.homeTile(line)
+	t := s.Mesh.Transfer(noc.PlaneCohRsp, from.coord, mt.Coord, mem.LineBytes, at)
+	_, t = mt.Port.Acquire(t, s.P.LLCFillCycles)
+	e := mt.LLC.Probe(line)
+	if e == nil {
+		// The LLC lost the entry (should not happen under inclusion, but
+		// stay robust): allocate it dirty.
+		var v cache.DirVictim
+		e, v = mt.LLC.Insert(line, cache.DirDirty)
+		t = s.evictLLCVictim(mt, v, t, meter)
+		return t
+	}
+	e.State = cache.DirDirty
+	if e.Owner == fromID {
+		e.Owner = cache.NoOwner
+	}
+	return t
+}
+
+// cachedGroupAccess performs reads or full-line writes for n contiguous
+// lines through an agent's private cache (the CPU software path and the
+// fully-coherent accelerator path). Writes are write-allocate without
+// fetch: software initialization and accelerator stores write whole
+// lines. Returns the completion time.
+func (s *SoC) cachedGroupAccess(agentID int, start mem.LineAddr, n int64, write bool, at sim.Cycles, meter *Meter) sim.Cycles {
+	ag := &s.agents[agentID]
+	t := at
+	// Private-cache lookup occupancy for the whole group.
+	_, t = ag.port.Acquire(t, sim.Cycles(n)*s.P.L2HitCycles)
+
+	// Classify each line; collect the ones needing LLC service. The
+	// scratch buffer is safe to share: exactly one simulation goroutine
+	// runs at a time and this function never yields.
+	misses := s.missScratch[:0]
+	defer func() { s.missScratch = misses[:0] }()
+	for i := int64(0); i < n; i++ {
+		line := start + mem.LineAddr(i)
+		st, hit := ag.cache.Access(line)
+		if hit {
+			if !write || st == cache.Modified || st == cache.Exclusive {
+				if write {
+					ag.cache.SetState(line, cache.Modified)
+				}
+				continue
+			}
+			// Write hit in Shared: needs ownership upgrade.
+		}
+		misses = append(misses, line)
+	}
+	if len(misses) == 0 {
+		return t
+	}
+	mt := s.homeTile(start)
+	// One request header per group.
+	t = s.Mesh.Transfer(noc.PlaneCohReq, ag.coord, mt.Coord, 0, t)
+
+	var fillLines int64 // lines read from DRAM
+	for _, line := range misses {
+		_, t = mt.Port.Acquire(t, s.P.LLCLookupCycles)
+		e := mt.LLC.Access(line)
+		if e == nil {
+			st := cache.DirClean
+			if !write {
+				fillLines++
+			}
+			_, t = mt.Port.Acquire(t, s.P.LLCMissPerLine)
+			var v cache.DirVictim
+			e, v = mt.LLC.Insert(line, st)
+			t = s.evictLLCVictim(mt, v, t, meter)
+		} else {
+			if e.Owner != cache.NoOwner && e.Owner != agentID {
+				t = s.recallFromOwner(mt, e, write, t, meter)
+			}
+			if write && e.HasSharers() {
+				t = s.invalidateSharers(mt, e, t)
+			}
+		}
+		if write {
+			e.Owner = agentID
+			e.RemoveSharer(agentID)
+			e.Sharers = 0
+		} else if e.Owner == cache.NoOwner && !e.HasSharers() {
+			e.Owner = agentID // exclusive grant
+		} else {
+			if e.Owner == agentID {
+				// Re-fetch after silent eviction: keep ownership.
+			} else {
+				e.AddSharer(agentID)
+			}
+		}
+	}
+	if fillLines > 0 {
+		// DRAM fills pay the burst latency once per group (MSHR overlap).
+		t = mt.DRAM.Access(t, fillLines, false)
+		meter.add(fillLines)
+	}
+	// Data response for the whole group.
+	t = s.Mesh.Transfer(noc.PlaneCohRsp, mt.Coord, ag.coord, len(misses)*mem.LineBytes, t)
+	// Fill the private cache; dirty victims write back (posted).
+	for _, line := range misses {
+		st := cache.Exclusive
+		if write {
+			st = cache.Modified
+		} else if e := mt.LLC.Probe(line); e != nil && (e.HasSharers() || e.Owner != agentID) {
+			st = cache.Shared
+		}
+		v := ag.cache.Insert(line, st)
+		if v.Valid {
+			if v.State.Dirty() {
+				s.writebackToLLC(ag, agentID, v.Line, t, meter)
+			} else {
+				// Silent clean eviction: directory state goes stale; recalls
+				// to absent lines are tolerated.
+				if e := s.homeTile(v.Line).LLC.Probe(v.Line); e != nil {
+					if e.Owner == agentID {
+						e.Owner = cache.NoOwner
+					}
+					e.RemoveSharer(agentID)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// dmaGroupLLC serves one DMA group through the LLC: the LLCCohDMA and
+// CohDMA datapaths. recallOwners selects CohDMA semantics (full hardware
+// coherence: private copies are recalled/invalidated); without it the
+// bridge is coherent with the LLC only, as in LLCCohDMA, where software
+// flushed the private caches beforehand.
+func (s *SoC) dmaGroupLLC(a *AccTile, start mem.LineAddr, n int64, write, recallOwners bool, at sim.Cycles, meter *Meter) sim.Cycles {
+	mt := s.homeTile(start)
+	var t sim.Cycles
+	if write {
+		// Data travels with the request.
+		t = s.Mesh.Transfer(noc.PlaneDMAData, a.Coord, mt.Coord, int(n)*mem.LineBytes, at)
+	} else {
+		t = s.Mesh.Transfer(noc.PlaneDMAReq, a.Coord, mt.Coord, 0, at)
+	}
+	var fillLines int64
+	for i := int64(0); i < n; i++ {
+		line := start + mem.LineAddr(i)
+		lookup := s.P.LLCLookupCycles
+		if recallOwners {
+			lookup += s.P.CohDMACheckCycles
+		}
+		_, t = mt.Port.Acquire(t, lookup)
+		e := mt.LLC.Access(line)
+		if e == nil {
+			st := cache.DirClean
+			if write {
+				st = cache.DirDirty
+			} else {
+				fillLines++
+			}
+			_, t = mt.Port.Acquire(t, s.P.LLCMissPerLine)
+			var v cache.DirVictim
+			e, v = mt.LLC.Insert(line, st)
+			t = s.evictLLCVictim(mt, v, t, meter)
+			continue
+		}
+		if recallOwners && e.Owner != cache.NoOwner {
+			t = s.recallFromOwner(mt, e, write, t, meter)
+		}
+		if write {
+			if recallOwners && e.HasSharers() {
+				t = s.invalidateSharers(mt, e, t)
+			}
+			// The bridge claims the line: any remaining directory state is
+			// stale by construction (LLCCohDMA ran after a private flush).
+			e.Owner = cache.NoOwner
+			e.Sharers = 0
+			e.State = cache.DirDirty
+		}
+	}
+	if fillLines > 0 {
+		t = mt.DRAM.Access(t, fillLines, false)
+		meter.add(fillLines)
+	}
+	if !write {
+		t = s.Mesh.Transfer(noc.PlaneDMAData, mt.Coord, a.Coord, int(n)*mem.LineBytes, t)
+	}
+	return t
+}
+
+// dmaGroupNonCoh serves one DMA group straight from DRAM, bypassing the
+// hierarchy entirely (the NonCohDMA datapath).
+func (s *SoC) dmaGroupNonCoh(a *AccTile, start mem.LineAddr, n int64, write bool, at sim.Cycles, meter *Meter) sim.Cycles {
+	mt := s.homeTile(start)
+	if write {
+		t := s.Mesh.Transfer(noc.PlaneDMAData, a.Coord, mt.Coord, int(n)*mem.LineBytes, at)
+		t = mt.DRAM.Post(t, n, true)
+		meter.add(n)
+		return t
+	}
+	t := s.Mesh.Transfer(noc.PlaneDMAReq, a.Coord, mt.Coord, 0, at)
+	t = mt.DRAM.Access(t, n, false)
+	meter.add(n)
+	return s.Mesh.Transfer(noc.PlaneDMAData, mt.Coord, a.Coord, int(n)*mem.LineBytes, t)
+}

@@ -1,0 +1,273 @@
+package soc
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/acc"
+	"cohmeleon/internal/sim"
+)
+
+// AccInstance declares one accelerator to integrate.
+type AccInstance struct {
+	// InstName is the unique instance name (e.g. "fft.0").
+	InstName string
+	// Spec is the accelerator's communication profile.
+	Spec *acc.Spec
+	// PrivateCache grants the tile a private cache, enabling FullyCoh.
+	PrivateCache bool
+}
+
+// Config describes one SoC to build: Table 4 of the paper plus the two
+// motivation SoCs are provided as presets below.
+type Config struct {
+	Name     string
+	MeshW    int
+	MeshH    int
+	CPUs     int
+	MemTiles int // DDR controllers == LLC partitions
+	// LLCSliceKB is the size of each LLC partition in KB.
+	LLCSliceKB int
+	// L2KB is the private cache size (CPUs and accelerators) in KB.
+	L2KB int
+	Accs []AccInstance
+
+	Params Params
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	tiles := c.CPUs + c.MemTiles + len(c.Accs) + 1 // +1 auxiliary tile
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("soc: config with empty name")
+	case c.MeshW <= 0 || c.MeshH <= 0:
+		return fmt.Errorf("soc %s: bad mesh %dx%d", c.Name, c.MeshW, c.MeshH)
+	case tiles > c.MeshW*c.MeshH:
+		return fmt.Errorf("soc %s: %d tiles exceed %dx%d mesh", c.Name, tiles, c.MeshW, c.MeshH)
+	case c.CPUs < 1:
+		return fmt.Errorf("soc %s: needs at least one CPU", c.Name)
+	case c.MemTiles < 1:
+		return fmt.Errorf("soc %s: needs at least one memory tile", c.Name)
+	case c.LLCSliceKB < 1 || c.L2KB < 1:
+		return fmt.Errorf("soc %s: cache sizes must be positive", c.Name)
+	case len(c.Accs) == 0:
+		return fmt.Errorf("soc %s: needs at least one accelerator", c.Name)
+	}
+	seen := make(map[string]bool)
+	for _, a := range c.Accs {
+		if a.Spec == nil {
+			return fmt.Errorf("soc %s: accelerator %q has nil spec", c.Name, a.InstName)
+		}
+		if err := a.Spec.Validate(); err != nil {
+			return fmt.Errorf("soc %s: %v", c.Name, err)
+		}
+		if seen[a.InstName] {
+			return fmt.Errorf("soc %s: duplicate instance %q", c.Name, a.InstName)
+		}
+		seen[a.InstName] = true
+	}
+	return nil
+}
+
+// TotalLLCBytes returns the aggregate LLC size.
+func (c *Config) TotalLLCBytes() int64 {
+	return int64(c.MemTiles) * int64(c.LLCSliceKB) * 1024
+}
+
+// LLCSliceBytes returns one partition's size.
+func (c *Config) LLCSliceBytes() int64 { return int64(c.LLCSliceKB) * 1024 }
+
+// L2Bytes returns the private-cache size.
+func (c *Config) L2Bytes() int64 { return int64(c.L2KB) * 1024 }
+
+// espAccs builds one instance of each named catalog accelerator;
+// counts[i] instances of names[i], all with private caches.
+func espAccs(names []string, counts []int) []AccInstance {
+	var out []AccInstance
+	for i, n := range names {
+		for k := 0; k < counts[i]; k++ {
+			out = append(out, AccInstance{
+				InstName:     fmt.Sprintf("%s.%d", n, k),
+				Spec:         acc.MustByName(n),
+				PrivateCache: true,
+			})
+		}
+	}
+	return out
+}
+
+// trafficAccs builds n traffic-generator instances drawn by gen.
+func trafficAccs(n int, seed uint64, gen func(*sim.RNG) acc.TrafficConfig) []AccInstance {
+	rng := sim.NewRNG(seed)
+	out := make([]AccInstance, 0, n)
+	for i := 0; i < n; i++ {
+		cfg := gen(rng)
+		name := fmt.Sprintf("tgen.%d", i)
+		spec, err := cfg.Spec(name)
+		if err != nil {
+			panic(err) // generator variants always produce valid configs
+		}
+		out = append(out, AccInstance{InstName: name, Spec: spec, PrivateCache: true})
+	}
+	return out
+}
+
+// TrafficVariant selects the traffic-generator mix for the SoC0 layout.
+type TrafficVariant int
+
+// Traffic mixes used in Figure 9.
+const (
+	TrafficMixed TrafficVariant = iota
+	TrafficStreaming
+	TrafficIrregular
+)
+
+// SoC0 returns the paper's SoC0 (Table 4): 12 traffic generators on a
+// 5×5 mesh, 4 CPUs, 4 DDR controllers, 512 kB LLC slices, 64 kB L2.
+func SoC0(variant TrafficVariant, seed uint64) *Config {
+	gen := acc.RandomTrafficConfig
+	name := "SoC0"
+	switch variant {
+	case TrafficStreaming:
+		gen = acc.StreamingTrafficConfig
+		name = "SoC0-streaming"
+	case TrafficIrregular:
+		gen = acc.IrregularTrafficConfig
+		name = "SoC0-irregular"
+	}
+	return &Config{
+		Name: name, MeshW: 5, MeshH: 5, CPUs: 4, MemTiles: 4,
+		LLCSliceKB: 512, L2KB: 64,
+		Accs:   trafficAccs(12, seed, gen),
+		Params: DefaultParams(),
+	}
+}
+
+// SoC1 returns Table 4's SoC1: 7 traffic generators, 4×4, 2 CPUs,
+// 4 DDRs, 256 kB slices, 32 kB L2.
+func SoC1(seed uint64) *Config {
+	return &Config{
+		Name: "SoC1", MeshW: 4, MeshH: 4, CPUs: 2, MemTiles: 4,
+		LLCSliceKB: 256, L2KB: 32,
+		Accs:   trafficAccs(7, seed, acc.RandomTrafficConfig),
+		Params: DefaultParams(),
+	}
+}
+
+// SoC2 returns Table 4's SoC2: 9 traffic generators, 4×4, 4 CPUs,
+// 2 DDRs, 512 kB slices, 32 kB L2.
+func SoC2(seed uint64) *Config {
+	return &Config{
+		Name: "SoC2", MeshW: 4, MeshH: 4, CPUs: 4, MemTiles: 2,
+		LLCSliceKB: 512, L2KB: 32,
+		Accs:   trafficAccs(9, seed, acc.RandomTrafficConfig),
+		Params: DefaultParams(),
+	}
+}
+
+// SoC3 returns Table 4's SoC3: 16 traffic generators, 5×5, 4 CPUs,
+// 4 DDRs, 256 kB slices, 64 kB L2. Five accelerators lack a private
+// cache (the paper dropped them for FPGA resource constraints), so the
+// fully-coherent mode is unavailable to them.
+func SoC3(seed uint64) *Config {
+	accs := trafficAccs(16, seed, acc.RandomTrafficConfig)
+	for i := 0; i < 5; i++ {
+		accs[len(accs)-1-i].PrivateCache = false
+	}
+	return &Config{
+		Name: "SoC3", MeshW: 5, MeshH: 5, CPUs: 4, MemTiles: 4,
+		LLCSliceKB: 256, L2KB: 64,
+		Accs:   accs,
+		Params: DefaultParams(),
+	}
+}
+
+// SoC4 returns Table 4's SoC4 (mixed accelerators): one instance of each
+// of the 11 ESP accelerators of Table 2 on a 5×4 mesh, 2 CPUs, 4 DDRs,
+// 256 kB slices, 32 kB L2.
+func SoC4() *Config {
+	names := acc.ESPNames()
+	counts := make([]int, len(names))
+	for i := range counts {
+		counts[i] = 1
+	}
+	return &Config{
+		Name: "SoC4", MeshW: 5, MeshH: 4, CPUs: 2, MemTiles: 4,
+		LLCSliceKB: 256, L2KB: 32,
+		Accs:   espAccs(names, counts),
+		Params: DefaultParams(),
+	}
+}
+
+// SoC5 returns Table 4's SoC5 (autonomous driving): 2×FFT and 2×Viterbi
+// for V2V coding plus 2×Conv-2D and 2×GEMM for CNN inference, 4×4,
+// 1 CPU, 4 DDRs, 256 kB slices, 32 kB L2.
+func SoC5() *Config {
+	return &Config{
+		Name: "SoC5", MeshW: 4, MeshH: 4, CPUs: 1, MemTiles: 4,
+		LLCSliceKB: 256, L2KB: 32,
+		Accs: espAccs(
+			[]string{acc.FFT, acc.Viterbi, acc.Conv2D, acc.GEMM},
+			[]int{2, 2, 2, 2}),
+		Params: DefaultParams(),
+	}
+}
+
+// SoC6 returns Table 4's SoC6 (computer vision): three instances of the
+// night-vision → autoencoder → MLP classification pipeline, 4×4, 1 CPU,
+// 2 DDRs, 256 kB slices, 32 kB L2.
+func SoC6() *Config {
+	return &Config{
+		Name: "SoC6", MeshW: 4, MeshH: 4, CPUs: 1, MemTiles: 2,
+		LLCSliceKB: 256, L2KB: 32,
+		Accs: espAccs(
+			[]string{acc.NightVision, acc.Autoencoder, acc.MLP},
+			[]int{3, 3, 3}),
+		Params: DefaultParams(),
+	}
+}
+
+// MotivationIsolation returns the SoC used for Figure 2: one instance of
+// each of the twelve catalog accelerators (including NVDLA), 32 kB
+// private caches everywhere, and a 1 MB LLC split in two partitions each
+// with a dedicated memory controller.
+func MotivationIsolation() *Config {
+	names := acc.Names()
+	counts := make([]int, len(names))
+	for i := range counts {
+		counts[i] = 1
+	}
+	return &Config{
+		Name: "motivation-isolation", MeshW: 5, MeshH: 4, CPUs: 2, MemTiles: 2,
+		LLCSliceKB: 512, L2KB: 32,
+		Accs:   espAccs(names, counts),
+		Params: DefaultParams(),
+	}
+}
+
+// MotivationParallel returns the SoC used for Figure 3: 12 accelerators,
+// three instances each of FFT, night-vision, sort and SPMV.
+func MotivationParallel() *Config {
+	return &Config{
+		Name: "motivation-parallel", MeshW: 5, MeshH: 4, CPUs: 2, MemTiles: 2,
+		LLCSliceKB: 512, L2KB: 32,
+		Accs: espAccs(
+			[]string{acc.FFT, acc.NightVision, acc.Sort, acc.SPMV},
+			[]int{3, 3, 3, 3}),
+		Params: DefaultParams(),
+	}
+}
+
+// Table4 returns the seven evaluation SoCs in paper order, with the
+// given seed driving traffic-generator instantiation.
+func Table4(seed uint64) []*Config {
+	return []*Config{
+		SoC0(TrafficMixed, seed),
+		SoC1(seed + 1),
+		SoC2(seed + 2),
+		SoC3(seed + 3),
+		SoC4(),
+		SoC5(),
+		SoC6(),
+	}
+}

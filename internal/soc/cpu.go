@@ -1,0 +1,54 @@
+package soc
+
+import (
+	"cohmeleon/internal/acc"
+	"cohmeleon/internal/mem"
+	"cohmeleon/internal/sim"
+)
+
+// CPUTouchRange models software on the given CPU reading (write=false)
+// or initializing (write=true) a logical line range of the buffer
+// through the CPU's private cache. This is how applications warm their
+// data before invoking accelerators and validate results afterwards;
+// the coherence mode used by the previous invocation determines where
+// the data is found. The caller is responsible for holding a CPU-pool
+// permit; the returned time includes both software and memory time.
+func (s *SoC) CPUTouchRange(cpu *CPUTile, buf *mem.Buffer, startLine, lines int64, write bool, at sim.Cycles, meter *Meter) sim.Cycles {
+	if lines <= 0 {
+		return at
+	}
+	view := newBufView(buf)
+	group := int64(s.P.GroupLines)
+	t := at
+	view.runs(acc.LineRange{Start: startLine, Lines: lines}, func(start mem.LineAddr, n int64) {
+		for off := int64(0); off < n; off += group {
+			g := group
+			if off+g > n {
+				g = n - off
+			}
+			t += sim.Cycles(g) * s.P.CPUTouchPerLine // software datapath time
+			t = s.cachedGroupAccess(cpu.Agent, start+mem.LineAddr(off), g, write, t, meter)
+		}
+	})
+	return t
+}
+
+// DDRTotals snapshots the off-chip monitor of every memory controller;
+// the runtime diffs snapshots around an invocation, exactly as the
+// paper's software reads the hardware counters.
+func (s *SoC) DDRTotals() []int64 {
+	out := make([]int64, len(s.Mem))
+	for i, mt := range s.Mem {
+		out[i] = mt.DRAM.Total()
+	}
+	return out
+}
+
+// DDRSum returns the total off-chip accesses across controllers.
+func (s *SoC) DDRSum() int64 {
+	var sum int64
+	for _, mt := range s.Mem {
+		sum += mt.DRAM.Total()
+	}
+	return sum
+}

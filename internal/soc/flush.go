@@ -1,0 +1,156 @@
+package soc
+
+import (
+	"cohmeleon/internal/cache"
+	"cohmeleon/internal/mem"
+	"cohmeleon/internal/noc"
+	"cohmeleon/internal/sim"
+)
+
+// Software-managed coherence: the range flushes the ESP driver issues
+// before non-coherent and LLC-coherent invocations. Flushing costs real
+// time inside the invocation window (the paper's measurements include
+// it) and the DRAM writes it causes count as off-chip accesses.
+
+// FlushPrivateRange removes the buffer's lines from every private cache
+// (CPU L2s and accelerator caches — all coherent agents), writing dirty
+// lines back to the LLC. Caches flush in parallel; the returned time is
+// when the slowest finishes.
+func (s *SoC) FlushPrivateRange(buf *mem.Buffer, at sim.Cycles, meter *Meter) sim.Cycles {
+	done := at
+	for id := range s.agents {
+		if d := s.flushAgentRange(id, buf, at, meter); d > done {
+			done = d
+		}
+	}
+	return done
+}
+
+func (s *SoC) flushAgentRange(agentID int, buf *mem.Buffer, at sim.Cycles, meter *Meter) sim.Cycles {
+	ag := &s.agents[agentID]
+	// The controller walks its whole tag array to find range matches.
+	walk := sim.Cycles(ag.cache.SizeBytes()/mem.LineBytes) * s.P.FlushWalkPerLine
+	_, t := ag.port.Acquire(at, walk)
+
+	if ag.cache.ValidLines() == 0 {
+		return t
+	}
+	var matches []mem.LineAddr
+	ag.cache.ForEachValid(func(line mem.LineAddr, st cache.State) {
+		if bufContains(buf, line) {
+			matches = append(matches, line)
+		}
+	})
+	// Invalidate matches; group dirty writebacks per partition to batch
+	// the NoC data messages.
+	dirtyByPart := make(map[int][]mem.LineAddr)
+	for _, line := range matches {
+		present, wasDirty := ag.cache.Invalidate(line)
+		if !present {
+			continue
+		}
+		if wasDirty {
+			p := s.Map.Home(line)
+			dirtyByPart[p] = append(dirtyByPart[p], line)
+		} else if e := s.homeTile(line).LLC.Probe(line); e != nil {
+			if e.Owner == agentID {
+				e.Owner = cache.NoOwner
+			}
+			e.RemoveSharer(agentID)
+		}
+	}
+	group := s.P.GroupLines
+	for p := 0; p < len(s.Mem); p++ {
+		lines := dirtyByPart[p]
+		if len(lines) == 0 {
+			continue
+		}
+		mt := s.Mem[p]
+		for off := 0; off < len(lines); off += group {
+			end := off + group
+			if end > len(lines) {
+				end = len(lines)
+			}
+			batch := lines[off:end]
+			t = s.Mesh.Transfer(noc.PlaneCohRsp, ag.coord, mt.Coord, len(batch)*mem.LineBytes, t)
+			_, t = mt.Port.Acquire(t, sim.Cycles(len(batch))*s.P.LLCFillCycles)
+			for _, line := range batch {
+				e := mt.LLC.Probe(line)
+				if e == nil {
+					var v cache.DirVictim
+					e, v = mt.LLC.Insert(line, cache.DirDirty)
+					t = s.evictLLCVictim(mt, v, t, meter)
+				} else {
+					e.State = cache.DirDirty
+				}
+				if e.Owner == agentID {
+					e.Owner = cache.NoOwner
+				}
+				e.RemoveSharer(agentID)
+			}
+		}
+	}
+	return t
+}
+
+// FlushLLCRange removes the buffer's lines from every LLC partition,
+// writing dirty data to DRAM (counted off-chip). Partitions flush in
+// parallel. Lines still owned by a private cache are recalled first, so
+// the flush is safe even without a preceding private flush.
+func (s *SoC) FlushLLCRange(buf *mem.Buffer, at sim.Cycles, meter *Meter) sim.Cycles {
+	done := at
+	for _, mt := range s.Mem {
+		if d := s.flushLLCPartition(mt, buf, at, meter); d > done {
+			done = d
+		}
+	}
+	return done
+}
+
+func (s *SoC) flushLLCPartition(mt *MemTile, buf *mem.Buffer, at sim.Cycles, meter *Meter) sim.Cycles {
+	walk := sim.Cycles(mt.LLC.SizeBytes()/mem.LineBytes) * s.P.FlushWalkPerLine
+	_, t := mt.Port.Acquire(at, walk)
+	if mt.LLC.ValidLines() == 0 {
+		return t
+	}
+	var matches []mem.LineAddr
+	mt.LLC.ForEachValid(func(e *cache.DirEntry) {
+		if bufContains(buf, e.Line) {
+			matches = append(matches, e.Line)
+		}
+	})
+	var dirty int64
+	for _, line := range matches {
+		_, t = mt.Port.Acquire(t, s.P.LLCLookupCycles)
+		v, ok := mt.LLC.Invalidate(line)
+		if !ok {
+			continue
+		}
+		wasDirty := v.WasDirty
+		if v.Owner != cache.NoOwner {
+			owner := &s.agents[v.Owner]
+			t = s.Mesh.Transfer(noc.PlaneCohFwd, mt.Coord, owner.coord, 0, t)
+			_, t = owner.port.Acquire(t, s.P.L2HitCycles)
+			present, ownerDirty := owner.cache.Invalidate(line)
+			if present && ownerDirty {
+				t = s.Mesh.Transfer(noc.PlaneCohRsp, owner.coord, mt.Coord, mem.LineBytes, t)
+				wasDirty = true
+			}
+		}
+		for _, id := range (&cache.DirEntry{Sharers: v.Sharers}).SharerList() {
+			ag := &s.agents[id]
+			_, t = mt.Port.Acquire(t, s.P.RecallHeaderCycles)
+			arrive := s.Mesh.Transfer(noc.PlaneCohFwd, mt.Coord, ag.coord, 0, t)
+			_, _ = ag.port.Acquire(arrive, s.P.L2HitCycles)
+			ag.cache.Invalidate(line)
+		}
+		if wasDirty {
+			dirty++
+		}
+	}
+	if dirty > 0 {
+		t = mt.DRAM.Post(t, dirty, true)
+		meter.add(dirty)
+	}
+	return t
+}

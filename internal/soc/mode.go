@@ -1,0 +1,70 @@
+// Package soc assembles the simulated heterogeneous SoC: a 2D-mesh NoC
+// connecting CPU tiles (with private L2 caches), accelerator tiles
+// (each wrapped in a coherence-agnostic "socket" with an optional
+// private cache), and memory tiles (an inclusive LLC partition with
+// directory state plus a DRAM controller each). The socket implements
+// the paper's four accelerator cache-coherence modes; hardware monitors
+// expose off-chip access counts and accelerator cycle counters.
+package soc
+
+import "fmt"
+
+// Mode is an accelerator cache-coherence mode (paper §2).
+type Mode uint8
+
+// The four coherence modes.
+const (
+	// NonCohDMA: requests bypass the hierarchy and access DRAM directly;
+	// software must flush both private caches and the LLC beforehand.
+	NonCohDMA Mode = iota
+	// LLCCohDMA: requests go to the LLC; coherent with the LLC but not
+	// with private caches, so software flushes private caches only.
+	LLCCohDMA
+	// CohDMA: requests go to the LLC and the LLC recalls/invalidates
+	// private copies as needed; no software flush.
+	CohDMA
+	// FullyCoh: the accelerator owns a private cache that participates in
+	// the MESI protocol exactly like a processor cache.
+	FullyCoh
+
+	NumModes = 4
+)
+
+// AllModes lists the modes in paper order.
+var AllModes = [NumModes]Mode{NonCohDMA, LLCCohDMA, CohDMA, FullyCoh}
+
+// String returns the paper's short mode name.
+func (m Mode) String() string {
+	switch m {
+	case NonCohDMA:
+		return "non-coh-dma"
+	case LLCCohDMA:
+		return "llc-coh-dma"
+	case CohDMA:
+		return "coh-dma"
+	case FullyCoh:
+		return "full-coh"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// NeedsPrivateFlush reports whether the mode requires flushing private
+// caches before the accelerator runs.
+func (m Mode) NeedsPrivateFlush() bool { return m == NonCohDMA || m == LLCCohDMA }
+
+// NeedsLLCFlush reports whether the mode requires flushing the LLC.
+func (m Mode) NeedsLLCFlush() bool { return m == NonCohDMA }
+
+// UsesLLC reports whether accelerator requests are served by the LLC.
+func (m Mode) UsesLLC() bool { return m == LLCCohDMA || m == CohDMA || m == FullyCoh }
+
+// ParseMode converts a mode name back to its value.
+func ParseMode(s string) (Mode, error) {
+	for _, m := range AllModes {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("soc: unknown coherence mode %q", s)
+}

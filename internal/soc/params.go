@@ -1,0 +1,79 @@
+package soc
+
+import "cohmeleon/internal/sim"
+
+// Params collects the timing constants of the simulated hardware. The
+// NoC and DRAM figures come straight from the paper (32-bit planes, one
+// cycle per hop, 32 bits per cycle per memory channel); cache and
+// software costs are engineering estimates chosen once and held fixed
+// across every experiment, so all reported results are relative shapes,
+// never tuned per figure.
+type Params struct {
+	// L2HitCycles is the port occupancy of a private-cache access.
+	L2HitCycles sim.Cycles
+	// LLCLookupCycles is the LLC pipeline occupancy per line looked up.
+	LLCLookupCycles sim.Cycles
+	// LLCFillCycles is the extra LLC occupancy to fill a line on miss.
+	LLCFillCycles sim.Cycles
+	// LLCMissPerLine is the line-granular miss-handling cost at the LLC
+	// (MSHR allocation, directory update, replacement): burst DMA that
+	// bypasses the hierarchy does not pay it, which is why non-coherent
+	// DMA sustains higher throughput on workloads that thrash the caches.
+	LLCMissPerLine sim.Cycles
+	// DRAMLatencyCycles is the fixed DRAM access latency, paid once per
+	// burst (row activation + controller pipeline).
+	DRAMLatencyCycles sim.Cycles
+	// DRAMPerLineCycles is the channel occupancy per line: LineBytes over
+	// the paper's 4 bytes/cycle channel.
+	DRAMPerLineCycles sim.Cycles
+	// GroupLines is the coherence-protocol transfer granularity for DMA
+	// through the LLC and for pipelined fully-coherent misses.
+	GroupLines int
+	// RecallHeaderCycles is the directory-side cost to issue one recall
+	// or invalidation forward.
+	RecallHeaderCycles sim.Cycles
+	// CohDMACheckCycles is the extra per-line directory interrogation a
+	// coherent-DMA request pays at the LLC (it must resolve private-cache
+	// ownership on every line, unlike the LLC-coherent bridge that runs
+	// after a software flush). Under heavy sharing of an LLC partition
+	// this serialization is what makes coherent DMA degrade worst, as in
+	// the paper's Figure 3.
+	CohDMACheckCycles sim.Cycles
+	// DriverCycles is CPU time per invocation for the device driver
+	// (ioctl, descriptor setup, interrupt handling is IRQCycles).
+	DriverCycles sim.Cycles
+	// IRQCycles is CPU time to take the completion interrupt.
+	IRQCycles sim.Cycles
+	// TLBPerPageCycles is the cost to load one big-page TLB entry into
+	// the accelerator tile at invocation start.
+	TLBPerPageCycles sim.Cycles
+	// FlushWalkPerLine is the controller cost per line walked during a
+	// range flush (bounded by the cache's own capacity).
+	FlushWalkPerLine sim.Cycles
+	// CPUTouchPerLine is CPU datapath time per line when software
+	// initializes or validates data (on top of memory-system time).
+	CPUTouchPerLine sim.Cycles
+	// DRAMPartitionMB is the DRAM capacity behind each memory tile.
+	DRAMPartitionMB int64
+}
+
+// DefaultParams returns the parameter set used across all experiments.
+func DefaultParams() Params {
+	return Params{
+		L2HitCycles:        2,
+		LLCLookupCycles:    4,
+		LLCFillCycles:      2,
+		LLCMissPerLine:     12,
+		DRAMLatencyCycles:  120,
+		DRAMPerLineCycles:  16, // 64-byte line / 4 bytes per cycle
+		GroupLines:         16,
+		RecallHeaderCycles: 2,
+		CohDMACheckCycles:  3,
+		DriverCycles:       2500,
+		IRQCycles:          800,
+		TLBPerPageCycles:   60,
+		FlushWalkPerLine:   1,
+		CPUTouchPerLine:    2,
+		DRAMPartitionMB:    256,
+	}
+}

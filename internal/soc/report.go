@@ -1,0 +1,88 @@
+package soc
+
+import (
+	"fmt"
+	"strings"
+
+	"cohmeleon/internal/noc"
+)
+
+// Floorplan renders the tile placement as ASCII art, one cell per mesh
+// position: [mem] memory tiles, [cpuN], [aux], and accelerator instance
+// names (truncated).
+func (s *SoC) Floorplan() string {
+	w, h := s.Cfg.MeshW, s.Cfg.MeshH
+	cells := make(map[noc.Coord]string)
+	for _, mt := range s.Mem {
+		cells[mt.Coord] = fmt.Sprintf("mem%d", mt.Part)
+	}
+	for _, c := range s.CPUs {
+		cells[c.Coord] = fmt.Sprintf("cpu%d", c.ID)
+	}
+	for _, a := range s.Accs {
+		name := a.InstName
+		if len(name) > 8 {
+			name = name[:8]
+		}
+		cells[a.Coord] = name
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %dx%d mesh, %d CPUs, %d memory tiles, %d accelerators\n",
+		s.Cfg.Name, w, h, len(s.CPUs), len(s.Mem), len(s.Accs))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			name, ok := cells[noc.Coord{X: x, Y: y}]
+			if !ok {
+				name = "aux"
+			}
+			fmt.Fprintf(&b, "[%-8s]", name)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// UtilizationReport summarizes the hardware monitors after a run:
+// per-controller off-chip accesses and channel occupancy, LLC hit
+// rates, private-cache statistics, and accelerator activity. This is
+// the information the paper's monitoring system exposes to software.
+func (s *SoC) UtilizationReport() string {
+	var b strings.Builder
+	now := s.Eng.Now()
+	fmt.Fprintf(&b, "%s after %d cycles\n", s.Cfg.Name, now)
+
+	b.WriteString("\nmemory tiles:\n")
+	for _, mt := range s.Mem {
+		util := 0.0
+		if now > 0 {
+			util = 100 * float64(mt.DRAM.BusyCycles()) / float64(now)
+		}
+		st := mt.LLC.Stats()
+		hitRate := 0.0
+		if st.Hits+st.Misses > 0 {
+			hitRate = 100 * float64(st.Hits) / float64(st.Hits+st.Misses)
+		}
+		fmt.Fprintf(&b, "  mem%d: ddr=%d lines (r=%d w=%d, %.1f%% channel), llc hit=%.1f%% evict=%d recall=%d\n",
+			mt.Part, mt.DRAM.Total(), mt.DRAM.Reads(), mt.DRAM.Writes(), util,
+			hitRate, st.Evictions, st.Recalls)
+	}
+
+	b.WriteString("\naccelerators:\n")
+	for _, a := range s.Accs {
+		if a.TotalInvocations == 0 {
+			continue
+		}
+		commPct := 0.0
+		if a.TotalActive > 0 {
+			commPct = 100 * float64(a.TotalComm) / float64(a.TotalActive)
+		}
+		fmt.Fprintf(&b, "  %-12s: %d invocations, %d active cycles, %.1f%% communicating\n",
+			a.InstName, a.TotalInvocations, a.TotalActive, commPct)
+	}
+
+	b.WriteString("\nNoC plane busy-cycles:\n")
+	for p := noc.Plane(0); p < noc.NumPlanes; p++ {
+		fmt.Fprintf(&b, "  %-9s %d\n", p.String(), s.Mesh.LinkBusy(p))
+	}
+	return b.String()
+}

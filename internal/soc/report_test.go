@@ -1,0 +1,66 @@
+package soc
+
+import (
+	"strings"
+	"testing"
+
+	"cohmeleon/internal/sim"
+)
+
+func TestFloorplanCoversAllTiles(t *testing.T) {
+	s := build(t, testConfig())
+	fp := s.Floorplan()
+	for _, want := range []string{"mem0", "mem1", "cpu0", "acc0", "acc1", "aux"} {
+		if !strings.Contains(fp, want) {
+			t.Errorf("floorplan missing %q:\n%s", want, fp)
+		}
+	}
+	// One bracketed cell per mesh position.
+	if got := strings.Count(fp, "["); got != 9 {
+		t.Errorf("floorplan has %d cells, want 9", got)
+	}
+}
+
+func TestFloorplanTruncatesLongNames(t *testing.T) {
+	cfg := soc6LikeConfig(t)
+	s := build(t, cfg)
+	fp := s.Floorplan()
+	if strings.Contains(fp, "night-vision.0") {
+		t.Error("long instance names should be truncated to fit cells")
+	}
+	if !strings.Contains(fp, "night-vi") {
+		t.Errorf("truncated name missing:\n%s", fp)
+	}
+}
+
+func soc6LikeConfig(t *testing.T) *Config {
+	t.Helper()
+	return SoC6()
+}
+
+func TestUtilizationReportAfterRun(t *testing.T) {
+	s := build(t, testConfig())
+	runSim(t, s, func(p *sim.Proc) {
+		buf := allocBuf(t, s, 128<<10)
+		p.WaitUntil(warm(s, buf, p.Now()))
+		s.RunAccelerator(p, s.Accs[0], buf, NonCohDMA, sim.NewRNG(1))
+	})
+	rep := s.UtilizationReport()
+	for _, want := range []string{"memory tiles", "accelerators", "acc0", "NoC plane", "dma-data"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// The idle accelerator must not appear.
+	if strings.Contains(rep, "acc1:") {
+		t.Error("idle accelerator listed in report")
+	}
+}
+
+func TestUtilizationReportFreshSoC(t *testing.T) {
+	s := build(t, testConfig())
+	rep := s.UtilizationReport()
+	if !strings.Contains(rep, "after 0 cycles") {
+		t.Errorf("fresh report should show zero cycles:\n%s", rep)
+	}
+}

@@ -1,0 +1,244 @@
+package soc
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/acc"
+	"cohmeleon/internal/cache"
+	"cohmeleon/internal/mem"
+	"cohmeleon/internal/noc"
+	"cohmeleon/internal/sim"
+)
+
+// MemTile is a memory tile: one LLC partition with directory state, its
+// pipeline port, and the DRAM controller behind it.
+type MemTile struct {
+	Part  int // partition index
+	Coord noc.Coord
+	LLC   *cache.Directory
+	Port  *sim.Resource
+	DRAM  *mem.Controller
+}
+
+// CPUTile is a processor tile; its private L2 lives in the agent table.
+type CPUTile struct {
+	ID    int
+	Coord noc.Coord
+	Agent int
+}
+
+// AccTile is an accelerator tile: the accelerator spec plus its socket
+// state. Agent is the coherent-agent index of the private cache, or
+// NoAgent when the tile has none (FullyCoh unavailable).
+type AccTile struct {
+	ID       int
+	InstName string
+	Spec     *acc.Spec
+	Coord    noc.Coord
+	Agent    int
+	// Busy serializes invocations: an LCA runs one task at a time.
+	Busy *sim.Semaphore
+
+	// Cumulative hardware monitor counters (per-invocation values are
+	// returned by RunAccelerator).
+	TotalInvocations int64
+	TotalActive      sim.Cycles
+	TotalComm        sim.Cycles
+}
+
+// HasPrivateCache reports whether the fully-coherent mode is available.
+func (a *AccTile) HasPrivateCache() bool { return a.Agent != NoAgent }
+
+// AvailableModes returns the coherence modes this tile supports.
+func (a *AccTile) AvailableModes() []Mode {
+	if a.HasPrivateCache() {
+		return []Mode{NonCohDMA, LLCCohDMA, CohDMA, FullyCoh}
+	}
+	return []Mode{NonCohDMA, LLCCohDMA, CohDMA}
+}
+
+// NoAgent marks tiles without a private cache.
+const NoAgent = -1
+
+// agent is one coherent agent: a private cache, its port, and its mesh
+// position. CPUs and cache-equipped accelerators are agents.
+type agent struct {
+	name  string
+	coord noc.Coord
+	cache *cache.Cache
+	port  *sim.Resource
+}
+
+// SoC is a fully assembled simulated system.
+type SoC struct {
+	Cfg  *Config
+	P    Params
+	Eng  *sim.Engine
+	Mesh *noc.Mesh
+	Map  *mem.AddressMap
+	Heap *mem.Allocator
+
+	Mem  []*MemTile
+	CPUs []*CPUTile
+	Accs []*AccTile
+
+	// CPUPool limits concurrent software execution to the CPU count.
+	CPUPool *sim.Semaphore
+
+	agents      []agent
+	missScratch []mem.LineAddr // reused by cachedGroupAccess
+}
+
+// llcAssoc and l2Assoc fix the cache geometries (ESP uses set-associative
+// caches; exact associativity is not evaluated in the paper).
+const (
+	llcAssoc = 8
+	l2Assoc  = 4
+)
+
+// Build assembles the SoC described by the configuration.
+func (c *Config) Build() (*SoC, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	p := c.Params
+	s := &SoC{Cfg: c, P: p, Eng: sim.NewEngine()}
+	s.Mesh = noc.NewMesh(c.MeshW, c.MeshH)
+	s.Map = mem.NewAddressMap(c.MemTiles, p.DRAMPartitionMB<<20)
+	s.Heap = mem.NewAllocator(s.Map)
+	s.CPUPool = sim.NewSemaphore(s.Eng, "cpus", c.CPUs)
+
+	coords := placeTiles(c)
+	for i := 0; i < c.MemTiles; i++ {
+		s.Mem = append(s.Mem, &MemTile{
+			Part:  i,
+			Coord: coords.mem[i],
+			LLC:   cache.NewDirectory(fmt.Sprintf("llc%d", i), c.LLCSliceBytes(), llcAssoc),
+			Port:  sim.NewResource(fmt.Sprintf("llc%d-port", i)),
+			DRAM:  mem.NewController(i, p.DRAMLatencyCycles, p.DRAMPerLineCycles),
+		})
+	}
+	for i := 0; i < c.CPUs; i++ {
+		aid := s.addAgent(fmt.Sprintf("cpu%d", i), coords.cpu[i], c.L2Bytes())
+		s.CPUs = append(s.CPUs, &CPUTile{ID: i, Coord: coords.cpu[i], Agent: aid})
+	}
+	for i, inst := range c.Accs {
+		aid := NoAgent
+		if inst.PrivateCache {
+			aid = s.addAgent(inst.InstName, coords.acc[i], c.L2Bytes())
+		}
+		s.Accs = append(s.Accs, &AccTile{
+			ID:       i,
+			InstName: inst.InstName,
+			Spec:     inst.Spec,
+			Coord:    coords.acc[i],
+			Agent:    aid,
+			Busy:     sim.NewSemaphore(s.Eng, inst.InstName+"-busy", 1),
+		})
+	}
+	if len(s.agents) > 64 {
+		return nil, fmt.Errorf("soc %s: %d coherent agents exceed directory bitmask width", c.Name, len(s.agents))
+	}
+	return s, nil
+}
+
+func (s *SoC) addAgent(name string, coord noc.Coord, l2Bytes int64) int {
+	id := len(s.agents)
+	s.agents = append(s.agents, agent{
+		name:  name,
+		coord: coord,
+		cache: cache.New(name+"-l2", l2Bytes, l2Assoc),
+		port:  sim.NewResource(name + "-l2-port"),
+	})
+	return id
+}
+
+// AgentCache exposes an agent's private cache (for tests and monitors).
+func (s *SoC) AgentCache(id int) *cache.Cache { return s.agents[id].cache }
+
+// Agents returns the number of coherent agents.
+func (s *SoC) Agents() int { return len(s.agents) }
+
+// AccByName returns the accelerator tile with the given instance name.
+func (s *SoC) AccByName(inst string) (*AccTile, error) {
+	for _, a := range s.Accs {
+		if a.InstName == inst {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("soc %s: no accelerator instance %q", s.Cfg.Name, inst)
+}
+
+// AccsBySpec returns all tiles whose spec name matches.
+func (s *SoC) AccsBySpec(specName string) []*AccTile {
+	var out []*AccTile
+	for _, a := range s.Accs {
+		if a.Spec.Name == specName {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// homeTile returns the memory tile owning the line.
+func (s *SoC) homeTile(line mem.LineAddr) *MemTile {
+	return s.Mem[s.Map.Home(line)]
+}
+
+// placement assigns mesh coordinates: memory tiles on the corners (then
+// remaining edge cells), as ESP places them for channel balance; CPUs,
+// the auxiliary tile, and accelerators fill the remaining cells
+// row-major. The layout is deterministic for a given configuration.
+type placement struct {
+	mem []noc.Coord
+	cpu []noc.Coord
+	acc []noc.Coord
+}
+
+func placeTiles(c *Config) placement {
+	w, h := c.MeshW, c.MeshH
+	taken := make(map[noc.Coord]bool)
+	var pl placement
+
+	corners := []noc.Coord{{X: 0, Y: 0}, {X: w - 1, Y: 0}, {X: 0, Y: h - 1}, {X: w - 1, Y: h - 1}}
+	for _, co := range corners {
+		if len(pl.mem) == c.MemTiles {
+			break
+		}
+		if !taken[co] {
+			taken[co] = true
+			pl.mem = append(pl.mem, co)
+		}
+	}
+	// More than four memory tiles: continue along the top and bottom edges.
+	for x := 1; len(pl.mem) < c.MemTiles && x < w-1; x++ {
+		for _, y := range []int{0, h - 1} {
+			co := noc.Coord{X: x, Y: y}
+			if len(pl.mem) < c.MemTiles && !taken[co] {
+				taken[co] = true
+				pl.mem = append(pl.mem, co)
+			}
+		}
+	}
+
+	next := func() noc.Coord {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				co := noc.Coord{X: x, Y: y}
+				if !taken[co] {
+					taken[co] = true
+					return co
+				}
+			}
+		}
+		panic("soc: mesh full during placement (Validate should have caught this)")
+	}
+	for i := 0; i < c.CPUs; i++ {
+		pl.cpu = append(pl.cpu, next())
+	}
+	next() // auxiliary tile (UART, interrupt controller): occupies a cell
+	for range c.Accs {
+		pl.acc = append(pl.acc, next())
+	}
+	return pl
+}

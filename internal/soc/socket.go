@@ -1,0 +1,210 @@
+package soc
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/acc"
+	"cohmeleon/internal/mem"
+	"cohmeleon/internal/sim"
+)
+
+// This file implements the accelerator socket: the ESP-style wrapper
+// that executes an accelerator's access plan against the memory
+// hierarchy under a chosen coherence mode. The accelerator itself is
+// coherence-agnostic — it emits logical reads, computes, and emits
+// logical writes; the socket translates them into the mode's datapath.
+
+// InvocationStats is what the hardware monitors report for one
+// invocation: total active cycles, communication cycles, and the
+// ground-truth off-chip accesses the invocation caused (the latter is
+// simulator-only; the runtime must use the monitor approximation).
+type InvocationStats struct {
+	Start      sim.Cycles
+	End        sim.Cycles
+	CommCycles sim.Cycles
+	OffChip    int64
+	Chunks     int
+}
+
+// Active returns the invocation's busy cycles.
+func (st InvocationStats) Active() sim.Cycles { return st.End - st.Start }
+
+// yieldBudget bounds how far ahead of the engine clock an invocation
+// may precompute before yielding to concurrent processes.
+const yieldBudget sim.Cycles = 20000
+
+// bufView resolves logical line offsets of a buffer into physical runs.
+type bufView struct {
+	buf    *mem.Buffer
+	prefix []int64 // lines before each extent
+}
+
+func newBufView(buf *mem.Buffer) bufView {
+	prefix := make([]int64, len(buf.Extents)+1)
+	for i, e := range buf.Extents {
+		prefix[i+1] = prefix[i] + e.Lines
+	}
+	return bufView{buf: buf, prefix: prefix}
+}
+
+// runs decomposes a logical range into physical (start, n) runs, each
+// within a single extent (and therefore a single memory partition).
+func (v bufView) runs(lr acc.LineRange, emit func(start mem.LineAddr, n int64)) {
+	remaining := lr.Lines
+	logical := lr.Start
+	for i, e := range v.buf.Extents {
+		if remaining <= 0 {
+			return
+		}
+		if logical >= v.prefix[i+1] {
+			continue
+		}
+		off := logical - v.prefix[i]
+		n := e.Lines - off
+		if n > remaining {
+			n = remaining
+		}
+		emit(e.Start+mem.LineAddr(off), n)
+		logical += n
+		remaining -= n
+	}
+	if remaining > 0 {
+		panic(fmt.Sprintf("soc: logical range [%d,+%d) beyond buffer", lr.Start, lr.Lines))
+	}
+}
+
+// contains reports whether the physical line belongs to the buffer.
+func bufContains(buf *mem.Buffer, line mem.LineAddr) bool {
+	for _, e := range buf.Extents {
+		if line >= e.Start && line < e.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// doTransfers executes the plan's read or write ranges under the mode,
+// advancing the time cursor serially (an ESP DMA engine keeps one
+// transaction in flight; parallelism comes from concurrent tiles).
+func (s *SoC) doTransfers(a *AccTile, view bufView, ranges []acc.LineRange, mode Mode, write bool, at sim.Cycles, meter *Meter) sim.Cycles {
+	t := at
+	group := int64(s.P.GroupLines)
+	for _, lr := range ranges {
+		view.runs(lr, func(start mem.LineAddr, n int64) {
+			switch mode {
+			case NonCohDMA:
+				// Whole run in one burst: the long-burst advantage of
+				// bypassing the hierarchy.
+				t = s.dmaGroupNonCoh(a, start, n, write, t, meter)
+			case LLCCohDMA, CohDMA:
+				for off := int64(0); off < n; off += group {
+					g := group
+					if off+g > n {
+						g = n - off
+					}
+					t = s.dmaGroupLLC(a, start+mem.LineAddr(off), g, write, mode == CohDMA, t, meter)
+				}
+			case FullyCoh:
+				for off := int64(0); off < n; off += group {
+					g := group
+					if off+g > n {
+						g = n - off
+					}
+					t = s.cachedGroupAccess(a.Agent, start+mem.LineAddr(off), g, write, t, meter)
+				}
+			default:
+				panic(fmt.Sprintf("soc: unknown mode %v", mode))
+			}
+		})
+	}
+	return t
+}
+
+// RunAccelerator executes one invocation of the accelerator on the
+// dataset under the given coherence mode, with double-buffered chunk
+// pipelining (the next chunk's reads are prefetched during the current
+// chunk's compute). It must run inside a simulation process; the call
+// blocks in virtual time until the invocation completes. rng drives
+// irregular access selection.
+//
+// FullyCoh requires the tile to have a private cache.
+func (s *SoC) RunAccelerator(p *sim.Proc, a *AccTile, buf *mem.Buffer, mode Mode, rng *sim.RNG) InvocationStats {
+	if mode == FullyCoh && !a.HasPrivateCache() {
+		panic(fmt.Sprintf("soc: %s has no private cache; FullyCoh unavailable", a.InstName))
+	}
+	plan := acc.NewPlan(a.Spec, buf.Bytes, rng)
+	view := newBufView(buf)
+	meter := &Meter{}
+	start := p.Now()
+
+	var cur, next acc.ChunkPlan
+	var comm sim.Cycles
+	chunks := 0
+
+	hasCur := plan.Next(&cur)
+	fetchIssue := start
+	var fetchDone sim.Cycles
+	if hasCur {
+		fetchDone = s.doTransfers(a, view, cur.Reads, mode, false, start, meter)
+	}
+	prevComputeDone := start
+	lastWriteDone := start
+
+	for hasCur {
+		chunks++
+		computeStart := fetchDone
+		if prevComputeDone > computeStart {
+			computeStart = prevComputeDone
+		}
+		computeDone := computeStart + cur.Compute
+		comm += fetchDone - fetchIssue
+
+		// Prefetch the next chunk while this one computes.
+		hasNext := plan.Next(&next)
+		var nextIssue, nextDone sim.Cycles
+		if hasNext {
+			nextIssue = computeStart
+			nextDone = s.doTransfers(a, view, next.Reads, mode, false, nextIssue, meter)
+		}
+
+		if len(cur.Writes) > 0 {
+			wDone := s.doTransfers(a, view, cur.Writes, mode, true, computeDone, meter)
+			comm += wDone - computeDone
+			if wDone > lastWriteDone {
+				lastWriteDone = wDone
+			}
+		}
+		prevComputeDone = computeDone
+		// Yield so concurrent accelerators interleave. Yielding every
+		// chunk would cost a goroutine handoff per 16 kB of data; yielding
+		// on a virtual-time budget keeps fairness (reservation lookahead
+		// stays bounded) at a fraction of the cost.
+		if computeDone-p.Now() > yieldBudget {
+			p.WaitUntil(computeDone)
+		}
+
+		cur, next = next, cur
+		hasCur = hasNext
+		fetchIssue, fetchDone = nextIssue, nextDone
+	}
+
+	end := prevComputeDone
+	if lastWriteDone > end {
+		end = lastWriteDone
+	}
+	p.WaitUntil(end)
+	if total := end - start; comm > total {
+		comm = total // overlapped read+write phases cannot exceed wall clock
+	}
+
+	a.TotalInvocations++
+	a.TotalActive += end - start
+	a.TotalComm += comm
+	return InvocationStats{
+		Start:      start,
+		End:        end,
+		CommCycles: comm,
+		OffChip:    meter.OffChip,
+		Chunks:     chunks,
+	}
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc"
+)
+
+// GenConfig controls the random application generator. Zero values take
+// the defaults noted per field.
+type GenConfig struct {
+	// MaxThreads per phase (default 8, clamped to 12).
+	MaxThreads int
+	// MaxChain is the longest accelerator chain per thread (default 3).
+	MaxChain int
+	// MaxLoops per thread (default 3).
+	MaxLoops int
+	// MinInvocations keeps adding phases until the app reaches this many
+	// accelerator invocations (default 300, the paper's "over 300
+	// accelerator invocations" per training iteration).
+	MinInvocations int
+	// Classes restricts workload sizes (default: all four).
+	Classes []SizeClass
+}
+
+func (g GenConfig) withDefaults() GenConfig {
+	if g.MaxThreads <= 0 {
+		g.MaxThreads = 8
+	}
+	if g.MaxThreads > 12 {
+		g.MaxThreads = 12
+	}
+	if g.MaxChain <= 0 {
+		g.MaxChain = 3
+	}
+	if g.MaxLoops <= 0 {
+		g.MaxLoops = 3
+	}
+	if g.MinInvocations <= 0 {
+		g.MinInvocations = 300
+	}
+	if len(g.Classes) == 0 {
+		g.Classes = []SizeClass{Small, Medium, Large, ExtraLarge}
+	}
+	return g
+}
+
+// classRange returns the footprint bounds of a class on a SoC.
+func classRange(c SizeClass, cfg *soc.Config) (lo, hi int64) {
+	switch c {
+	case Small:
+		return 4 << 10, cfg.L2Bytes()
+	case Medium:
+		return cfg.L2Bytes() + 1, cfg.LLCSliceBytes()
+	case Large:
+		return cfg.LLCSliceBytes() + 1, cfg.TotalLLCBytes()
+	default:
+		return cfg.TotalLLCBytes() + 1, 3 * cfg.TotalLLCBytes()
+	}
+}
+
+// sampleBytes draws a footprint uniformly within the class, rounded to
+// whole KB.
+func sampleBytes(c SizeClass, cfg *soc.Config, rng *sim.RNG) int64 {
+	lo, hi := classRange(c, cfg)
+	b := lo + rng.Int63n(hi-lo+1)
+	if b < 4<<10 {
+		b = 4 << 10
+	}
+	return (b >> 10) << 10
+}
+
+// randomThread draws one thread spec.
+func randomThread(name string, cfg *soc.Config, g GenConfig, class SizeClass, rng *sim.RNG) ThreadSpec {
+	chainLen := 1 + rng.Intn(g.MaxChain)
+	chain := make([]string, chainLen)
+	for i := range chain {
+		chain[i] = cfg.Accs[rng.Intn(len(cfg.Accs))].InstName
+	}
+	return ThreadSpec{
+		Name:             name,
+		FootprintBytes:   sampleBytes(class, cfg, rng),
+		Chain:            chain,
+		Loops:            2 + rng.Intn(g.MaxLoops), // accelerators are invoked repeatedly per thread
+		RewriteFraction:  0.25,
+		ReadbackFraction: 0.25,
+	}
+}
+
+// Generate builds a randomized evaluation application for the SoC. The
+// same (cfg, g, seed) triple always yields the same app; different
+// seeds yield the "different instances of the evaluation application"
+// the paper trains and tests on.
+func Generate(cfg *soc.Config, g GenConfig, seed uint64) *App {
+	g = g.withDefaults()
+	rng := sim.NewRNG(seed ^ 0x10ad5eed)
+	app := &App{Name: fmt.Sprintf("%s-gen-%d", cfg.Name, seed)}
+	for pi := 0; app.Invocations() < g.MinInvocations && pi < 64; pi++ {
+		threads := 1 + rng.Intn(g.MaxThreads)
+		phase := PhaseSpec{Name: fmt.Sprintf("phase-%d", pi)}
+		for ti := 0; ti < threads; ti++ {
+			class := g.Classes[rng.Intn(len(g.Classes))]
+			phase.Threads = append(phase.Threads,
+				randomThread(fmt.Sprintf("t%d", ti), cfg, g, class, rng))
+		}
+		app.Phases = append(app.Phases, phase)
+	}
+	return app
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/acc"
+	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc"
+)
+
+// Figure5App builds the four selected phases of Figure 5, which vary
+// thread count and workload size: 10 threads of Small workloads, 4 of
+// Medium, 6 of Large, and 3 of Variable sizes.
+func Figure5App(cfg *soc.Config, seed uint64) *App {
+	rng := sim.NewRNG(seed ^ 0xf16f5)
+	g := GenConfig{}.withDefaults()
+	app := &App{Name: cfg.Name + "-figure5"}
+
+	mk := func(name string, threads int, classes []SizeClass) PhaseSpec {
+		phase := PhaseSpec{Name: name}
+		for ti := 0; ti < threads; ti++ {
+			class := classes[rng.Intn(len(classes))]
+			phase.Threads = append(phase.Threads,
+				randomThread(fmt.Sprintf("t%d", ti), cfg, g, class, rng))
+		}
+		return phase
+	}
+	app.Phases = []PhaseSpec{
+		mk("10 Threads: Small", 10, []SizeClass{Small}),
+		mk("4 Threads: Medium", 4, []SizeClass{Medium}),
+		mk("6 Threads: Large", 6, []SizeClass{Large}),
+		mk("3 Threads: Variable", 3, []SizeClass{Small, Medium, Large, ExtraLarge}),
+	}
+	return app
+}
+
+// instancesOf returns the SoC's instance names for one spec, in index
+// order; it panics if none exist (case-study apps are built for their
+// matching SoCs).
+func instancesOf(cfg *soc.Config, specName string) []string {
+	var out []string
+	for _, a := range cfg.Accs {
+		if a.Spec.Name == specName {
+			out = append(out, a.InstName)
+		}
+	}
+	if len(out) == 0 {
+		panic(fmt.Sprintf("workload: SoC %s has no %s instances", cfg.Name, specName))
+	}
+	return out
+}
+
+// AutonomousDrivingApp is the SoC5 case study: V2V communication
+// pipelines (FFT ↔ Viterbi) and CNN inference pipelines
+// (Conv-2D → GEMM), mirroring the collaborative-autonomous-vehicle
+// workload the paper targets.
+func AutonomousDrivingApp(cfg *soc.Config, seed uint64) *App {
+	rng := sim.NewRNG(seed ^ 0xad5)
+	ffts := instancesOf(cfg, acc.FFT)
+	vits := instancesOf(cfg, acc.Viterbi)
+	convs := instancesOf(cfg, acc.Conv2D)
+	gemms := instancesOf(cfg, acc.GEMM)
+
+	thread := func(name string, chain []string, class SizeClass, loops int) ThreadSpec {
+		return ThreadSpec{
+			Name:             name,
+			FootprintBytes:   sampleBytes(class, cfg, rng),
+			Chain:            chain,
+			Loops:            loops,
+			RewriteFraction:  0.25,
+			ReadbackFraction: 0.25,
+		}
+	}
+	app := &App{Name: cfg.Name + "-autonomous-driving"}
+	// Phase 1: V2V decode bursts — small frames, many iterations.
+	v2v := PhaseSpec{Name: "v2v-decode"}
+	for i := 0; i < 4; i++ {
+		v2v.Threads = append(v2v.Threads, thread(
+			fmt.Sprintf("v2v%d", i),
+			[]string{ffts[i%len(ffts)], vits[i%len(vits)]},
+			Small, 3))
+	}
+	// Phase 2: camera-frame CNN inference — medium/large tensors.
+	cnn := PhaseSpec{Name: "cnn-inference"}
+	for i := 0; i < 4; i++ {
+		class := Medium
+		if i%2 == 1 {
+			class = Large
+		}
+		cnn.Threads = append(cnn.Threads, thread(
+			fmt.Sprintf("cnn%d", i),
+			[]string{convs[i%len(convs)], gemms[i%len(gemms)]},
+			class, 2))
+	}
+	// Phase 3: full stack — decoding and inference concurrently, plus a
+	// map-fusion job over an extra-large dataset.
+	full := PhaseSpec{Name: "full-stack"}
+	full.Threads = append(full.Threads,
+		thread("v2v-a", []string{ffts[0], vits[0]}, Small, 3),
+		thread("v2v-b", []string{ffts[1%len(ffts)], vits[1%len(vits)]}, Medium, 2),
+		thread("cnn-a", []string{convs[0], gemms[0]}, Medium, 2),
+		thread("cnn-b", []string{convs[1%len(convs)], gemms[1%len(gemms)]}, Large, 2),
+		thread("map-fusion", []string{gemms[0], gemms[1%len(gemms)]}, ExtraLarge, 1),
+	)
+	app.Phases = []PhaseSpec{v2v, cnn, full}
+	return app
+}
+
+// ComputerVisionApp is the SoC6 case study: three parallel instances of
+// the night-vision → autoencoder → MLP classification pipeline
+// (undarken, denoise, classify), swept over image batch sizes.
+func ComputerVisionApp(cfg *soc.Config, seed uint64) *App {
+	rng := sim.NewRNG(seed ^ 0xc6)
+	nvs := instancesOf(cfg, acc.NightVision)
+	aes := instancesOf(cfg, acc.Autoencoder)
+	mlps := instancesOf(cfg, acc.MLP)
+
+	pipeline := func(name string, i int, class SizeClass, loops int) ThreadSpec {
+		return ThreadSpec{
+			Name:             name,
+			FootprintBytes:   sampleBytes(class, cfg, rng),
+			Chain:            []string{nvs[i%len(nvs)], aes[i%len(aes)], mlps[i%len(mlps)]},
+			Loops:            loops,
+			RewriteFraction:  0.5, // fresh camera frames each iteration
+			ReadbackFraction: 0.1, // only the classification is consumed
+		}
+	}
+	app := &App{Name: cfg.Name + "-computer-vision"}
+	for pi, class := range []SizeClass{Small, Medium, Large} {
+		phase := PhaseSpec{Name: fmt.Sprintf("batch-%s", class)}
+		for i := 0; i < 3; i++ {
+			phase.Threads = append(phase.Threads, pipeline(fmt.Sprintf("cam%d", i), i, class, 2))
+		}
+		app.Phases = append(app.Phases, phase)
+		_ = pi
+	}
+	// Mixed phase: cameras at different resolutions.
+	mixed := PhaseSpec{Name: "mixed-batch"}
+	for i, class := range []SizeClass{Small, Medium, ExtraLarge} {
+		mixed.Threads = append(mixed.Threads, pipeline(fmt.Sprintf("cam%d", i), i, class, 2))
+	}
+	app.Phases = append(app.Phases, mixed)
+	return app
+}
+
+// AppFor returns the evaluation application matched to a SoC: the case
+// studies for SoC5/SoC6, and a generated mixed application (seeded)
+// otherwise — including SoC4, whose "application" in the paper invokes
+// its many heterogeneous accelerators from parallel threads.
+func AppFor(cfg *soc.Config, seed uint64) *App {
+	switch cfg.Name {
+	case "SoC5":
+		return AutonomousDrivingApp(cfg, seed)
+	case "SoC6":
+		return ComputerVisionApp(cfg, seed)
+	default:
+		return Generate(cfg, GenConfig{}, seed)
+	}
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/esp"
+	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc"
+)
+
+// PhaseResult is what the harness measures per phase: wall-clock cycles
+// and the off-chip access counter delta, plus every invocation result.
+type PhaseResult struct {
+	Name        string
+	Cycles      sim.Cycles
+	OffChip     int64
+	Invocations []*esp.Result
+}
+
+// AppResult aggregates one application run.
+type AppResult struct {
+	App     *App
+	Policy  string
+	Phases  []PhaseResult
+	Cycles  sim.Cycles
+	OffChip int64
+}
+
+// ExecSeries returns per-phase execution times as floats (for
+// normalization).
+func (r *AppResult) ExecSeries() []float64 {
+	out := make([]float64, len(r.Phases))
+	for i := range r.Phases {
+		out[i] = float64(r.Phases[i].Cycles)
+	}
+	return out
+}
+
+// MemSeries returns per-phase off-chip access counts as floats.
+func (r *AppResult) MemSeries() []float64 {
+	out := make([]float64, len(r.Phases))
+	for i := range r.Phases {
+		out[i] = float64(r.Phases[i].OffChip)
+	}
+	return out
+}
+
+// AllInvocations flattens the per-phase invocation results.
+func (r *AppResult) AllInvocations() []*esp.Result {
+	var out []*esp.Result
+	for i := range r.Phases {
+		out = append(out, r.Phases[i].Invocations...)
+	}
+	return out
+}
+
+// Run executes the application on the system and returns the
+// measurements. Each run needs a fresh SoC (hardware state persists);
+// the policy, by design, may persist across runs to keep learning.
+// seed drives the threads' irregular-access randomness.
+func Run(sys *esp.System, app *App, seed uint64) (*AppResult, error) {
+	s := sys.SoC
+	if err := app.Validate(s.Cfg); err != nil {
+		return nil, err
+	}
+	res := &AppResult{App: app, Policy: sys.Policy.Name()}
+	var runErr error
+
+	s.Eng.Go("app:"+app.Name, func(p *sim.Proc) {
+		appStart := p.Now()
+		ddrStart := s.DDRSum()
+		for pi := range app.Phases {
+			phase := &app.Phases[pi]
+			pr := PhaseResult{Name: phase.Name}
+			phaseStart := p.Now()
+			phaseDDR := s.DDRSum()
+
+			wg := sim.NewWaitGroup(s.Eng)
+			for ti := range phase.Threads {
+				ts := &phase.Threads[ti]
+				wg.Add(1)
+				tRNG := sim.NewRNG(seed ^ (uint64(pi)<<32 | uint64(ti)<<1 | 1))
+				cpuTile := s.CPUs[ti%len(s.CPUs)]
+				s.Eng.Go(fmt.Sprintf("%s/%s", phase.Name, ts.Name), func(q *sim.Proc) {
+					defer wg.Done()
+					results, err := runThread(sys, q, ts, cpuTile, tRNG)
+					if err != nil && runErr == nil {
+						runErr = err
+						return
+					}
+					pr.Invocations = append(pr.Invocations, results...)
+				})
+			}
+			wg.Wait(p)
+			pr.Cycles = p.Now() - phaseStart
+			pr.OffChip = s.DDRSum() - phaseDDR
+			res.Phases = append(res.Phases, pr)
+		}
+		res.Cycles = p.Now() - appStart
+		res.OffChip = s.DDRSum() - ddrStart
+	})
+	if err := s.Eng.Run(); err != nil {
+		return nil, err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// runThread is the life of one software thread: allocate, initialize,
+// loop over the accelerator chain, touch outputs, free.
+func runThread(sys *esp.System, p *sim.Proc, ts *ThreadSpec, cpuTile *soc.CPUTile, rng *sim.RNG) ([]*esp.Result, error) {
+	s := sys.SoC
+	buf, err := s.Heap.Alloc(ts.FootprintBytes)
+	if err != nil {
+		return nil, fmt.Errorf("thread %s: %w", ts.Name, err)
+	}
+	defer s.Heap.Free(buf)
+	var results []*esp.Result
+
+	// Initialize the dataset (data is warm before the first invocation).
+	s.CPUPool.Acquire(p)
+	p.WaitUntil(s.CPUTouchRange(cpuTile, buf, 0, buf.Lines(), true, p.Now(), &soc.Meter{}))
+
+	for loop := 0; loop < ts.Loops; loop++ {
+		if loop > 0 && ts.RewriteFraction > 0 {
+			lines := int64(float64(buf.Lines()) * ts.RewriteFraction)
+			if lines > 0 {
+				p.WaitUntil(s.CPUTouchRange(cpuTile, buf, 0, lines, true, p.Now(), &soc.Meter{}))
+			}
+		}
+		for _, inst := range ts.Chain {
+			a, err := s.AccByName(inst)
+			if err != nil {
+				s.CPUPool.Release()
+				return nil, err
+			}
+			// Wait for the accelerator without holding a CPU.
+			if !a.Busy.TryAcquire() {
+				s.CPUPool.Release()
+				a.Busy.Acquire(p)
+				s.CPUPool.Acquire(p)
+			}
+			res := sys.Invoke(p, a, buf, s.CPUPool, rng.Split())
+			a.Busy.Release()
+			results = append(results, res)
+		}
+	}
+	if ts.ReadbackFraction > 0 {
+		lines := int64(float64(buf.Lines()) * ts.ReadbackFraction)
+		if lines > 0 {
+			p.WaitUntil(s.CPUTouchRange(cpuTile, buf, 0, lines, false, p.Now(), &soc.Meter{}))
+		}
+	}
+	s.CPUPool.Release()
+	return results, nil
+}
