@@ -3,6 +3,7 @@ package cohmeleon
 import (
 	"fmt"
 	"os"
+	"strconv"
 	"testing"
 
 	"cohmeleon/internal/experiment"
@@ -13,14 +14,21 @@ import (
 // wall-clock cost of reproducing that artifact.
 //
 // By default the Quick protocol runs (same code paths, fewer
-// repetitions). Set COHMELEON_BENCH=full for the paper-faithful
-// protocol and COHMELEON_RENDER=1 to print each artifact.
+// repetitions) with the worker pool sized to GOMAXPROCS. Set
+// COHMELEON_BENCH=full for the paper-faithful protocol,
+// COHMELEON_WORKERS=n to pin the trial pool (1 reproduces the
+// sequential run; reports are byte-identical either way), and
+// COHMELEON_RENDER=1 to print each artifact.
 
 func benchOptions() experiment.Options {
+	opt := experiment.Quick()
 	if os.Getenv("COHMELEON_BENCH") == "full" {
-		return experiment.Default()
+		opt = experiment.Default()
 	}
-	return experiment.Quick()
+	if w, err := strconv.Atoi(os.Getenv("COHMELEON_WORKERS")); err == nil && w > 0 {
+		opt.Workers = w
+	}
+	return opt
 }
 
 func runExperimentBench(b *testing.B, id string) {

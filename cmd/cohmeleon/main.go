@@ -3,7 +3,7 @@
 // Usage:
 //
 //	cohmeleon list
-//	cohmeleon run [-profile quick|full|tiny] [-seed N] [-out FILE] <id>... | all
+//	cohmeleon run [-profile quick|full|tiny] [-seed N] [-workers N] [-out FILE] <id>... | all
 //
 // Experiment IDs: table4, fig2, fig3, fig5, fig6, fig7, fig8, fig9,
 // headline, overhead, ablation.
@@ -52,6 +52,7 @@ func runExperiments(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	profile := fs.String("profile", "quick", "experiment scale: quick, full or tiny")
 	seed := fs.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+	workers := fs.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS, 1 = sequential; reports are identical either way)")
 	outPath := fs.String("out", "", "also append rendered reports to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +81,9 @@ func runExperiments(args []string) error {
 	}
 	if *seed != 0 {
 		opt.Seed = *seed
+	}
+	if *workers > 0 {
+		opt.Workers = *workers
 	}
 
 	var out io.Writer = os.Stdout
@@ -118,6 +122,7 @@ commands:
 
 run flags:
   -profile quick|full|tiny  protocol scale (default quick)
+  -workers N                concurrent trials (0 = GOMAXPROCS, 1 = sequential)
   -seed N                   override the experiment seed
   -out FILE                 append rendered reports to FILE
 `)

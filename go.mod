@@ -1,0 +1,3 @@
+module cohmeleon
+
+go 1.24

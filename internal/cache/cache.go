@@ -46,12 +46,20 @@ func (s State) Dirty() bool { return s == Modified }
 // Valid reports whether the state holds usable data.
 func (s State) Valid() bool { return s != Invalid }
 
-// way is one tag-store entry of a private cache.
+// way is one tag-store entry of a private cache. The layout is packed to
+// 16 bytes so a 4-way set spans a single hardware cache line: tag scans
+// are the simulator's hottest loop. Invalid ways keep line == noLine so
+// the hit scan needs only the tag compare (valid lines are never
+// negative).
 type way struct {
 	line  mem.LineAddr
+	lru   uint32
 	state State
-	lru   uint64
 }
+
+// noLine is the tag stored in invalid ways; no allocated line address is
+// negative, so a single tag compare suffices to detect hits.
+const noLine mem.LineAddr = -1
 
 // Stats counts cache events since construction.
 type Stats struct {
@@ -89,6 +97,9 @@ func New(name string, sizeBytes int64, assoc int) *Cache {
 		c.setMask = numSets - 1
 	}
 	backing := make([]way, totalLines)
+	for i := range backing {
+		backing[i].line = noLine
+	}
 	for i := range c.sets {
 		c.sets[i] = backing[int64(i)*int64(assoc) : (int64(i)+1)*int64(assoc)]
 	}
@@ -109,6 +120,19 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ValidLines returns the number of valid lines currently held.
 func (c *Cache) ValidLines() int { return c.lines }
 
+// bump advances the LRU tick and returns it as the stored uint32.
+// Wrapping would silently invert eviction order, so it panics instead;
+// 2^32 accesses of one cache in a single trial is orders of magnitude
+// beyond any experiment (trials build fresh SoCs).
+func (c *Cache) bump() uint32 {
+	c.tick++
+	t := uint32(c.tick)
+	if t == 0 {
+		panic("cache: " + c.name + ": LRU tick wrapped uint32")
+	}
+	return t
+}
+
 func (c *Cache) setOf(line mem.LineAddr) []way {
 	if c.setMask != 0 {
 		return c.sets[int64(line)&c.setMask]
@@ -122,9 +146,10 @@ func (c *Cache) setOf(line mem.LineAddr) []way {
 
 // Lookup returns the state of the line without touching LRU or counters.
 func (c *Cache) Lookup(line mem.LineAddr) (State, bool) {
-	for i := range c.setOf(line) {
-		w := &c.setOf(line)[i]
-		if w.state != Invalid && w.line == line {
+	set := c.setOf(line)
+	for i := range set {
+		w := &set[i]
+		if w.line == line {
 			return w.state, true
 		}
 	}
@@ -138,11 +163,33 @@ func (c *Cache) Access(line mem.LineAddr) (State, bool) {
 	set := c.setOf(line)
 	for i := range set {
 		w := &set[i]
-		if w.state != Invalid && w.line == line {
-			c.tick++
-			w.lru = c.tick
+		if w.line == line {
+			w.lru = c.bump()
 			c.stats.Hits++
 			return w.state, true
+		}
+	}
+	c.stats.Misses++
+	return Invalid, false
+}
+
+// AccessUpgrade performs Access and, when write is set and the hit state
+// already carries write permission (Modified or Exclusive), upgrades the
+// line to Modified in the same tag scan. It returns the state the line
+// held before the upgrade. Equivalent to Access followed by SetState on
+// the M/E write-hit path, without the second scan.
+func (c *Cache) AccessUpgrade(line mem.LineAddr, write bool) (State, bool) {
+	set := c.setOf(line)
+	for i := range set {
+		w := &set[i]
+		if w.line == line {
+			w.lru = c.bump()
+			c.stats.Hits++
+			st := w.state
+			if write && (st == Modified || st == Exclusive) {
+				w.state = Modified
+			}
+			return st, true
 		}
 	}
 	c.stats.Misses++
@@ -165,13 +212,13 @@ func (c *Cache) Insert(line mem.LineAddr, st State) Victim {
 		panic("cache: Insert with Invalid state")
 	}
 	set := c.setOf(line)
-	c.tick++
+	tick := c.bump()
 	var lruIdx = -1
 	for i := range set {
 		w := &set[i]
-		if w.state != Invalid && w.line == line {
+		if w.line == line {
 			w.state = st
-			w.lru = c.tick
+			w.lru = tick
 			return Victim{}
 		}
 		if w.state == Invalid {
@@ -197,7 +244,7 @@ func (c *Cache) Insert(line mem.LineAddr, st State) Victim {
 	}
 	w.line = line
 	w.state = st
-	w.lru = c.tick
+	w.lru = tick
 	return v
 }
 
@@ -208,9 +255,10 @@ func (c *Cache) SetState(line mem.LineAddr, st State) bool {
 	set := c.setOf(line)
 	for i := range set {
 		w := &set[i]
-		if w.state != Invalid && w.line == line {
+		if w.line == line {
 			if st == Invalid {
 				c.lines--
+				w.line = noLine
 			}
 			w.state = st
 			return true
@@ -225,12 +273,13 @@ func (c *Cache) Invalidate(line mem.LineAddr) (present, wasDirty bool) {
 	set := c.setOf(line)
 	for i := range set {
 		w := &set[i]
-		if w.state != Invalid && w.line == line {
+		if w.line == line {
 			wasDirty = w.state.Dirty()
 			if wasDirty {
 				c.stats.Writebacks++
 			}
 			w.state = Invalid
+			w.line = noLine
 			c.lines--
 			return true, wasDirty
 		}
@@ -256,7 +305,7 @@ func (c *Cache) Downgrade(line mem.LineAddr) (present, wasDirty bool) {
 	set := c.setOf(line)
 	for i := range set {
 		w := &set[i]
-		if w.state != Invalid && w.line == line {
+		if w.line == line {
 			wasDirty = w.state.Dirty()
 			if wasDirty {
 				c.stats.Writebacks++

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"cohmeleon/internal/mem"
 )
@@ -39,24 +40,40 @@ const NoOwner = -1
 // Probe remain valid only until the next Insert on the directory.
 type DirEntry struct {
 	Line    mem.LineAddr
-	State   DirState
-	Owner   int // agent index holding M/E, or NoOwner
 	Sharers uint64
-	lru     uint64
+	Owner   int // agent index holding M/E, or NoOwner
+	lru     uint32
+	State   DirState
 }
 
 // HasSharers reports whether any agent holds a Shared copy.
 func (e *DirEntry) HasSharers() bool { return e.Sharers != 0 }
 
 // SharerList expands the sharer bitmask into agent indices, ascending.
+// It allocates; hot paths should use ForEachSharer instead.
 func (e *DirEntry) SharerList() []int {
 	var out []int
-	for i := 0; i < 64; i++ {
-		if e.Sharers&(1<<uint(i)) != 0 {
-			out = append(out, i)
-		}
-	}
+	e.ForEachSharer(func(i int) { out = append(out, i) })
 	return out
+}
+
+// ForEachSharer calls fn for every sharing agent in ascending index
+// order, without allocating. fn must not mutate the sharer mask (capture
+// e.Sharers first if it needs to).
+func (e *DirEntry) ForEachSharer(fn func(agent int)) {
+	forEachSharer(e.Sharers, fn)
+}
+
+// ForEachSharerMask iterates a raw sharer bitmask (e.g. the one carried
+// by a DirVictim) in ascending index order, without allocating.
+func ForEachSharerMask(mask uint64, fn func(agent int)) { forEachSharer(mask, fn) }
+
+func forEachSharer(mask uint64, fn func(agent int)) {
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		mask &= mask - 1
+		fn(i)
+	}
 }
 
 // AddSharer marks agent as holding a Shared copy.
@@ -82,9 +99,13 @@ type DirStats struct {
 // line whose entry still lists an owner or sharers, the caller must
 // recall/invalidate those private copies (the victim carries the
 // bookkeeping needed to do so).
+// Entries are packed to 32 bytes (an 8-way set spans four hardware
+// cache lines) and invalid ways keep Line == noLine, so the hit scan is
+// a single tag compare per way.
 type Directory struct {
 	name    string
-	sets    [][]DirEntry
+	entries []DirEntry // flat backing, numSets × assoc
+	assoc   int64
 	numSets int64
 	setMask int64 // numSets-1 when numSets is a power of two, else 0
 	tick    uint64
@@ -102,13 +123,18 @@ func NewDirectory(name string, sizeBytes int64, assoc int) *Directory {
 		panic(fmt.Sprintf("cache: LLC size %d not divisible into %d-way sets", sizeBytes, assoc))
 	}
 	numSets := totalLines / int64(assoc)
-	d := &Directory{name: name, numSets: numSets, sets: make([][]DirEntry, numSets)}
+	d := &Directory{
+		name:    name,
+		numSets: numSets,
+		assoc:   int64(assoc),
+		entries: make([]DirEntry, totalLines),
+	}
 	if numSets&(numSets-1) == 0 {
 		d.setMask = numSets - 1
 	}
-	backing := make([]DirEntry, totalLines)
-	for i := range d.sets {
-		d.sets[i] = backing[int64(i)*int64(assoc) : (int64(i)+1)*int64(assoc)]
+	for i := range d.entries {
+		d.entries[i].Line = noLine
+		d.entries[i].Owner = NoOwner
 	}
 	return d
 }
@@ -118,7 +144,7 @@ func (d *Directory) Name() string { return d.name }
 
 // SizeBytes returns the partition capacity.
 func (d *Directory) SizeBytes() int64 {
-	return d.numSets * int64(len(d.sets[0])) * mem.LineBytes
+	return d.numSets * d.assoc * mem.LineBytes
 }
 
 // Stats returns a copy of the event counters.
@@ -127,25 +153,38 @@ func (d *Directory) Stats() DirStats { return d.stats }
 // ValidLines returns the number of valid lines currently held.
 func (d *Directory) ValidLines() int { return d.lines }
 
-func (d *Directory) setOf(line mem.LineAddr) []DirEntry {
+// bump advances the LRU tick and returns it as the stored uint32.
+// Wrapping would silently invert eviction order, so it panics instead;
+// 2^32 accesses of one partition in a single trial is orders of
+// magnitude beyond any experiment (trials build fresh SoCs).
+func (d *Directory) bump() uint32 {
+	d.tick++
+	t := uint32(d.tick)
+	if t == 0 {
+		panic("cache: " + d.name + ": LRU tick wrapped uint32")
+	}
+	return t
+}
+
+// setBase returns the index of the set's first way in the flat arrays.
+func (d *Directory) setBase(line mem.LineAddr) int64 {
 	if d.setMask != 0 {
-		return d.sets[int64(line)&d.setMask]
+		return (int64(line) & d.setMask) * d.assoc
 	}
 	idx := int64(line) % d.numSets
 	if idx < 0 {
 		idx += d.numSets
 	}
-	return d.sets[idx]
+	return idx * d.assoc
 }
 
 // Probe returns the entry for the line without counting an access, or
 // nil when absent.
 func (d *Directory) Probe(line mem.LineAddr) *DirEntry {
-	set := d.setOf(line)
-	for i := range set {
-		e := &set[i]
-		if e.State != DirInvalid && e.Line == line {
-			return e
+	base := d.setBase(line)
+	for i := base; i < base+d.assoc; i++ {
+		if d.entries[i].Line == line {
+			return &d.entries[i]
 		}
 	}
 	return nil
@@ -154,12 +193,11 @@ func (d *Directory) Probe(line mem.LineAddr) *DirEntry {
 // Access looks the line up, counting a hit or miss and refreshing LRU on
 // hit. It returns nil on miss.
 func (d *Directory) Access(line mem.LineAddr) *DirEntry {
-	set := d.setOf(line)
-	for i := range set {
-		e := &set[i]
-		if e.State != DirInvalid && e.Line == line {
-			d.tick++
-			e.lru = d.tick
+	base := d.setBase(line)
+	for i := base; i < base+d.assoc; i++ {
+		e := &d.entries[i]
+		if e.Line == line {
+			e.lru = d.bump()
 			d.stats.Hits++
 			return e
 		}
@@ -187,27 +225,26 @@ func (d *Directory) Insert(line mem.LineAddr, st DirState) (*DirEntry, DirVictim
 	if st == DirInvalid {
 		panic("cache: directory Insert with invalid state")
 	}
-	set := d.setOf(line)
-	d.tick++
-	lruIdx := -1
-	for i := range set {
-		e := &set[i]
-		if e.State != DirInvalid && e.Line == line {
+	tick := d.bump()
+	base := d.setBase(line)
+	victim, haveInvalid := int64(-1), false
+	for i := base; i < base+d.assoc; i++ {
+		e := &d.entries[i]
+		if e.Line == line {
 			e.State = st
-			e.lru = d.tick
+			e.lru = tick
 			return e, DirVictim{}
 		}
-		if e.State == DirInvalid {
-			if lruIdx < 0 || set[lruIdx].State != DirInvalid {
-				lruIdx = i
+		// Victim preference: the first invalid way, else the LRU way.
+		if !haveInvalid {
+			if e.Line == noLine {
+				victim, haveInvalid = i, true
+			} else if victim < 0 || e.lru < d.entries[victim].lru {
+				victim = i
 			}
-			continue
-		}
-		if lruIdx < 0 || (set[lruIdx].State != DirInvalid && e.lru < set[lruIdx].lru) {
-			lruIdx = i
 		}
 	}
-	e := &set[lruIdx]
+	e := &d.entries[victim]
 	var v DirVictim
 	if e.State != DirInvalid {
 		v = DirVictim{
@@ -227,18 +264,71 @@ func (d *Directory) Insert(line mem.LineAddr, st DirState) (*DirEntry, DirVictim
 	} else {
 		d.lines++
 	}
-	*e = DirEntry{Line: line, State: st, Owner: NoOwner, lru: d.tick}
+	*e = DirEntry{Line: line, State: st, Owner: NoOwner, lru: tick}
 	return e, v
+}
+
+// AccessOrInsert looks the line up and, on a miss, fills it with
+// missState in the same tag scan. It is exactly equivalent to Access
+// followed (on miss) by Insert, but pays one set scan instead of two:
+// the scan tracks the replacement victim while searching for the tag.
+// hit reports whether the line was already present; on a miss the
+// returned victim (if Valid) must be handled as for Insert.
+func (d *Directory) AccessOrInsert(line mem.LineAddr, missState DirState) (e *DirEntry, v DirVictim, hit bool) {
+	if missState == DirInvalid {
+		panic("cache: directory AccessOrInsert with invalid state")
+	}
+	base := d.setBase(line)
+	victim, haveInvalid := int64(-1), false
+	for i := base; i < base+d.assoc; i++ {
+		w := &d.entries[i]
+		if w.Line == line {
+			w.lru = d.bump()
+			d.stats.Hits++
+			return w, DirVictim{}, true
+		}
+		if !haveInvalid {
+			if w.Line == noLine {
+				victim, haveInvalid = i, true
+			} else if victim < 0 || w.lru < d.entries[victim].lru {
+				victim = i
+			}
+		}
+	}
+	d.stats.Misses++
+	tick := d.bump()
+	// Fill inline, duplicating Insert's fill tail (keep the two in
+	// sync): this is the hottest miss path in the simulator and a shared
+	// helper is over the compiler's inline budget.
+	w := &d.entries[victim]
+	if w.State != DirInvalid {
+		v = DirVictim{
+			Line:     w.Line,
+			WasDirty: w.State == DirDirty,
+			Owner:    w.Owner,
+			Sharers:  w.Sharers,
+			Valid:    true,
+		}
+		d.stats.Evictions++
+		if v.WasDirty {
+			d.stats.Writebacks++
+		}
+		if v.Owner != NoOwner || v.Sharers != 0 {
+			d.stats.Recalls++
+		}
+	} else {
+		d.lines++
+	}
+	*w = DirEntry{Line: line, State: missState, Owner: NoOwner, lru: tick}
+	return w, v, false
 }
 
 // ForEachValid calls fn for every valid entry. The callback must not
 // mutate the directory; collect lines first, then act.
 func (d *Directory) ForEachValid(fn func(e *DirEntry)) {
-	for _, set := range d.sets {
-		for i := range set {
-			if set[i].State != DirInvalid {
-				fn(&set[i])
-			}
+	for i := range d.entries {
+		if d.entries[i].State != DirInvalid {
+			fn(&d.entries[i])
 		}
 	}
 }
@@ -246,10 +336,10 @@ func (d *Directory) ForEachValid(fn func(e *DirEntry)) {
 // Invalidate drops the line, returning its final directory state so the
 // caller can write dirty data back and invalidate private copies.
 func (d *Directory) Invalidate(line mem.LineAddr) (DirVictim, bool) {
-	set := d.setOf(line)
-	for i := range set {
-		e := &set[i]
-		if e.State != DirInvalid && e.Line == line {
+	base := d.setBase(line)
+	for i := base; i < base+d.assoc; i++ {
+		e := &d.entries[i]
+		if e.Line == line {
 			v := DirVictim{
 				Line:     e.Line,
 				WasDirty: e.State == DirDirty,
@@ -261,6 +351,7 @@ func (d *Directory) Invalidate(line mem.LineAddr) (DirVictim, bool) {
 				d.stats.Writebacks++
 			}
 			e.State = DirInvalid
+			e.Line = noLine
 			e.Owner = NoOwner
 			e.Sharers = 0
 			d.lines--

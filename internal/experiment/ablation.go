@@ -50,24 +50,30 @@ func Ablation(opt Options) (*AblationResult, error) {
 		})
 	}
 
-	out := &AblationResult{}
-	for _, v := range variants {
+	// Each variant trains and tests its own agent from the same seeds;
+	// the variants are independent and fan out on the worker pool.
+	points := make([]AblationPoint, len(variants))
+	if err := forEachOpt(opt, len(variants), func(i int) error {
+		v := variants[i]
 		agentCfg := core.DefaultConfig()
 		agentCfg.DecayIterations = opt.TrainIterations
 		agentCfg.Seed = opt.Seed
 		v.mut(&agentCfg)
 		agent := core.New(agentCfg)
 		if err := trainCohmeleon(cfg, agent, train, opt.TrainIterations, opt.Seed+7); err != nil {
-			return nil, err
+			return err
 		}
 		res, err := testPolicy(cfg, agent, test, opt.Seed+3)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		exec, mem := geoNormalized(res, baseline)
-		out.Points = append(out.Points, AblationPoint{Variant: v.name, NormExec: exec, NormMem: mem})
+		points[i] = AblationPoint{Variant: v.name, NormExec: exec, NormMem: mem}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &AblationResult{Points: points}, nil
 }
 
 // Point returns a variant's measurement.

@@ -229,7 +229,9 @@ func TestFigure6RewardModelsCluster(t *testing.T) {
 
 func TestProfileHeterogeneousCoversAllSpecs(t *testing.T) {
 	cfg := soc.SoC5() // 4 spec types
-	het := profileHeterogeneous(cfg, 1)
+	opt := Tiny()
+	opt.Seed = 1
+	het := profileHeterogeneous(cfg, opt)
 	seen := map[string]bool{}
 	for _, a := range cfg.Accs {
 		if seen[a.Spec.Name] {

@@ -36,15 +36,28 @@ var fig2Sizes = []struct {
 	{"Large", 4 << 20},
 }
 
-// Figure2 runs the isolation study on the motivation SoC.
+// Figure2 runs the isolation study on the motivation SoC. Every
+// (accelerator, size, mode) measurement simulates one accelerator alone
+// on a fresh SoC; the full cross product fans out on the worker pool and
+// the table is assembled from the indexed results in paper order.
 func Figure2(opt Options) (*Fig2Result, error) {
 	cfg := soc.MotivationIsolation()
+	nS, nM := len(fig2Sizes), int(soc.NumModes)
+	ms := make([]isolationMeasurement, len(cfg.Accs)*nS*nM)
+	_ = forEachOpt(opt, len(ms), func(i int) error {
+		inst := cfg.Accs[i/(nS*nM)]
+		size := fig2Sizes[i/nM%nS]
+		mode := soc.AllModes[i%nM]
+		ms[i] = isolatedInvocation(cfg, inst.InstName, size.Bytes, mode, opt.Runs, opt.Seed)
+		return nil
+	})
+
 	out := &Fig2Result{}
-	for _, inst := range cfg.Accs {
-		for _, size := range fig2Sizes {
+	for ai, inst := range cfg.Accs {
+		for si, size := range fig2Sizes {
 			var exec, mem [soc.NumModes]float64
 			for _, mode := range soc.AllModes {
-				m := isolatedInvocation(cfg, inst.InstName, size.Bytes, mode, opt.Runs, opt.Seed)
+				m := ms[(ai*nS+si)*nM+int(mode)]
 				exec[mode] = m.ExecCycles
 				mem[mode] = m.OffChip
 			}

@@ -41,46 +41,67 @@ func Figure3(opt Options) (*Fig3Result, error) {
 		}
 	}
 
-	// Baseline: each type alone under non-coherent DMA.
+	// Baseline: each type alone under non-coherent DMA. The four
+	// baselines and, afterwards, all (count, mode) cells are independent
+	// simulations on fresh SoCs; both batches fan out on the worker pool.
 	baseExec := map[string]float64{}
 	baseMem := map[string]float64{}
-	for _, tn := range types {
-		e, m := fig3Measure(cfg, []string{tn + ".0"}, soc.NonCohDMA, bytes, opt)
-		baseExec[tn] = e[tn]
-		baseMem[tn] = m[tn]
+	baseE := make([]map[string]float64, len(types))
+	baseM := make([]map[string]float64, len(types))
+	_ = forEachOpt(opt, len(types), func(i int) error {
+		baseE[i], baseM[i] = fig3Measure(cfg, []string{types[i] + ".0"}, soc.NonCohDMA, bytes, opt)
+		return nil
+	})
+	for i, tn := range types {
+		baseExec[tn] = baseE[i][tn]
+		baseMem[tn] = baseM[i][tn]
 	}
 
-	out := &Fig3Result{}
-	for _, n := range fig3Counts {
-		for _, mode := range soc.AllModes {
-			var execs, mems []float64
-			if n == 1 {
-				// One accelerator at a time, averaged over the four types.
-				for _, tn := range types {
-					e, m := fig3Measure(cfg, []string{tn + ".0"}, mode, bytes, opt)
-					execs = append(execs, stats.Ratio(e[tn], baseExec[tn]))
-					mems = append(mems, stats.Ratio(m[tn], baseMem[tn]))
-				}
-			} else {
-				// n/4 instances of each type run concurrently.
-				var insts []string
-				for i := 0; i < n/len(types); i++ {
-					for _, tn := range types {
-						insts = append(insts, fmt.Sprintf("%s.%d", tn, i))
-					}
-				}
-				e, m := fig3Measure(cfg, insts, mode, bytes, opt)
-				for _, tn := range types {
-					execs = append(execs, stats.Ratio(e[tn], baseExec[tn]))
-					mems = append(mems, stats.Ratio(m[tn], baseMem[tn]))
-				}
-			}
-			out.Points = append(out.Points, Fig3Point{
-				Accs: n, Mode: mode,
-				NormExec: stats.Mean(execs),
-				NormMem:  stats.Mean(mems),
-			})
+	// One cell per (count, mode). An n==1 cell averages one solo trial
+	// per type; an n>1 cell is a single trial whose result carries every
+	// type. Each trial writes only its own (cell, type) slots.
+	nM := int(soc.NumModes)
+	nT := len(types)
+	cells := len(fig3Counts) * nM
+	execVals := make([]float64, cells*nT)
+	memVals := make([]float64, cells*nT)
+	_ = forEachOpt(opt, cells*nT, func(t int) error {
+		i, ti := t/nT, t%nT
+		n := fig3Counts[i/nM]
+		mode := soc.AllModes[i%nM]
+		if n == 1 {
+			// One accelerator at a time, averaged over the four types.
+			tn := types[ti]
+			e, m := fig3Measure(cfg, []string{tn + ".0"}, mode, bytes, opt)
+			execVals[t] = stats.Ratio(e[tn], baseExec[tn])
+			memVals[t] = stats.Ratio(m[tn], baseMem[tn])
+			return nil
 		}
+		if ti != 0 {
+			return nil // concurrent cell: the ti==0 trial covers all types
+		}
+		// n/4 instances of each type run concurrently.
+		var insts []string
+		for k := 0; k < n/nT; k++ {
+			for _, name := range types {
+				insts = append(insts, fmt.Sprintf("%s.%d", name, k))
+			}
+		}
+		e, m := fig3Measure(cfg, insts, mode, bytes, opt)
+		for tj, tn := range types {
+			execVals[i*nT+tj] = stats.Ratio(e[tn], baseExec[tn])
+			memVals[i*nT+tj] = stats.Ratio(m[tn], baseMem[tn])
+		}
+		return nil
+	})
+
+	out := &Fig3Result{}
+	for i := 0; i < cells; i++ {
+		out.Points = append(out.Points, Fig3Point{
+			Accs: fig3Counts[i/nM], Mode: soc.AllModes[i%nM],
+			NormExec: stats.Mean(execVals[i*nT : (i+1)*nT]),
+			NormMem:  stats.Mean(memVals[i*nT : (i+1)*nT]),
+		})
 	}
 	return out, nil
 }

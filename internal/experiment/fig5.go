@@ -34,16 +34,22 @@ func Figure5(opt Options) (*Fig5Result, error) {
 		return nil, err
 	}
 
+	// The eight test trials are independent (fresh SoC each, policies
+	// trained above) and fan out; cells are assembled in policy order
+	// against the indexed results, normalized to the first policy.
+	results := make([]*workload.AppResult, len(policies))
+	if err := forEachOpt(opt, len(policies), func(i int) error {
+		res, err := testPolicy(cfg, policies[i], test, opt.Seed+3)
+		results[i] = res
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
 	out := &Fig5Result{}
-	var baseline *workload.AppResult
-	for _, pol := range policies {
-		res, err := testPolicy(cfg, pol, test, opt.Seed+3)
-		if err != nil {
-			return nil, err
-		}
-		if baseline == nil {
-			baseline = res // first policy is fixed-non-coh-dma
-		}
+	baseline := results[0] // first policy is fixed-non-coh-dma
+	for i, pol := range policies {
+		res := results[i]
 		out.Policies = append(out.Policies, pol.Name())
 		for pi := range res.Phases {
 			if len(out.Phases) < len(res.Phases) {

@@ -64,49 +64,56 @@ func Figure6(opt Options) (*Fig6Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig6Result{}
 
-	evaluate := func(label, weights string, pol esp.Policy) error {
+	// One trial per baseline policy plus one train+test trial per reward
+	// model. Each trial owns its policy (the heterogeneous baseline is
+	// profiled inside its trial, each model trains its own agent with
+	// seeds fixed by index), so the whole batch fans out and the scatter
+	// is assembled from the indexed results in paper order.
+	baselineMakers := []func() esp.Policy{
+		func() esp.Policy { return policy.NewFixed(soc.NonCohDMA) },
+		func() esp.Policy { return policy.NewFixed(soc.LLCCohDMA) },
+		func() esp.Policy { return policy.NewFixed(soc.CohDMA) },
+		func() esp.Policy { return policy.NewFixed(soc.FullyCoh) },
+		func() esp.Policy { return policy.NewRandom(opt.Seed) },
+		func() esp.Policy { return profileHeterogeneous(cfg, opt) },
+		func() esp.Policy { return policy.NewManual() },
+	}
+	weights := fig6Weights(opt.Fig6Models)
+	points := make([]Fig6Point, len(baselineMakers)+len(weights))
+	if err := forEachOpt(opt, len(points), func(i int) error {
+		var pol esp.Policy
+		label, wlabel := "", ""
+		if i < len(baselineMakers) {
+			pol = baselineMakers[i]()
+			label = pol.Name()
+		} else {
+			w := weights[i-len(baselineMakers)]
+			mi := i - len(baselineMakers)
+			agentCfg := core.DefaultConfig()
+			agentCfg.Weights = w
+			agentCfg.DecayIterations = opt.Fig6TrainIterations
+			agentCfg.Seed = opt.Seed + uint64(mi)
+			agent := core.New(agentCfg)
+			if err := trainCohmeleon(cfg, agent, train, opt.Fig6TrainIterations, opt.Seed+uint64(100*mi)); err != nil {
+				return err
+			}
+			pol, label, wlabel = agent, "cohmeleon", w.String()
+		}
 		res, err := testPolicy(cfg, pol, test, opt.Seed+3)
 		if err != nil {
 			return err
 		}
 		exec, mem := geoNormalized(res, baseline)
-		p := Fig6Point{Label: label, Weights: weights, NormExec: exec, NormMem: mem}
-		if _, isAgent := pol.(*core.Cohmeleon); isAgent {
-			out.Cohmeleon = append(out.Cohmeleon, p)
-		} else {
-			out.Baselines = append(out.Baselines, p)
-		}
+		points[i] = Fig6Point{Label: label, Weights: wlabel, NormExec: exec, NormMem: mem}
 		return nil
+	}); err != nil {
+		return nil, err
 	}
 
-	for _, pol := range []esp.Policy{
-		policy.NewFixed(soc.NonCohDMA),
-		policy.NewFixed(soc.LLCCohDMA),
-		policy.NewFixed(soc.CohDMA),
-		policy.NewFixed(soc.FullyCoh),
-		policy.NewRandom(opt.Seed),
-		profileHeterogeneous(cfg, opt.Seed),
-		policy.NewManual(),
-	} {
-		if err := evaluate(pol.Name(), "", pol); err != nil {
-			return nil, err
-		}
-	}
-	for i, w := range fig6Weights(opt.Fig6Models) {
-		agentCfg := core.DefaultConfig()
-		agentCfg.Weights = w
-		agentCfg.DecayIterations = opt.Fig6TrainIterations
-		agentCfg.Seed = opt.Seed + uint64(i)
-		agent := core.New(agentCfg)
-		if err := trainCohmeleon(cfg, agent, train, opt.Fig6TrainIterations, opt.Seed+uint64(100*i)); err != nil {
-			return nil, err
-		}
-		if err := evaluate("cohmeleon", w.String(), agent); err != nil {
-			return nil, err
-		}
-	}
+	out := &Fig6Result{}
+	out.Baselines = append(out.Baselines, points[:len(baselineMakers)]...)
+	out.Cohmeleon = append(out.Cohmeleon, points[len(baselineMakers):]...)
 	return out, nil
 }
 

@@ -38,12 +38,21 @@ func Figure7(opt Options) (*Fig7Result, error) {
 	manual := policies[6]
 	agent := policies[7]
 
+	// The two test trials (trained agent, manual) are independent and
+	// run concurrently; rows are tallied in paper order afterwards.
+	pols := []esp.Policy{agent, manual}
+	results := make([]*workload.AppResult, len(pols))
+	if err := forEachOpt(opt, len(pols), func(i int) error {
+		res, err := testPolicy(cfg, pols[i], test, opt.Seed+3)
+		results[i] = res
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
 	out := &Fig7Result{}
-	for _, pol := range []esp.Policy{agent, manual} {
-		res, err := testPolicy(cfg, pol, test, opt.Seed+3)
-		if err != nil {
-			return nil, err
-		}
+	for i, pol := range pols {
+		res := results[i]
 		counts := map[string][soc.NumModes]int64{}
 		for _, inv := range res.AllInvocations() {
 			for _, key := range []string{"all", sizeClassOf(inv, cfg).String()} {

@@ -35,8 +35,13 @@ func Figure8(opt Options) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig8Result{}
-	for _, schedule := range opt.Fig8Schedules {
+	// Each decay schedule trains its own agent and must alternate train
+	// and frozen-test sequentially (iteration i+1 learns from i), but the
+	// schedules are independent of each other and fan out; their point
+	// series are concatenated in option order afterwards.
+	series := make([][]Fig8Point, len(opt.Fig8Schedules))
+	if err := forEachOpt(opt, len(opt.Fig8Schedules), func(si int) error {
+		schedule := opt.Fig8Schedules[si]
 		agentCfg := core.DefaultConfig()
 		agentCfg.DecayIterations = schedule
 		agentCfg.Seed = opt.Seed
@@ -48,23 +53,31 @@ func Figure8(opt Options) (*Fig8Result, error) {
 				return err
 			}
 			exec, mem := geoNormalized(res, baseline)
-			out.Points = append(out.Points, Fig8Point{
+			series[si] = append(series[si], Fig8Point{
 				Schedule: schedule, Iteration: iter, NormExec: exec, NormMem: mem,
 			})
 			return nil
 		}
 		// Iteration 0: the untrained model (equivalent to Random).
 		if err := record(0); err != nil {
-			return nil, err
+			return err
 		}
 		for i := 1; i <= schedule; i++ {
 			if err := trainCohmeleon(cfg, agent, train, 1, opt.Seed+uint64(i)); err != nil {
-				return nil, err
+				return err
 			}
 			if err := record(i); err != nil {
-				return nil, err
+				return err
 			}
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	out := &Fig8Result{}
+	for _, s := range series {
+		out.Points = append(out.Points, s...)
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"cohmeleon/internal/core"
+	"cohmeleon/internal/esp"
 	"cohmeleon/internal/soc"
 	"cohmeleon/internal/stats"
 	"cohmeleon/internal/workload"
@@ -46,24 +47,51 @@ func fig9Configs(seed uint64) []*soc.Config {
 	}
 }
 
-// Figure9 runs the cross-SoC study.
+// Figure9 runs the cross-SoC study. Two fan-out phases: every SoC's
+// policy set (training + profiling) is prepared concurrently, then all
+// (SoC, policy) test trials run as one flat pool. Each trial owns its
+// policy instance and a fresh SoC; seeds are fixed up front, and the
+// points are assembled in paper order from the indexed results, so the
+// report is identical for any worker count.
 func Figure9(opt Options) (*Fig9Result, error) {
+	cfgs := fig9Configs(opt.Seed)
+	// Phase 1 already fans one task per SoC, so the nested fan-out inside
+	// policySet (training ∥ profiling, and the profiler's trials) gets
+	// only the leftover share of the pool; otherwise the effective
+	// concurrency would multiply across nesting levels and blow far past
+	// Options.Workers in SoC-sized allocations.
+	inner := opt
+	inner.Workers = opt.workers() / len(cfgs)
+	if inner.Workers < 1 {
+		inner.Workers = 1
+	}
+	tests := make([]*workload.App, len(cfgs))
+	policies := make([][]esp.Policy, len(cfgs))
+	if err := forEachOpt(opt, len(cfgs), func(i int) error {
+		tests[i] = workload.AppFor(cfgs[i], opt.Seed+2000)
+		pols, err := policySet(cfgs[i], inner, core.DefaultWeights())
+		policies[i] = pols
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	perSoC := len(policies[0])
+	results := make([]*workload.AppResult, len(cfgs)*perSoC)
+	if err := forEachOpt(opt, len(results), func(i int) error {
+		ci, pi := i/perSoC, i%perSoC
+		res, err := testPolicy(cfgs[ci], policies[ci][pi], tests[ci], opt.Seed+3)
+		results[i] = res
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
 	out := &Fig9Result{}
-	for _, cfg := range fig9Configs(opt.Seed) {
-		test := workload.AppFor(cfg, opt.Seed+2000)
-		policies, err := policySet(cfg, opt, core.DefaultWeights())
-		if err != nil {
-			return nil, err
-		}
-		var baseline *workload.AppResult
-		for _, pol := range policies {
-			res, err := testPolicy(cfg, pol, test, opt.Seed+3)
-			if err != nil {
-				return nil, err
-			}
-			if baseline == nil {
-				baseline = res
-			}
+	for ci, cfg := range cfgs {
+		baseline := results[ci*perSoC] // first policy is fixed-non-coh-dma
+		for pi, pol := range policies[ci] {
+			res := results[ci*perSoC+pi]
 			exec, mem := geoNormalized(res, baseline)
 			out.Points = append(out.Points, Fig9Point{
 				SoC: cfg.Name, Policy: pol.Name(), NormExec: exec, NormMem: mem,

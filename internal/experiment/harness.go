@@ -60,26 +60,43 @@ func testPolicy(cfg *soc.Config, pol esp.Policy, test *workload.App, seed uint64
 // profileHeterogeneous derives the fixed-heterogeneous assignment the
 // way the paper does: profile each accelerator type in isolation under
 // every mode while sweeping the workload footprint, then fix the mode
-// with the best mean normalized execution time.
-func profileHeterogeneous(cfg *soc.Config, seed uint64) *policy.FixedHeterogeneous {
+// with the best mean normalized execution time. The (spec, mode, size)
+// profiling trials are independent — each simulates one accelerator
+// alone on a fresh SoC — and fan out on the worker pool.
+func profileHeterogeneous(cfg *soc.Config, opt Options) *policy.FixedHeterogeneous {
 	classes := []workload.SizeClass{workload.Small, workload.Medium, workload.Large, workload.ExtraLarge}
-	assignment := make(map[string]soc.Mode)
+	var specs, insts []string // one profiled instance per spec, in config order
 	seen := make(map[string]bool)
 	for _, inst := range cfg.Accs {
-		specName := inst.Spec.Name
-		if seen[specName] {
+		if seen[inst.Spec.Name] {
 			continue
 		}
-		seen[specName] = true
+		seen[inst.Spec.Name] = true
+		specs = append(specs, inst.Spec.Name)
+		insts = append(insts, inst.InstName)
+	}
 
+	nc := len(classes)
+	trials := len(specs) * int(soc.NumModes) * nc
+	results := make([]isolationMeasurement, trials)
+	_ = forEachOpt(opt, trials, func(i int) error {
+		si := i / (int(soc.NumModes) * nc)
+		mi := i / nc % int(soc.NumModes)
+		ci := i % nc
+		bytes := workload.ClassBytes(classes[ci], cfg)
+		results[i] = isolatedInvocation(cfg, insts[si], bytes, soc.AllModes[mi], 1, opt.Seed)
+		return nil
+	})
+
+	assignment := make(map[string]soc.Mode)
+	for si, specName := range specs {
 		// Mean exec per mode, each size normalized against NonCohDMA so
 		// sizes weigh equally.
 		execs := make([][]float64, soc.NumModes) // [mode][size]
-		for _, mode := range soc.AllModes {
-			for _, class := range classes {
-				bytes := workload.ClassBytes(class, cfg)
-				res := isolatedInvocation(cfg, inst.InstName, bytes, mode, 1, seed)
-				execs[mode] = append(execs[mode], float64(res.ExecCycles))
+		for mi := range soc.AllModes {
+			for ci := 0; ci < nc; ci++ {
+				res := results[(si*int(soc.NumModes)+mi)*nc+ci]
+				execs[mi] = append(execs[mi], float64(res.ExecCycles))
 			}
 		}
 		scores := make([]float64, soc.NumModes)
@@ -134,7 +151,10 @@ func isolatedInvocation(cfg *soc.Config, instName string, bytes int64, mode soc.
 
 // policySet builds the paper's eight policies for one SoC, training
 // Cohmeleon and profiling the heterogeneous baseline. The training and
-// test applications differ (different generator seeds).
+// test applications differ (different generator seeds). Training and
+// profiling are independent (separate policies, fresh SoCs per
+// measurement) and run concurrently; the training loop itself stays
+// sequential because iteration i+1 learns from iteration i.
 func policySet(cfg *soc.Config, opt Options, weights core.RewardWeights) ([]esp.Policy, error) {
 	train := workload.AppFor(cfg, opt.Seed+1000)
 	agentCfg := core.DefaultConfig()
@@ -142,7 +162,14 @@ func policySet(cfg *soc.Config, opt Options, weights core.RewardWeights) ([]esp.
 	agentCfg.DecayIterations = opt.TrainIterations
 	agentCfg.Seed = opt.Seed
 	agent := core.New(agentCfg)
-	if err := trainCohmeleon(cfg, agent, train, opt.TrainIterations, opt.Seed+7); err != nil {
+	var het *policy.FixedHeterogeneous
+	if err := forEachOpt(opt, 2, func(i int) error {
+		if i == 0 {
+			return trainCohmeleon(cfg, agent, train, opt.TrainIterations, opt.Seed+7)
+		}
+		het = profileHeterogeneous(cfg, opt)
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	return []esp.Policy{
@@ -151,7 +178,7 @@ func policySet(cfg *soc.Config, opt Options, weights core.RewardWeights) ([]esp.
 		policy.NewFixed(soc.CohDMA),
 		policy.NewFixed(soc.FullyCoh),
 		policy.NewRandom(opt.Seed),
-		profileHeterogeneous(cfg, opt.Seed),
+		het,
 		policy.NewManual(),
 		agent,
 	}, nil

@@ -24,6 +24,14 @@ type Options struct {
 	Fig6TrainIterations int
 	// Fig8Schedules are the decay schedules compared in Figure 8.
 	Fig8Schedules []int
+	// Workers bounds the number of independent trials run concurrently
+	// per fan-out stage. Zero (the default) uses runtime.GOMAXPROCS(0);
+	// 1 forces the sequential order. Every trial simulates a fresh SoC
+	// with pre-assigned seeds and results are collected by index, so
+	// rendered reports are byte-identical for any worker count. Stages
+	// that nest (Figure 9's per-SoC policy preparation contains its own
+	// fan-out) split the budget across levels rather than multiplying it.
+	Workers int
 }
 
 // Default returns the paper-faithful configuration.

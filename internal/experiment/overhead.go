@@ -24,13 +24,17 @@ type OverheadResult struct {
 	Points []OverheadPoint
 }
 
-// Overhead measures the overhead sweep on the motivation SoC.
+// Overhead measures the overhead sweep on the motivation SoC. The five
+// footprint points are independent trials (fresh SoC and frozen agent
+// each) and fan out on the worker pool.
 func Overhead(opt Options) (*OverheadResult, error) {
 	cfg := soc.MotivationIsolation()
 	agentCfg := core.DefaultConfig()
 	overhead := agentCfg.OverheadCycles
-	out := &OverheadResult{}
-	for _, kb := range []int64{16, 64, 256, 1024, 4096} {
+	footprints := []int64{16, 64, 256, 1024, 4096}
+	points := make([]OverheadPoint, len(footprints))
+	if err := forEachOpt(opt, len(footprints), func(i int) error {
+		kb := footprints[i]
 		agent := core.New(agentCfg)
 		agent.Freeze()
 		s := mustBuild(cfg)
@@ -49,15 +53,18 @@ func Overhead(opt Options) (*OverheadResult, error) {
 			exec = float64(res.ExecCycles)
 		})
 		if err := s.Eng.Run(); err != nil {
-			return nil, err
+			return err
 		}
-		out.Points = append(out.Points, OverheadPoint{
+		points[i] = OverheadPoint{
 			FootprintKB: kb,
 			ExecCycles:  exec,
 			Fraction:    float64(overhead) / exec,
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	return out, nil
+	return &OverheadResult{Points: points}, nil
 }
 
 // Render formats the sweep.

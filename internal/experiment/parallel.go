@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the worker pool the experiments fan out on.
+//
+// Every experiment in this package decomposes into independent trials:
+// each trial builds a fresh SoC (hardware state never survives a
+// measurement), owns its policy instances, and draws from seeds assigned
+// before the fan-out. Trials therefore neither share mutable state nor
+// depend on execution order, and reports assembled from the indexed
+// results are byte-identical to the sequential run. Only the training
+// loop of a single agent is inherently sequential (iteration i+1 learns
+// from iteration i); independent (SoC, policy, seed, reward-weight)
+// combinations fan out.
+
+// workers resolves the configured worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// taskPanic carries a recovered panic from a worker to the caller.
+type taskPanic struct {
+	index int
+	value interface{}
+	stack []byte
+}
+
+// forEach runs fn(i) for every i in [0, n) on up to `workers` goroutines
+// and waits for all of them. Errors are collected per index and the
+// lowest-index one is returned, matching what a sequential loop that
+// stopped at the first failure would have reported. A panicking task
+// does not tear down the process from a bare goroutine: the panic is
+// captured and re-raised on the calling goroutine (lowest index first).
+// With workers == 1 (or n == 1) fn runs inline in index order.
+func forEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	panics := make([]*taskPanic, n)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = &taskPanic{index: i, value: r, stack: debug.Stack()}
+						}
+					}()
+					errs[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("experiment: trial %d panicked: %v\n%s", p.index, p.value, p.stack))
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forEachOpt is forEach with the worker count taken from the options.
+func forEachOpt(opt Options, n int, fn func(i int) error) error {
+	return forEach(opt.workers(), n, fn)
+}

@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		n := 23
+		counts := make([]int64, n)
+		if err := forEach(workers, n, func(i int) error {
+			atomic.AddInt64(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := forEach(4, 10, func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 2:
+			return errA
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("got %v, want the lowest-index error %v", err, errA)
+	}
+}
+
+func TestForEachPropagatesPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected the worker panic to reach the caller")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic lost its payload: %v", r)
+		}
+	}()
+	_ = forEach(4, 8, func(i int) error {
+		if i == 5 {
+			panic("boom")
+		}
+		return nil
+	})
+}
+
+// TestWorkersReportByteIdenticalFig5 proves the fan-out is inert for
+// results: the same experiment rendered with Workers 1 and Workers 8
+// must produce byte-identical reports.
+func TestWorkersReportByteIdenticalFig5(t *testing.T) {
+	seq := Tiny()
+	seq.Workers = 1
+	par := Tiny()
+	par.Workers = 8
+
+	a, err := Figure5(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure5(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("fig5 reports differ between Workers=1 and Workers=8:\n--- seq ---\n%s\n--- par ---\n%s",
+			a.Render(), b.Render())
+	}
+}
+
+// TestWorkersReportByteIdenticalHeadline is the full-protocol variant of
+// the determinism check: the headline aggregate (Figure 9 across all
+// seven SoCs plus the derived averages) rendered with Workers 1 and
+// Workers 8 must match byte for byte. The two runs simulate every
+// (SoC, policy) trial twice, so the test is skipped under -short.
+func TestWorkersReportByteIdenticalHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full Tiny headline twice; skipped in -short")
+	}
+	seq := Tiny()
+	seq.Workers = 1
+	par := Tiny()
+	par.Workers = 8
+
+	a, err := Headline(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Headline(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fig9.Render() != b.Fig9.Render() {
+		t.Fatal("fig9 reports differ between Workers=1 and Workers=8")
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("headline reports differ between Workers=1 and Workers=8:\n--- seq ---\n%s\n--- par ---\n%s",
+			a.Render(), b.Render())
+	}
+}

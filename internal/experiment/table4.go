@@ -13,13 +13,15 @@ type Table4Result struct {
 	Configs []*soc.Config
 }
 
-// Table4 builds every evaluation SoC and reports its parameters.
+// Table4 builds every evaluation SoC (concurrently — the builds are
+// independent) and reports its parameters.
 func Table4(opt Options) (*Table4Result, error) {
 	configs := soc.Table4(opt.Seed)
-	for _, cfg := range configs {
-		if _, err := cfg.Build(); err != nil {
-			return nil, err
-		}
+	if err := forEachOpt(opt, len(configs), func(i int) error {
+		_, err := configs[i].Build()
+		return err
+	}); err != nil {
+		return nil, err
 	}
 	return &Table4Result{Configs: configs}, nil
 }

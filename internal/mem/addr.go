@@ -5,7 +5,10 @@
 // 32-bits-per-cycle channel bandwidth.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Line geometry. The simulator tracks memory at cache-line granularity.
 const (
@@ -18,7 +21,12 @@ const (
 const (
 	PageBytes = 1 << 20
 	PageLines = PageBytes / LineBytes
+	// PageLineShift is log2(PageLines), for shift-based page arithmetic.
+	PageLineShift = 14
 )
+
+// Compile-time check that PageLineShift matches PageLines.
+var _ = [1]struct{}{}[PageLines-1<<PageLineShift]
 
 // LineAddr is a global physical cache-line address (byte address divided
 // by LineBytes).
@@ -30,6 +38,7 @@ type LineAddr int64
 type AddressMap struct {
 	partitions int
 	partLines  int64
+	partShift  uint // log2(partLines) when partLines is a power of two, else 0
 }
 
 // NewAddressMap creates a map with the given number of partitions, each
@@ -41,7 +50,11 @@ func NewAddressMap(partitions int, partBytes int64) *AddressMap {
 	if partBytes <= 0 || partBytes%PageBytes != 0 {
 		panic(fmt.Sprintf("mem: partition size %d not a positive multiple of page size", partBytes))
 	}
-	return &AddressMap{partitions: partitions, partLines: partBytes / LineBytes}
+	m := &AddressMap{partitions: partitions, partLines: partBytes / LineBytes}
+	if m.partLines&(m.partLines-1) == 0 {
+		m.partShift = uint(bits.TrailingZeros64(uint64(m.partLines)))
+	}
+	return m
 }
 
 // Partitions returns the number of memory partitions (memory tiles).
@@ -52,7 +65,12 @@ func (m *AddressMap) PartLines() int64 { return m.partLines }
 
 // Home returns the partition that owns the given line.
 func (m *AddressMap) Home(line LineAddr) int {
-	p := int(int64(line) / m.partLines)
+	var p int
+	if m.partShift != 0 {
+		p = int(uint64(line) >> m.partShift) // line is non-negative for any valid address
+	} else {
+		p = int(int64(line) / m.partLines)
+	}
 	if p < 0 || p >= m.partitions {
 		panic(fmt.Sprintf("mem: line %d outside address space", line))
 	}

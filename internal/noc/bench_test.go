@@ -1,0 +1,32 @@
+package noc
+
+import (
+	"testing"
+
+	"cohmeleon/internal/sim"
+)
+
+// BenchmarkTransfer measures one 4-hop, 64-byte message — the inner loop
+// of every simulated data movement.
+func BenchmarkTransfer(b *testing.B) {
+	m := NewMesh(5, 5)
+	src := Coord{X: 0, Y: 0}
+	dst := Coord{X: 2, Y: 2}
+	at := sim.Cycles(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at = m.Transfer(PlaneDMAData, src, dst, 64, at)
+	}
+}
+
+// BenchmarkTransferHeader measures a header-only hop (request planes).
+func BenchmarkTransferHeader(b *testing.B) {
+	m := NewMesh(5, 5)
+	src := Coord{X: 1, Y: 0}
+	dst := Coord{X: 4, Y: 0}
+	at := sim.Cycles(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at = m.Transfer(PlaneDMAReq, src, dst, 0, at)
+	}
+}

@@ -61,12 +61,39 @@ const HeaderFlits = 1
 // Coord is a tile position on the mesh.
 type Coord struct{ X, Y int }
 
-// Mesh is the NoC fabric. It owns one sim.Resource per directed link per
-// plane. Tiles are addressed by their mesh coordinate.
+// link is one directed mesh link: a FIFO server identical in discipline
+// to sim.Resource, stripped to the two fields Transfer actually touches.
+// 16 bytes keeps four links per hardware cache line; Transfer walks one
+// link per hop on every simulated message and is memory-bound otherwise.
+type link struct {
+	availableAt sim.Cycles
+	busy        sim.Cycles
+}
+
+// acquire reserves dur cycles of service starting no earlier than at,
+// returning the service window — sim.Resource.Acquire without the
+// name/grant bookkeeping links do not need.
+func (l *link) acquire(at, dur sim.Cycles) (start, end sim.Cycles) {
+	start = at
+	if l.availableAt > start {
+		start = l.availableAt
+	}
+	end = start + dur
+	l.availableAt = end
+	l.busy += dur
+	return start, end
+}
+
+// Mesh is the NoC fabric. It owns one FIFO link server per directed link
+// per plane. Tiles are addressed by their mesh coordinate.
 type Mesh struct {
 	width, height int
 	// links[plane][linkIndex]; linkIndex encodes (from, direction).
-	links [][]*sim.Resource
+	links [][]link
+	// routes[srcTile*tiles+dstTile] lists the link indices of the XY
+	// route, precomputed at construction: routes are static, and Transfer
+	// walks one on every simulated message.
+	routes [][]int32
 }
 
 // direction indices for the four mesh neighbours.
@@ -84,15 +111,48 @@ func NewMesh(width, height int) *Mesh {
 		panic("noc: mesh dimensions must be positive")
 	}
 	m := &Mesh{width: width, height: height}
-	m.links = make([][]*sim.Resource, NumPlanes)
+	m.links = make([][]link, NumPlanes)
 	n := width * height * numDirs
 	for p := range m.links {
-		m.links[p] = make([]*sim.Resource, n)
-		for i := range m.links[p] {
-			m.links[p][i] = sim.NewResource(fmt.Sprintf("link-%s-%d", Plane(p), i))
+		m.links[p] = make([]link, n)
+	}
+	m.buildRoutes()
+	return m
+}
+
+// buildRoutes precomputes the XY route of every (src, dst) tile pair as
+// a list of link indices, all subslices of one backing array.
+func (m *Mesh) buildRoutes() {
+	tiles := m.width * m.height
+	m.routes = make([][]int32, tiles*tiles)
+	var backing []int32
+	for sy := 0; sy < m.height; sy++ {
+		for sx := 0; sx < m.width; sx++ {
+			for dy := 0; dy < m.height; dy++ {
+				for dx := 0; dx < m.width; dx++ {
+					from := len(backing)
+					x, y := sx, sy
+					for x < dx {
+						backing = append(backing, int32(m.linkIndex(Coord{x, y}, dirEast)))
+						x++
+					}
+					for x > dx {
+						backing = append(backing, int32(m.linkIndex(Coord{x, y}, dirWest)))
+						x--
+					}
+					for y < dy {
+						backing = append(backing, int32(m.linkIndex(Coord{x, y}, dirSouth)))
+						y++
+					}
+					for y > dy {
+						backing = append(backing, int32(m.linkIndex(Coord{x, y}, dirNorth)))
+						y--
+					}
+					m.routes[(sy*m.width+sx)*tiles+(dy*m.width+dx)] = backing[from:len(backing):len(backing)]
+				}
+			}
 		}
 	}
-	return m
 }
 
 // Width returns the mesh width in tiles.
@@ -178,26 +238,15 @@ func (m *Mesh) Transfer(plane Plane, src, dst Coord, bytes int, at sim.Cycles) s
 		return at + service
 	}
 	links := m.links[plane]
+	route := m.routes[(src.Y*m.width+src.X)*m.width*m.height+(dst.Y*m.width+dst.X)]
 	cur := at
 	var tail sim.Cycles
-	pos := src
-	step := func(dir int, next Coord) {
-		start, end := links[m.linkIndex(pos, dir)].Acquire(cur, service)
-		cur = start + HopCycles // head moves to the next router
+	for _, li := range route {
+		// Head moves one hop per cycle; the payload reserves service time
+		// on every link along the precomputed XY route.
+		start, end := links[li].acquire(cur, service)
+		cur = start + HopCycles
 		tail = end
-		pos = next
-	}
-	for pos.X < dst.X {
-		step(dirEast, Coord{pos.X + 1, pos.Y})
-	}
-	for pos.X > dst.X {
-		step(dirWest, Coord{pos.X - 1, pos.Y})
-	}
-	for pos.Y < dst.Y {
-		step(dirSouth, Coord{pos.X, pos.Y + 1})
-	}
-	for pos.Y > dst.Y {
-		step(dirNorth, Coord{pos.X, pos.Y - 1})
 	}
 	// Tail arrives one hop after leaving the last link's upstream router.
 	return tail + HopCycles
@@ -216,8 +265,9 @@ func (m *Mesh) RoundTrip(reqPlane, rspPlane Plane, src, dst Coord, bytes int, re
 // plane, for utilization reporting.
 func (m *Mesh) LinkBusy(plane Plane) sim.Cycles {
 	var total sim.Cycles
-	for _, l := range m.links[plane] {
-		total += l.BusyCycles()
+	links := m.links[plane]
+	for i := range links {
+		total += links[i].busy
 	}
 	return total
 }

@@ -1,0 +1,81 @@
+package soc
+
+import (
+	"testing"
+
+	"cohmeleon/internal/mem"
+	"cohmeleon/internal/sim"
+)
+
+// Micro-benchmarks for the transfer hot path: one DMA group through each
+// datapath, and a full accelerator invocation per mode. These isolate
+// the per-line costs (directory scans, NoC link reservations, DRAM
+// bursts) that dominate every experiment.
+
+func benchSoC(b *testing.B) *SoC {
+	b.Helper()
+	s, err := testConfig().Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// benchGroup measures one GroupLines-sized group transfer through the
+// given datapath, re-issued b.N times inside a single simulation
+// process. The virtual clock advances monotonically, so every iteration
+// pays the same state-machine work as a steady-state transfer.
+func benchGroup(b *testing.B, mode Mode, write bool) {
+	s := benchSoC(b)
+	buf, err := s.Heap.Alloc(256 << 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := s.Accs[0]
+	group := int64(s.P.GroupLines)
+	lines := buf.Lines()
+	s.Eng.Go("bench", func(p *sim.Proc) {
+		meter := &Meter{}
+		t := p.Now()
+		start := buf.Extents[0].Start
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			off := (int64(i) * group) % (lines - group)
+			switch mode {
+			case NonCohDMA:
+				t = s.dmaGroupNonCoh(s.homeTile(start), a, start+mem.LineAddr(off), group, write, t, meter)
+			case LLCCohDMA, CohDMA:
+				t = s.dmaGroupLLC(s.homeTile(start), a, start+mem.LineAddr(off), group, write, mode == CohDMA, t, meter)
+			case FullyCoh:
+				t = s.cachedGroupAccess(a.Agent, start+mem.LineAddr(off), group, write, t, meter)
+			}
+		}
+	})
+	if err := s.Eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkDMAGroupNonCohRead(b *testing.B)  { benchGroup(b, NonCohDMA, false) }
+func BenchmarkDMAGroupLLCRead(b *testing.B)     { benchGroup(b, LLCCohDMA, false) }
+func BenchmarkDMAGroupCohRead(b *testing.B)     { benchGroup(b, CohDMA, false) }
+func BenchmarkCachedGroupRead(b *testing.B)     { benchGroup(b, FullyCoh, false) }
+func BenchmarkDMAGroupLLCWrite(b *testing.B)    { benchGroup(b, LLCCohDMA, true) }
+func BenchmarkCachedGroupWrite(b *testing.B)    { benchGroup(b, FullyCoh, true) }
+func BenchmarkInvocation16kBCohDMA(b *testing.B) {
+	s := benchSoC(b)
+	buf, err := s.Heap.Alloc(16 << 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := s.Accs[0]
+	s.Eng.Go("bench", func(p *sim.Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.RunAccelerator(p, a, buf, CohDMA, sim.NewRNG(uint64(i)))
+		}
+	})
+	if err := s.Eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

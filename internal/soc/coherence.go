@@ -67,13 +67,13 @@ func (s *SoC) recallFromOwner(mt *MemTile, e *cache.DirEntry, invalidate bool, a
 // forwards are fire-and-forget; the directory pays header issue cost.
 func (s *SoC) invalidateSharers(mt *MemTile, e *cache.DirEntry, at sim.Cycles) sim.Cycles {
 	t := at
-	for _, id := range e.SharerList() {
+	e.ForEachSharer(func(id int) {
 		ag := &s.agents[id]
 		_, t = mt.Port.Acquire(t, s.P.RecallHeaderCycles)
 		arrive := s.Mesh.Transfer(noc.PlaneCohFwd, mt.Coord, ag.coord, 0, t)
 		_, _ = ag.port.Acquire(arrive, s.P.L2HitCycles)
 		ag.cache.Invalidate(e.Line) // may be a stale sharer (silent eviction): harmless
-	}
+	})
 	e.Sharers = 0
 	return t
 }
@@ -97,18 +97,13 @@ func (s *SoC) evictLLCVictim(mt *MemTile, v cache.DirVictim, at sim.Cycles, mete
 			dirty = true
 		}
 	}
-	for id := uint(0); v.Sharers != 0 && id < 64; id++ {
-		bit := uint64(1) << id
-		if v.Sharers&bit == 0 {
-			continue
-		}
-		v.Sharers &^= bit
+	cache.ForEachSharerMask(v.Sharers, func(id int) {
 		ag := &s.agents[id]
 		_, t = mt.Port.Acquire(t, s.P.RecallHeaderCycles)
 		arrive := s.Mesh.Transfer(noc.PlaneCohFwd, mt.Coord, ag.coord, 0, t)
 		_, _ = ag.port.Acquire(arrive, s.P.L2HitCycles)
 		ag.cache.Invalidate(v.Line)
-	}
+	})
 	if dirty {
 		mt.DRAM.Post(t, 1, true)
 		meter.add(1)
@@ -158,16 +153,11 @@ func (s *SoC) cachedGroupAccess(agentID int, start mem.LineAddr, n int64, write 
 	defer func() { s.missScratch = misses[:0] }()
 	for i := int64(0); i < n; i++ {
 		line := start + mem.LineAddr(i)
-		st, hit := ag.cache.Access(line)
-		if hit {
-			if !write || st == cache.Modified || st == cache.Exclusive {
-				if write {
-					ag.cache.SetState(line, cache.Modified)
-				}
-				continue
-			}
-			// Write hit in Shared: needs ownership upgrade.
+		st, hit := ag.cache.AccessUpgrade(line, write)
+		if hit && (!write || st == cache.Modified || st == cache.Exclusive) {
+			continue
 		}
+		// Miss, or write hit in Shared (needs ownership upgrade).
 		misses = append(misses, line)
 	}
 	if len(misses) == 0 {
@@ -180,15 +170,12 @@ func (s *SoC) cachedGroupAccess(agentID int, start mem.LineAddr, n int64, write 
 	var fillLines int64 // lines read from DRAM
 	for _, line := range misses {
 		_, t = mt.Port.Acquire(t, s.P.LLCLookupCycles)
-		e := mt.LLC.Access(line)
-		if e == nil {
-			st := cache.DirClean
+		e, v, hit := mt.LLC.AccessOrInsert(line, cache.DirClean)
+		if !hit {
 			if !write {
 				fillLines++
 			}
 			_, t = mt.Port.Acquire(t, s.P.LLCMissPerLine)
-			var v cache.DirVictim
-			e, v = mt.LLC.Insert(line, st)
 			t = s.evictLLCVictim(mt, v, t, meter)
 		} else {
 			if e.Owner != cache.NoOwner && e.Owner != agentID {
@@ -251,8 +238,7 @@ func (s *SoC) cachedGroupAccess(agentID int, start mem.LineAddr, n int64, write 
 // coherence: private copies are recalled/invalidated); without it the
 // bridge is coherent with the LLC only, as in LLCCohDMA, where software
 // flushed the private caches beforehand.
-func (s *SoC) dmaGroupLLC(a *AccTile, start mem.LineAddr, n int64, write, recallOwners bool, at sim.Cycles, meter *Meter) sim.Cycles {
-	mt := s.homeTile(start)
+func (s *SoC) dmaGroupLLC(mt *MemTile, a *AccTile, start mem.LineAddr, n int64, write, recallOwners bool, at sim.Cycles, meter *Meter) sim.Cycles {
 	var t sim.Cycles
 	if write {
 		// Data travels with the request.
@@ -260,25 +246,24 @@ func (s *SoC) dmaGroupLLC(a *AccTile, start mem.LineAddr, n int64, write, recall
 	} else {
 		t = s.Mesh.Transfer(noc.PlaneDMAReq, a.Coord, mt.Coord, 0, at)
 	}
+	missState := cache.DirClean
+	if write {
+		missState = cache.DirDirty
+	}
+	lookup := s.P.LLCLookupCycles
+	if recallOwners {
+		lookup += s.P.CohDMACheckCycles
+	}
 	var fillLines int64
 	for i := int64(0); i < n; i++ {
 		line := start + mem.LineAddr(i)
-		lookup := s.P.LLCLookupCycles
-		if recallOwners {
-			lookup += s.P.CohDMACheckCycles
-		}
 		_, t = mt.Port.Acquire(t, lookup)
-		e := mt.LLC.Access(line)
-		if e == nil {
-			st := cache.DirClean
-			if write {
-				st = cache.DirDirty
-			} else {
+		e, v, hit := mt.LLC.AccessOrInsert(line, missState)
+		if !hit {
+			if !write {
 				fillLines++
 			}
 			_, t = mt.Port.Acquire(t, s.P.LLCMissPerLine)
-			var v cache.DirVictim
-			e, v = mt.LLC.Insert(line, st)
 			t = s.evictLLCVictim(mt, v, t, meter)
 			continue
 		}
@@ -308,8 +293,7 @@ func (s *SoC) dmaGroupLLC(a *AccTile, start mem.LineAddr, n int64, write, recall
 
 // dmaGroupNonCoh serves one DMA group straight from DRAM, bypassing the
 // hierarchy entirely (the NonCohDMA datapath).
-func (s *SoC) dmaGroupNonCoh(a *AccTile, start mem.LineAddr, n int64, write bool, at sim.Cycles, meter *Meter) sim.Cycles {
-	mt := s.homeTile(start)
+func (s *SoC) dmaGroupNonCoh(mt *MemTile, a *AccTile, start mem.LineAddr, n int64, write bool, at sim.Cycles, meter *Meter) sim.Cycles {
 	if write {
 		t := s.Mesh.Transfer(noc.PlaneDMAData, a.Coord, mt.Coord, int(n)*mem.LineBytes, at)
 		t = mt.DRAM.Post(t, n, true)

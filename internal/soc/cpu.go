@@ -17,10 +17,9 @@ func (s *SoC) CPUTouchRange(cpu *CPUTile, buf *mem.Buffer, startLine, lines int6
 	if lines <= 0 {
 		return at
 	}
-	view := newBufView(buf)
 	group := int64(s.P.GroupLines)
 	t := at
-	view.runs(acc.LineRange{Start: startLine, Lines: lines}, func(start mem.LineAddr, n int64) {
+	forEachRun(buf, acc.LineRange{Start: startLine, Lines: lines}, func(start mem.LineAddr, n int64) {
 		for off := int64(0); off < n; off += group {
 			g := group
 			if off+g > n {

@@ -35,15 +35,22 @@ func (s *SoC) flushAgentRange(agentID int, buf *mem.Buffer, at sim.Cycles, meter
 	if ag.cache.ValidLines() == 0 {
 		return t
 	}
-	var matches []mem.LineAddr
+	matches := s.flushScratch[:0]
 	ag.cache.ForEachValid(func(line mem.LineAddr, st cache.State) {
 		if bufContains(buf, line) {
 			matches = append(matches, line)
 		}
 	})
+	defer func() { s.flushScratch = matches[:0] }()
 	// Invalidate matches; group dirty writebacks per partition to batch
 	// the NoC data messages.
-	dirtyByPart := make(map[int][]mem.LineAddr)
+	if s.flushDirty == nil {
+		s.flushDirty = make([][]mem.LineAddr, len(s.Mem))
+	}
+	dirtyByPart := s.flushDirty
+	for p := range dirtyByPart {
+		dirtyByPart[p] = dirtyByPart[p][:0]
+	}
 	for _, line := range matches {
 		present, wasDirty := ag.cache.Invalidate(line)
 		if !present {
@@ -113,12 +120,13 @@ func (s *SoC) flushLLCPartition(mt *MemTile, buf *mem.Buffer, at sim.Cycles, met
 	if mt.LLC.ValidLines() == 0 {
 		return t
 	}
-	var matches []mem.LineAddr
+	matches := s.flushScratch[:0]
 	mt.LLC.ForEachValid(func(e *cache.DirEntry) {
 		if bufContains(buf, e.Line) {
 			matches = append(matches, e.Line)
 		}
 	})
+	defer func() { s.flushScratch = matches[:0] }()
 	var dirty int64
 	for _, line := range matches {
 		_, t = mt.Port.Acquire(t, s.P.LLCLookupCycles)
@@ -137,13 +145,13 @@ func (s *SoC) flushLLCPartition(mt *MemTile, buf *mem.Buffer, at sim.Cycles, met
 				wasDirty = true
 			}
 		}
-		for _, id := range (&cache.DirEntry{Sharers: v.Sharers}).SharerList() {
+		cache.ForEachSharerMask(v.Sharers, func(id int) {
 			ag := &s.agents[id]
 			_, t = mt.Port.Acquire(t, s.P.RecallHeaderCycles)
 			arrive := s.Mesh.Transfer(noc.PlaneCohFwd, mt.Coord, ag.coord, 0, t)
 			_, _ = ag.port.Acquire(arrive, s.P.L2HitCycles)
 			ag.cache.Invalidate(line)
-		}
+		})
 		if wasDirty {
 			dirty++
 		}

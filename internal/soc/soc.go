@@ -87,6 +87,22 @@ type SoC struct {
 
 	agents      []agent
 	missScratch []mem.LineAddr // reused by cachedGroupAccess
+	// Flush scratch, reused across flush calls (safe for the same reason
+	// as missScratch: one simulation goroutine runs at a time and the
+	// flush helpers never yield). flushDirty has one slice per partition.
+	flushScratch []mem.LineAddr
+	flushDirty   [][]mem.LineAddr
+	// Run-resolution table for the buffer most recently used by
+	// doTransfers: logical page -> extent index, plus the logical line
+	// prefix of each extent. Rebuilt (O(pages)) whenever the buffer
+	// changes; resolves any logical offset to its extent in O(1) instead
+	// of walking the extent list per range.
+	runBuf *mem.Buffer
+	runExt []int32
+	runPre []int64
+	// runScratch holds the resolved physical runs of one doTransfers
+	// call (reused, never held across yields).
+	runScratch []physRun
 }
 
 // llcAssoc and l2Assoc fix the cache geometries (ESP uses set-associative

@@ -516,17 +516,16 @@ func TestInvocationMonitorsAccumulate(t *testing.T) {
 	})
 }
 
-func TestBufViewRunsCoverExactly(t *testing.T) {
+func TestForEachRunCoversExactly(t *testing.T) {
 	s := build(t, testConfig())
 	buf := allocBuf(t, s, 3<<20) // multiple extents
-	view := newBufView(buf)
 	for _, lr := range []acc.LineRange{
 		{Start: 0, Lines: 10},
 		{Start: mem.PageLines - 5, Lines: 10}, // crosses an extent boundary
 		{Start: buf.Lines() - 3, Lines: 3},
 	} {
 		var total int64
-		view.runs(lr, func(start mem.LineAddr, n int64) {
+		forEachRun(buf, lr, func(start mem.LineAddr, n int64) {
 			if n <= 0 {
 				t.Fatal("empty run")
 			}

@@ -33,33 +33,24 @@ func (st InvocationStats) Active() sim.Cycles { return st.End - st.Start }
 // may precompute before yielding to concurrent processes.
 const yieldBudget sim.Cycles = 20000
 
-// bufView resolves logical line offsets of a buffer into physical runs.
-type bufView struct {
-	buf    *mem.Buffer
-	prefix []int64 // lines before each extent
-}
-
-func newBufView(buf *mem.Buffer) bufView {
-	prefix := make([]int64, len(buf.Extents)+1)
-	for i, e := range buf.Extents {
-		prefix[i+1] = prefix[i] + e.Lines
-	}
-	return bufView{buf: buf, prefix: prefix}
-}
-
-// runs decomposes a logical range into physical (start, n) runs, each
-// within a single extent (and therefore a single memory partition).
-func (v bufView) runs(lr acc.LineRange, emit func(start mem.LineAddr, n int64)) {
+// forEachRun decomposes a logical line range of the buffer into physical
+// (start, n) runs, each within a single extent (and therefore a single
+// memory partition). It walks the extent list directly, so it neither
+// allocates nor needs a precomputed prefix table.
+func forEachRun(buf *mem.Buffer, lr acc.LineRange, emit func(start mem.LineAddr, n int64)) {
 	remaining := lr.Lines
 	logical := lr.Start
-	for i, e := range v.buf.Extents {
+	var base int64 // lines before the current extent
+	for i := range buf.Extents {
 		if remaining <= 0 {
 			return
 		}
-		if logical >= v.prefix[i+1] {
+		e := &buf.Extents[i]
+		if logical >= base+e.Lines {
+			base += e.Lines
 			continue
 		}
-		off := logical - v.prefix[i]
+		off := logical - base
 		n := e.Lines - off
 		if n > remaining {
 			n = remaining
@@ -67,6 +58,7 @@ func (v bufView) runs(lr acc.LineRange, emit func(start mem.LineAddr, n int64)) 
 		emit(e.Start+mem.LineAddr(off), n)
 		logical += n
 		remaining -= n
+		base += e.Lines
 	}
 	if remaining > 0 {
 		panic(fmt.Sprintf("soc: logical range [%d,+%d) beyond buffer", lr.Start, lr.Lines))
@@ -83,42 +75,127 @@ func bufContains(buf *mem.Buffer, line mem.LineAddr) bool {
 	return false
 }
 
+// physRun is one resolved physical run of a transfer plan.
+type physRun struct {
+	start mem.LineAddr
+	n     int64
+}
+
 // doTransfers executes the plan's read or write ranges under the mode,
 // advancing the time cursor serially (an ESP DMA engine keeps one
-// transaction in flight; parallelism comes from concurrent tiles).
-func (s *SoC) doTransfers(a *AccTile, view bufView, ranges []acc.LineRange, mode Mode, write bool, at sim.Cycles, meter *Meter) sim.Cycles {
+// transaction in flight; parallelism comes from concurrent tiles). The
+// extent walk is inlined rather than routed through forEachRun: this is
+// the innermost dispatch of every simulated transfer, and the closure
+// capture of the time cursor shows up in CPU profiles.
+func (s *SoC) doTransfers(a *AccTile, buf *mem.Buffer, ranges []acc.LineRange, mode Mode, write bool, at sim.Cycles, meter *Meter) sim.Cycles {
+	// Resolve every logical range into physical runs first (reused
+	// scratch, no allocation), then dispatch all runs through one mode
+	// switch: the per-range path stays free of calls and branches.
+	runs := s.runScratch[:0]
+	extents := buf.Extents
+	if len(extents) == 1 {
+		// Single-extent buffer (any footprint up to one page): logical
+		// offsets map 1:1 onto the extent, no walk needed. This is the
+		// common case and skips all extent bookkeeping per range.
+		e := &extents[0]
+		for _, lr := range ranges {
+			if lr.Start+lr.Lines > e.Lines {
+				panic(fmt.Sprintf("soc: logical range [%d,+%d) beyond buffer", lr.Start, lr.Lines))
+			}
+			runs = append(runs, physRun{e.Start + mem.LineAddr(lr.Start), lr.Lines})
+		}
+	} else {
+		s.ensureRunTable(buf)
+		for _, lr := range ranges {
+			remaining := lr.Lines
+			logical := lr.Start
+			// O(1) lookup of the extent containing the range start.
+			pi := logical >> mem.PageLineShift
+			if pi < 0 || pi >= int64(len(s.runExt)) {
+				panic(fmt.Sprintf("soc: logical range [%d,+%d) beyond buffer", lr.Start, lr.Lines))
+			}
+			ei := int(s.runExt[pi])
+			base := s.runPre[ei]
+			for remaining > 0 {
+				if ei >= len(extents) {
+					panic(fmt.Sprintf("soc: logical range [%d,+%d) beyond buffer", lr.Start, lr.Lines))
+				}
+				e := &extents[ei]
+				off := logical - base
+				n := e.Lines - off
+				if n > remaining {
+					n = remaining
+				}
+				runs = append(runs, physRun{e.Start + mem.LineAddr(off), n})
+				logical += n
+				remaining -= n
+				base += e.Lines
+				ei++
+			}
+		}
+	}
+
 	t := at
 	group := int64(s.P.GroupLines)
-	for _, lr := range ranges {
-		view.runs(lr, func(start mem.LineAddr, n int64) {
-			switch mode {
-			case NonCohDMA:
-				// Whole run in one burst: the long-burst advantage of
-				// bypassing the hierarchy.
-				t = s.dmaGroupNonCoh(a, start, n, write, t, meter)
-			case LLCCohDMA, CohDMA:
-				for off := int64(0); off < n; off += group {
-					g := group
-					if off+g > n {
-						g = n - off
-					}
-					t = s.dmaGroupLLC(a, start+mem.LineAddr(off), g, write, mode == CohDMA, t, meter)
+	switch mode {
+	case NonCohDMA:
+		// Whole run in one burst: the long-burst advantage of bypassing
+		// the hierarchy.
+		for _, r := range runs {
+			t = s.dmaGroupNonCoh(s.homeTile(r.start), a, r.start, r.n, write, t, meter)
+		}
+	case LLCCohDMA, CohDMA:
+		recall := mode == CohDMA
+		for _, r := range runs {
+			// A run never crosses extents: every group shares one home tile.
+			mt := s.homeTile(r.start)
+			for o := int64(0); o < r.n; o += group {
+				g := group
+				if o+g > r.n {
+					g = r.n - o
 				}
-			case FullyCoh:
-				for off := int64(0); off < n; off += group {
-					g := group
-					if off+g > n {
-						g = n - off
-					}
-					t = s.cachedGroupAccess(a.Agent, start+mem.LineAddr(off), g, write, t, meter)
-				}
-			default:
-				panic(fmt.Sprintf("soc: unknown mode %v", mode))
+				t = s.dmaGroupLLC(mt, a, r.start+mem.LineAddr(o), g, write, recall, t, meter)
 			}
-		})
+		}
+	case FullyCoh:
+		for _, r := range runs {
+			for o := int64(0); o < r.n; o += group {
+				g := group
+				if o+g > r.n {
+					g = r.n - o
+				}
+				t = s.cachedGroupAccess(a.Agent, r.start+mem.LineAddr(o), g, write, t, meter)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("soc: unknown mode %v", mode))
 	}
+	s.runScratch = runs[:0]
 	return t
 }
+
+// ensureRunTable (re)builds the logical-page -> extent lookup table for
+// buf. Buffers are immutable once allocated, so identity comparison is
+// enough to reuse the table across the many doTransfers calls of one
+// invocation.
+func (s *SoC) ensureRunTable(buf *mem.Buffer) {
+	if s.runBuf == buf {
+		return
+	}
+	s.runExt = s.runExt[:0]
+	s.runPre = s.runPre[:0]
+	var base int64
+	for ei := range buf.Extents {
+		s.runPre = append(s.runPre, base)
+		lines := buf.Extents[ei].Lines
+		for p := int64(0); p < lines>>mem.PageLineShift; p++ {
+			s.runExt = append(s.runExt, int32(ei))
+		}
+		base += lines
+	}
+	s.runBuf = buf
+}
+
 
 // RunAccelerator executes one invocation of the accelerator on the
 // dataset under the given coherence mode, with double-buffered chunk
@@ -133,7 +210,6 @@ func (s *SoC) RunAccelerator(p *sim.Proc, a *AccTile, buf *mem.Buffer, mode Mode
 		panic(fmt.Sprintf("soc: %s has no private cache; FullyCoh unavailable", a.InstName))
 	}
 	plan := acc.NewPlan(a.Spec, buf.Bytes, rng)
-	view := newBufView(buf)
 	meter := &Meter{}
 	start := p.Now()
 
@@ -145,7 +221,7 @@ func (s *SoC) RunAccelerator(p *sim.Proc, a *AccTile, buf *mem.Buffer, mode Mode
 	fetchIssue := start
 	var fetchDone sim.Cycles
 	if hasCur {
-		fetchDone = s.doTransfers(a, view, cur.Reads, mode, false, start, meter)
+		fetchDone = s.doTransfers(a, buf, cur.Reads, mode, false, start, meter)
 	}
 	prevComputeDone := start
 	lastWriteDone := start
@@ -164,11 +240,11 @@ func (s *SoC) RunAccelerator(p *sim.Proc, a *AccTile, buf *mem.Buffer, mode Mode
 		var nextIssue, nextDone sim.Cycles
 		if hasNext {
 			nextIssue = computeStart
-			nextDone = s.doTransfers(a, view, next.Reads, mode, false, nextIssue, meter)
+			nextDone = s.doTransfers(a, buf, next.Reads, mode, false, nextIssue, meter)
 		}
 
 		if len(cur.Writes) > 0 {
-			wDone := s.doTransfers(a, view, cur.Writes, mode, true, computeDone, meter)
+			wDone := s.doTransfers(a, buf, cur.Writes, mode, true, computeDone, meter)
 			comm += wDone - computeDone
 			if wDone > lastWriteDone {
 				lastWriteDone = wDone

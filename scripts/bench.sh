@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# bench.sh — run the repository's benchmark suite and emit
+# BENCH_results.json so the performance trajectory is tracked across
+# PRs.
+#
+# Usage:
+#   scripts/bench.sh [quick|full]
+#
+#   quick (default)  the smoke set: BenchmarkAppRun (single-thread
+#                    simulator speed) and the cache/noc/soc
+#                    micro-benchmarks.
+#   full             additionally regenerates every experiment artifact
+#                    (BenchmarkHeadline, BenchmarkFigure*, ...) under the
+#                    Quick protocol, with the worker pool at GOMAXPROCS
+#                    and again pinned to 1 worker for the sequential
+#                    reference.
+#
+# Environment:
+#   COHMELEON_WORKERS  worker-pool override forwarded to the benchmarks.
+#   BENCH_COUNT        repetitions per benchmark (default 3; the JSON
+#                      keeps every sample so consumers can take medians —
+#                      single samples are meaningless on noisy hosts).
+#
+# Output: BENCH_results.json in the repository root, of the form
+#   {"generated_unix": ..., "go": "...", "benchmarks":
+#     [{"name": "...", "workers": "...", "samples_ns_op": [...]}, ...]}
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-quick}"
+count="${BENCH_COUNT:-3}"
+out="BENCH_results.json"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+run_bench() { # pkg regex benchtime workers label
+    local pkg="$1" regex="$2" benchtime="$3" workers="$4" label="$5"
+    echo ">> $label ($pkg -bench $regex, workers=$workers)" >&2
+    COHMELEON_WORKERS="$workers" go test "$pkg" -run NONE -bench "$regex" \
+        -benchtime "$benchtime" -count "$count" -timeout 120m \
+        | tee -a "$tmp/raw.txt" \
+        | awk -v w="$workers" '/^Benchmark/ { printf "%s %s %s\n", $1, w, $3 }' >> "$tmp/samples.txt"
+}
+
+: > "$tmp/raw.txt"
+: > "$tmp/samples.txt"
+
+# Single-thread simulator speed: the hot-path reference number.
+run_bench . 'BenchmarkAppRun$' 3x "${COHMELEON_WORKERS:-1}" "simulator app run"
+
+# Hot-path micro-benchmarks.
+run_bench ./internal/cache '.' 1000000x 1 "cache micro"
+run_bench ./internal/noc 'Transfer' 1000000x 1 "noc micro"
+run_bench ./internal/soc 'BenchmarkDMAGroup|BenchmarkCachedGroup|BenchmarkInvocation' 100000x 1 "soc micro"
+
+if [ "$mode" = "full" ]; then
+    # Artifact regeneration, parallel then sequential reference.
+    run_bench . 'BenchmarkHeadline$' 1x 0 "headline (workers=GOMAXPROCS)"
+    run_bench . 'BenchmarkHeadline$' 1x 1 "headline (sequential)"
+    run_bench . 'BenchmarkFigure[0-9]+$|BenchmarkTable4$|BenchmarkOverhead$|BenchmarkAblation$' 1x 0 "figures"
+fi
+
+python3 - "$tmp/samples.txt" "$out" <<'EOF'
+import json, sys, time, subprocess
+
+samples = {}
+order = []
+for line in open(sys.argv[1]):
+    name, workers, ns = line.split()
+    key = (name, workers)
+    if key not in samples:
+        samples[key] = []
+        order.append(key)
+    samples[key].append(float(ns))
+
+go = subprocess.run(["go", "version"], capture_output=True, text=True).stdout.strip()
+doc = {
+    "generated_unix": int(time.time()),
+    "go": go,
+    "benchmarks": [
+        {"name": n, "workers": w, "samples_ns_op": samples[(n, w)]}
+        for (n, w) in order
+    ],
+}
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+print(f"wrote {sys.argv[2]} with {len(order)} benchmark series")
+EOF
