@@ -42,7 +42,6 @@ type DirEntry struct {
 	Line    mem.LineAddr
 	Sharers uint64
 	Owner   int // agent index holding M/E, or NoOwner
-	lru     uint32
 	State   DirState
 }
 
@@ -99,12 +98,17 @@ type DirStats struct {
 // line whose entry still lists an owner or sharers, the caller must
 // recall/invalidate those private copies (the victim carries the
 // bookkeeping needed to do so).
-// Entries are packed to 32 bytes (an 8-way set spans four hardware
-// cache lines) and invalid ways keep Line == noLine, so the hit scan is
-// a single tag compare per way.
+// Entries are packed to 32 bytes and invalid ways keep Line == noLine.
+// The tag and LRU words live in dedicated parallel arrays: an 8-way
+// set's tags span one hardware cache line (instead of the four its
+// entries span), so the hit scan — the hottest loop of the LLC model —
+// touches a single line, and the miss path's victim scan adds only the
+// set's half-line of LRU ticks.
 type Directory struct {
 	name    string
-	entries []DirEntry // flat backing, numSets × assoc
+	entries []DirEntry     // flat backing, numSets × assoc
+	tags    []mem.LineAddr // mirror of entries[i].Line
+	lrus    []uint32       // per-way LRU ticks
 	assoc   int64
 	numSets int64
 	setMask int64 // numSets-1 when numSets is a power of two, else 0
@@ -128,6 +132,8 @@ func NewDirectory(name string, sizeBytes int64, assoc int) *Directory {
 		numSets: numSets,
 		assoc:   int64(assoc),
 		entries: make([]DirEntry, totalLines),
+		tags:    make([]mem.LineAddr, totalLines),
+		lrus:    make([]uint32, totalLines),
 	}
 	if numSets&(numSets-1) == 0 {
 		d.setMask = numSets - 1
@@ -135,6 +141,7 @@ func NewDirectory(name string, sizeBytes int64, assoc int) *Directory {
 	for i := range d.entries {
 		d.entries[i].Line = noLine
 		d.entries[i].Owner = NoOwner
+		d.tags[i] = noLine
 	}
 	return d
 }
@@ -183,7 +190,7 @@ func (d *Directory) setBase(line mem.LineAddr) int64 {
 func (d *Directory) Probe(line mem.LineAddr) *DirEntry {
 	base := d.setBase(line)
 	for i := base; i < base+d.assoc; i++ {
-		if d.entries[i].Line == line {
+		if d.tags[i] == line {
 			return &d.entries[i]
 		}
 	}
@@ -195,11 +202,10 @@ func (d *Directory) Probe(line mem.LineAddr) *DirEntry {
 func (d *Directory) Access(line mem.LineAddr) *DirEntry {
 	base := d.setBase(line)
 	for i := base; i < base+d.assoc; i++ {
-		e := &d.entries[i]
-		if e.Line == line {
-			e.lru = d.bump()
+		if d.tags[i] == line {
+			d.lrus[i] = d.bump()
 			d.stats.Hits++
-			return e
+			return &d.entries[i]
 		}
 	}
 	d.stats.Misses++
@@ -229,17 +235,17 @@ func (d *Directory) Insert(line mem.LineAddr, st DirState) (*DirEntry, DirVictim
 	base := d.setBase(line)
 	victim, haveInvalid := int64(-1), false
 	for i := base; i < base+d.assoc; i++ {
-		e := &d.entries[i]
-		if e.Line == line {
+		if d.tags[i] == line {
+			e := &d.entries[i]
 			e.State = st
-			e.lru = tick
+			d.lrus[i] = tick
 			return e, DirVictim{}
 		}
 		// Victim preference: the first invalid way, else the LRU way.
 		if !haveInvalid {
-			if e.Line == noLine {
+			if d.tags[i] == noLine {
 				victim, haveInvalid = i, true
-			} else if victim < 0 || e.lru < d.entries[victim].lru {
+			} else if victim < 0 || d.lrus[i] < d.lrus[victim] {
 				victim = i
 			}
 		}
@@ -264,7 +270,9 @@ func (d *Directory) Insert(line mem.LineAddr, st DirState) (*DirEntry, DirVictim
 	} else {
 		d.lines++
 	}
-	*e = DirEntry{Line: line, State: st, Owner: NoOwner, lru: tick}
+	*e = DirEntry{Line: line, State: st, Owner: NoOwner}
+	d.tags[victim] = line
+	d.lrus[victim] = tick
 	return e, v
 }
 
@@ -281,16 +289,15 @@ func (d *Directory) AccessOrInsert(line mem.LineAddr, missState DirState) (e *Di
 	base := d.setBase(line)
 	victim, haveInvalid := int64(-1), false
 	for i := base; i < base+d.assoc; i++ {
-		w := &d.entries[i]
-		if w.Line == line {
-			w.lru = d.bump()
+		if d.tags[i] == line {
+			d.lrus[i] = d.bump()
 			d.stats.Hits++
-			return w, DirVictim{}, true
+			return &d.entries[i], DirVictim{}, true
 		}
 		if !haveInvalid {
-			if w.Line == noLine {
+			if d.tags[i] == noLine {
 				victim, haveInvalid = i, true
-			} else if victim < 0 || w.lru < d.entries[victim].lru {
+			} else if victim < 0 || d.lrus[i] < d.lrus[victim] {
 				victim = i
 			}
 		}
@@ -319,7 +326,9 @@ func (d *Directory) AccessOrInsert(line mem.LineAddr, missState DirState) (e *Di
 	} else {
 		d.lines++
 	}
-	*w = DirEntry{Line: line, State: missState, Owner: NoOwner, lru: tick}
+	*w = DirEntry{Line: line, State: missState, Owner: NoOwner}
+	d.tags[victim] = line
+	d.lrus[victim] = tick
 	return w, v, false
 }
 
@@ -338,8 +347,8 @@ func (d *Directory) ForEachValid(fn func(e *DirEntry)) {
 func (d *Directory) Invalidate(line mem.LineAddr) (DirVictim, bool) {
 	base := d.setBase(line)
 	for i := base; i < base+d.assoc; i++ {
-		e := &d.entries[i]
-		if e.Line == line {
+		if d.tags[i] == line {
+			e := &d.entries[i]
 			v := DirVictim{
 				Line:     e.Line,
 				WasDirty: e.State == DirDirty,
@@ -354,6 +363,7 @@ func (d *Directory) Invalidate(line mem.LineAddr) (DirVictim, bool) {
 			e.Line = noLine
 			e.Owner = NoOwner
 			e.Sharers = 0
+			d.tags[i] = noLine
 			d.lines--
 			return v, true
 		}

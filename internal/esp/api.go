@@ -62,7 +62,11 @@ func (sys *System) invoke(p *sim.Proc, a *soc.AccTile, buf *mem.Buffer, cpu *sim
 	// The invocation is visible to other deciders from this point.
 	sys.Tracker.Add(a, mode, buf)
 
-	ddrBefore := s.DDRTotals()
+	// Both monitor snapshots live in one allocation; each concurrent
+	// invocation needs its own pair (the thread yields between them).
+	parts := len(s.Mem)
+	snaps := make([]int64, 2*parts)
+	ddrBefore := s.DDRTotalsInto(snaps[:parts])
 	meter := &soc.Meter{}
 	if mode.NeedsPrivateFlush() {
 		p.WaitUntil(s.FlushPrivateRange(buf, p.Now(), meter))
@@ -79,10 +83,9 @@ func (sys *System) invoke(p *sim.Proc, a *soc.AccTile, buf *mem.Buffer, cpu *sim
 
 	// Evaluate from the hardware monitors while still listed active, so
 	// attribution sees the same concurrency the run did.
-	ddrAfter := s.DDRTotals()
-	deltas := make([]int64, len(ddrAfter))
-	for i := range ddrAfter {
-		deltas[i] = ddrAfter[i] - ddrBefore[i]
+	deltas := s.DDRTotalsInto(snaps[parts:])
+	for i := range deltas {
+		deltas[i] -= ddrBefore[i]
 	}
 	approx := sys.Tracker.AttributeDDR(a, buf, deltas)
 	sys.Tracker.Remove(a)

@@ -149,6 +149,7 @@ func fig3Measure(cfg *soc.Config, insts []string, mode soc.Mode, bytes int64, op
 	if err := s.Eng.Run(); err != nil {
 		panic(err)
 	}
+	releaseEngine(s.Eng)
 	for k := range execSum {
 		execSum[k] /= count[k]
 		memSum[k] /= count[k]

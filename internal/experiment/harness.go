@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sync"
 
 	"cohmeleon/internal/core"
 	"cohmeleon/internal/esp"
@@ -13,10 +14,30 @@ import (
 	"cohmeleon/internal/workload"
 )
 
+// enginePool reuses simulation kernels across trials. Every trial still
+// builds a fresh SoC (hardware state never survives a measurement), but
+// the engine underneath — its event heap, ready ring, and coroutine
+// wiring — carries no simulation state after a completed run, so
+// Reset + reuse stops the fan-out from re-growing kernel storage per
+// trial. Engines are returned only after a successful run: a deadlocked
+// engine still owns parked coroutine stacks and is simply dropped.
+var enginePool = sync.Pool{New: func() interface{} { return sim.NewEngine() }}
+
+// pooledEngine returns an idle engine with the clock at zero.
+func pooledEngine() *sim.Engine {
+	e := enginePool.Get().(*sim.Engine)
+	e.Reset()
+	return e
+}
+
+// releaseEngine returns a drained engine to the pool. Only call it after
+// Run returned nil.
+func releaseEngine(e *sim.Engine) { enginePool.Put(e) }
+
 // mustBuild builds a fresh SoC (hardware state never survives between
-// measurements; policies may).
+// measurements; policies may) on a pooled engine.
 func mustBuild(cfg *soc.Config) *soc.SoC {
-	s, err := cfg.Build()
+	s, err := cfg.BuildOn(pooledEngine())
 	if err != nil {
 		panic(fmt.Sprintf("experiment: %v", err))
 	}
@@ -25,7 +46,12 @@ func mustBuild(cfg *soc.Config) *soc.SoC {
 
 // runApp executes one application run of a policy on a fresh SoC.
 func runApp(cfg *soc.Config, pol esp.Policy, app *workload.App, seed uint64) (*workload.AppResult, error) {
-	return workload.Run(esp.NewSystem(mustBuild(cfg), pol), app, seed)
+	s := mustBuild(cfg)
+	res, err := workload.Run(esp.NewSystem(s, pol), app, seed)
+	if err == nil {
+		releaseEngine(s.Eng)
+	}
+	return res, err
 }
 
 // trainCohmeleon runs the agent through iters training iterations of the
@@ -144,6 +170,7 @@ func isolatedInvocation(cfg *soc.Config, instName string, bytes int64, mode soc.
 	if err := s.Eng.Run(); err != nil {
 		panic(err)
 	}
+	releaseEngine(s.Eng)
 	out.ExecCycles /= float64(runs)
 	out.OffChip /= float64(runs)
 	return out

@@ -55,6 +55,7 @@ func Overhead(opt Options) (*OverheadResult, error) {
 		if err := s.Eng.Run(); err != nil {
 			return err
 		}
+		releaseEngine(s.Eng)
 		points[i] = OverheadPoint{
 			FootprintKB: kb,
 			ExecCycles:  exec,

@@ -61,39 +61,31 @@ const HeaderFlits = 1
 // Coord is a tile position on the mesh.
 type Coord struct{ X, Y int }
 
-// link is one directed mesh link: a FIFO server identical in discipline
-// to sim.Resource, stripped to the two fields Transfer actually touches.
-// 16 bytes keeps four links per hardware cache line; Transfer walks one
-// link per hop on every simulated message and is memory-bound otherwise.
-type link struct {
-	availableAt sim.Cycles
-	busy        sim.Cycles
-}
-
-// acquire reserves dur cycles of service starting no earlier than at,
-// returning the service window — sim.Resource.Acquire without the
-// name/grant bookkeeping links do not need.
-func (l *link) acquire(at, dur sim.Cycles) (start, end sim.Cycles) {
-	start = at
-	if l.availableAt > start {
-		start = l.availableAt
-	}
-	end = start + dur
-	l.availableAt = end
-	l.busy += dur
-	return start, end
-}
-
 // Mesh is the NoC fabric. It owns one FIFO link server per directed link
 // per plane. Tiles are addressed by their mesh coordinate.
+//
+// A link's entire hot state is its availability cursor, so links are
+// stored as bare sim.Cycles values — eight per hardware cache line — in
+// one flat array indexed by (plane, linkIndex). Per-link busy accounting
+// is folded into a per-plane total: reports only ever read the plane
+// sum, and a transfer reserves the same service time on every link of
+// its route, so one multiply per message replaces a store per hop.
 type Mesh struct {
 	width, height int
-	// links[plane][linkIndex]; linkIndex encodes (from, direction).
-	links [][]link
-	// routes[srcTile*tiles+dstTile] lists the link indices of the XY
-	// route, precomputed at construction: routes are static, and Transfer
-	// walks one on every simulated message.
-	routes [][]int32
+	// links[plane*linkCount + linkIndex] is the availableAt cursor of a
+	// directed link; linkIndex encodes (from, direction).
+	links     []sim.Cycles
+	linkCount int
+	// Flattened XY routes, precomputed at construction: the link indices
+	// of route src->dst are routeLinks[routeOff[ri]:routeOff[ri+1]] with
+	// ri = srcTile*tiles + dstTile. Offsets into one backing array keep
+	// the lookup tables dense (4 bytes per entry instead of a 24-byte
+	// slice header per pair); routes are static and Transfer walks one on
+	// every simulated message.
+	routeOff   []int32
+	routeLinks []int32
+	// planeBusy accumulates the total reserved service time per plane.
+	planeBusy [NumPlanes]sim.Cycles
 }
 
 // direction indices for the four mesh neighbours.
@@ -111,26 +103,23 @@ func NewMesh(width, height int) *Mesh {
 		panic("noc: mesh dimensions must be positive")
 	}
 	m := &Mesh{width: width, height: height}
-	m.links = make([][]link, NumPlanes)
-	n := width * height * numDirs
-	for p := range m.links {
-		m.links[p] = make([]link, n)
-	}
+	m.linkCount = width * height * numDirs
+	m.links = make([]sim.Cycles, int(NumPlanes)*m.linkCount)
 	m.buildRoutes()
 	return m
 }
 
 // buildRoutes precomputes the XY route of every (src, dst) tile pair as
-// a list of link indices, all subslices of one backing array.
+// a list of link indices in one backing array, addressed by offsets.
 func (m *Mesh) buildRoutes() {
 	tiles := m.width * m.height
-	m.routes = make([][]int32, tiles*tiles)
+	m.routeOff = make([]int32, tiles*tiles+1)
 	var backing []int32
+	ri := 0
 	for sy := 0; sy < m.height; sy++ {
 		for sx := 0; sx < m.width; sx++ {
 			for dy := 0; dy < m.height; dy++ {
 				for dx := 0; dx < m.width; dx++ {
-					from := len(backing)
 					x, y := sx, sy
 					for x < dx {
 						backing = append(backing, int32(m.linkIndex(Coord{x, y}, dirEast)))
@@ -148,11 +137,13 @@ func (m *Mesh) buildRoutes() {
 						backing = append(backing, int32(m.linkIndex(Coord{x, y}, dirNorth)))
 						y--
 					}
-					m.routes[(sy*m.width+sx)*tiles+(dy*m.width+dx)] = backing[from:len(backing):len(backing)]
+					ri++
+					m.routeOff[ri] = int32(len(backing))
 				}
 			}
 		}
 	}
+	m.routeLinks = backing
 }
 
 // Width returns the mesh width in tiles.
@@ -229,27 +220,64 @@ func abs(x int) int {
 // A zero-hop transfer (src == dst, e.g. an accelerator talking to the
 // memory controller in its own tile) costs only serialization.
 //
-// Transfer walks the XY route inline rather than via Route: it runs on
-// every simulated message, and materializing the path dominates the
-// whole simulator's allocation profile otherwise.
+// Transfer resolves the route on every call; hot paths between fixed
+// tile pairs should hold a Path and Send on it instead.
 func (m *Mesh) Transfer(plane Plane, src, dst Coord, bytes int, at sim.Cycles) sim.Cycles {
+	p := m.NewPath(plane, src, dst)
+	return p.Send(bytes, at)
+}
+
+// Path is a precomputed unidirectional route on one plane, for callers
+// that send many messages between the same pair of tiles (an agent and
+// its home LLC slice, an accelerator and a memory controller). Send
+// applies exactly the reservation discipline of Transfer — byte-for-byte
+// identical timing — without re-resolving the route, plane offset, and
+// busy counter per message.
+type Path struct {
+	route []int32      // link indices of the XY route (empty: src == dst)
+	links []sim.Cycles // the plane's link cursors
+	busy  *sim.Cycles  // the plane's busy total
+}
+
+// NewPath resolves the XY route from src to dst on the given plane.
+func (m *Mesh) NewPath(plane Plane, src, dst Coord) Path {
+	if !m.InBounds(src) || !m.InBounds(dst) {
+		panic(fmt.Sprintf("noc: path %v -> %v out of bounds", src, dst))
+	}
+	ri := (src.Y*m.width+src.X)*m.width*m.height + dst.Y*m.width + dst.X
+	base := int(plane) * m.linkCount
+	return Path{
+		route: m.routeLinks[m.routeOff[ri]:m.routeOff[ri+1]],
+		links: m.links[base : base+m.linkCount],
+		busy:  &m.planeBusy[plane],
+	}
+}
+
+// Send transmits a message of size bytes along the path, starting no
+// earlier than at, and returns the arrival time of the tail flit. It is
+// equivalent to Mesh.Transfer over the same (plane, src, dst).
+func (p *Path) Send(bytes int, at sim.Cycles) sim.Cycles {
 	service := sim.Cycles((bytes+FlitBytes-1)/FlitBytes + HeaderFlits)
-	if src == dst {
+	route := p.route
+	if len(route) == 0 {
 		return at + service
 	}
-	links := m.links[plane]
-	route := m.routes[(src.Y*m.width+src.X)*m.width*m.height+(dst.Y*m.width+dst.X)]
+	links := p.links
 	cur := at
-	var tail sim.Cycles
 	for _, li := range route {
 		// Head moves one hop per cycle; the payload reserves service time
 		// on every link along the precomputed XY route.
-		start, end := links[li].acquire(cur, service)
+		start := cur
+		if avail := links[li]; avail > start {
+			start = avail
+		}
+		links[li] = start + service
 		cur = start + HopCycles
-		tail = end
 	}
-	// Tail arrives one hop after leaving the last link's upstream router.
-	return tail + HopCycles
+	*p.busy += service * sim.Cycles(len(route))
+	// The tail leaves the last link at start+service and arrives one hop
+	// later; with cur = start + HopCycles that is exactly cur + service.
+	return cur + service
 }
 
 // RoundTrip models a small request (header-only) to dst followed by a
@@ -264,10 +292,5 @@ func (m *Mesh) RoundTrip(reqPlane, rspPlane Plane, src, dst Coord, bytes int, re
 // LinkBusy returns the total busy cycles summed over all links of a
 // plane, for utilization reporting.
 func (m *Mesh) LinkBusy(plane Plane) sim.Cycles {
-	var total sim.Cycles
-	links := m.links[plane]
-	for i := range links {
-		total += links[i].busy
-	}
-	return total
+	return m.planeBusy[plane]
 }

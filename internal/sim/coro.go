@@ -1,0 +1,81 @@
+package sim
+
+import "sync"
+
+// A coro is a reusable worker goroutine that process bodies run on.
+//
+// Handoff protocol: exactly one logical token is in flight between the
+// scheduler and the coroutine. The scheduler sends on resume and blocks
+// on yield; the coroutine blocks on resume and sends on yield when it
+// parks or finishes. Both channels have capacity 1, so the sender never
+// blocks — each switch costs one buffered send and one blocking receive.
+// The channel operations also carry the happens-before edges that make
+// the unsynchronized Proc/coro field accesses race-free.
+//
+// Coroutines outlive the processes (and engines) they serve: when a body
+// returns, the goroutine parks on resume and the coro goes back to a
+// process-wide pool. Building thousands of short-lived SoCs across an
+// experiment fan-out therefore stops creating goroutines and channels
+// once the pool is warm.
+type coro struct {
+	resume chan struct{} // scheduler -> coroutine
+	yield  chan struct{} // coroutine -> scheduler
+	p      *Proc         // body to run; set by the scheduler before resume
+	quit   bool          // set (before resume) to retire the goroutine
+}
+
+// coroPool keeps idle coroutines for reuse. A plain mutex-guarded stack
+// rather than sync.Pool: pooled coros own parked goroutines, which must
+// not be dropped silently by a GC cycle.
+var coroPool struct {
+	mu   sync.Mutex
+	free []*coro
+}
+
+// maxIdleCoros bounds the goroutines parked in the pool. Beyond it,
+// retiring coroutines simply exit; 256 comfortably covers the peak
+// concurrent process count of the experiment fan-out.
+const maxIdleCoros = 256
+
+func getCoro() *coro {
+	coroPool.mu.Lock()
+	if n := len(coroPool.free); n > 0 {
+		c := coroPool.free[n-1]
+		coroPool.free[n-1] = nil
+		coroPool.free = coroPool.free[:n-1]
+		coroPool.mu.Unlock()
+		return c
+	}
+	coroPool.mu.Unlock()
+	c := &coro{resume: make(chan struct{}, 1), yield: make(chan struct{}, 1)}
+	go c.loop()
+	return c
+}
+
+func putCoro(c *coro) {
+	coroPool.mu.Lock()
+	if len(coroPool.free) < maxIdleCoros {
+		coroPool.free = append(coroPool.free, c)
+		coroPool.mu.Unlock()
+		return
+	}
+	coroPool.mu.Unlock()
+	c.quit = true
+	c.resume <- struct{}{}
+}
+
+// loop runs process bodies handed over by schedulers until retired.
+func (c *coro) loop() {
+	for {
+		<-c.resume
+		if c.quit {
+			return
+		}
+		p := c.p
+		p.fn(p)
+		p.fn = nil
+		p.state = procDone
+		c.p = nil
+		c.yield <- struct{}{}
+	}
+}

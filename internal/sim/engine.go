@@ -2,55 +2,77 @@
 //
 // The engine advances a virtual clock measured in Cycles and executes
 // events in (time, insertion-order) order. Long-running activities are
-// written as processes: ordinary functions running on their own goroutine
-// that park themselves on the engine whenever they wait for virtual time
-// to pass or for a semaphore to be granted. Exactly one goroutine (either
-// the engine or a single process) runs at any instant, so simulations are
+// written as processes: ordinary functions running on a coroutine that
+// parks itself on the engine whenever it waits for virtual time to pass
+// or for a semaphore to be granted. Exactly one goroutine (either the
+// scheduler or a single process) runs at any instant, so simulations are
 // bit-reproducible for a given seed regardless of GOMAXPROCS.
+//
+// The kernel is a single-owner scheduler built for zero-allocation
+// steady-state dispatch:
+//
+//   - events are plain 32-byte values in a monomorphic, index-based
+//     4-ary min-heap (no container/heap, no interface boxing);
+//   - process wakeups carry the *Proc directly in the event, so
+//     Delay/WaitUntil never allocate a closure;
+//   - same-cycle wakeups (semaphore grants, waitgroup releases, process
+//     starts) bypass the heap entirely: they are appended to a ready
+//     ring that is sorted by construction (the clock is monotonic and
+//     sequence numbers strictly increase) and merged with the heap by
+//     the same (at, seq) comparator, preserving the exact dispatch
+//     order a heap push would have produced;
+//   - process bodies run on pooled coroutines, so building thousands of
+//     SoCs across an experiment fan-out does not churn goroutines.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"strings"
 )
 
 // Cycles is a duration or instant of virtual time, measured in clock
 // cycles of the simulated SoC.
 type Cycles int64
 
-// event is a scheduled callback.
+// maxCycles is the far-future deadline Run uses to drain everything.
+const maxCycles = Cycles(1<<63 - 1)
+
+// event is a scheduled wakeup: either a process resumption (proc != nil)
+// or a callback (fn != nil). Exactly one of the two is set.
 type event struct {
-	at  Cycles
-	seq uint64 // tie-break: FIFO among same-cycle events
-	fn  func()
+	at   Cycles
+	seq  uint64 // tie-break: FIFO among same-cycle events
+	proc *Proc
+	fn   func()
 }
 
-// eventQueue is a min-heap of events ordered by (at, seq).
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before orders events by (at, seq). seq is unique, so the order is
+// total.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine is a discrete-event simulation kernel. The zero value is not
 // usable; create engines with NewEngine.
 type Engine struct {
-	now     Cycles
-	seq     uint64
-	queue   eventQueue
+	now Cycles
+	seq uint64
+	// queue is a 4-ary min-heap of future events ordered by (at, seq).
+	// 4-ary rather than binary: sift-down touches one cache line of
+	// children per level and the tree is half as deep.
+	queue []event
+	// ready holds wakeups at the current cycle, appended in (at, seq)
+	// order by construction (at is the clock at append time, which never
+	// decreases, and seq strictly increases), so the slice is always
+	// sorted and drains FIFO from readyHead.
+	ready     []event
+	readyHead int
+	// live tracks started-but-unfinished processes so deadlock reports
+	// can name the parked ones.
+	live    []*Proc
 	parked  int // processes blocked on semaphores (no pending event)
 	running bool
 }
@@ -67,16 +89,113 @@ func (e *Engine) Now() Cycles { return e.now }
 // an error in the caller; it is clamped to the current time so that the
 // event still runs (in insertion order) rather than corrupting the clock.
 func (e *Engine) Schedule(at Cycles, fn func()) {
-	if at < e.now {
-		at = e.now
-	}
 	e.seq++
-	heap.Push(&e.queue, event{at: at, seq: e.seq, fn: fn})
+	if at <= e.now {
+		e.ready = append(e.ready, event{at: e.now, seq: e.seq, fn: fn})
+		return
+	}
+	e.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // After runs fn after delay cycles.
 func (e *Engine) After(delay Cycles, fn func()) {
 	e.Schedule(e.now+delay, fn)
+}
+
+// wake enqueues a process resumption at the current cycle on the ready
+// ring. The entry consumes a sequence number exactly like a heap push,
+// so the merged dispatch order is identical — only cheaper.
+func (e *Engine) wake(p *Proc) {
+	e.seq++
+	e.ready = append(e.ready, event{at: e.now, seq: e.seq, proc: p})
+}
+
+// push inserts ev into the 4-ary heap (sift-up with a hole, no swaps).
+func (e *Engine) push(ev event) {
+	e.queue = append(e.queue, ev)
+	q := e.queue
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !ev.before(&q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = ev
+}
+
+// pop removes and returns the heap minimum. The caller guarantees the
+// heap is non-empty.
+func (e *Engine) pop() event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = event{} // release the fn/proc references
+	e.queue = q[:n]
+	if n > 0 {
+		q = q[:n]
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if q[j].before(&q[m]) {
+					m = j
+				}
+			}
+			if !q[m].before(&last) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = last
+	}
+	return top
+}
+
+// next removes and returns the earliest event with at <= deadline,
+// merging the sorted ready ring with the heap by (at, seq).
+func (e *Engine) next(deadline Cycles) (event, bool) {
+	if e.readyHead < len(e.ready) {
+		ev := &e.ready[e.readyHead]
+		if len(e.queue) == 0 || ev.before(&e.queue[0]) {
+			if ev.at > deadline {
+				return event{}, false
+			}
+			out := *ev
+			*ev = event{} // release the fn/proc references
+			e.readyHead++
+			if e.readyHead == len(e.ready) {
+				e.ready = e.ready[:0]
+				e.readyHead = 0
+			}
+			return out, true
+		}
+	}
+	if len(e.queue) > 0 && e.queue[0].at <= deadline {
+		return e.pop(), true
+	}
+	return event{}, false
+}
+
+// dispatch executes one popped event on the scheduler goroutine.
+func (e *Engine) dispatch(ev event) {
+	if ev.proc != nil {
+		e.resumeProc(ev.proc)
+		return
+	}
+	ev.fn()
 }
 
 // Run executes events until the queue is empty. If processes remain
@@ -89,33 +208,86 @@ func (e *Engine) Run() error {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(event)
+	for {
+		ev, ok := e.next(maxCycles)
+		if !ok {
+			break
+		}
 		if ev.at > e.now {
 			e.now = ev.at
 		}
-		ev.fn()
+		e.dispatch(ev)
 	}
 	if e.parked > 0 {
-		return fmt.Errorf("sim: %w: %d process(es) still waiting", ErrDeadlock, e.parked)
+		return e.deadlockErr()
 	}
 	return nil
 }
 
 // RunUntil executes events with time ≤ deadline, leaving later events
-// queued, and advances the clock to the deadline.
-func (e *Engine) RunUntil(deadline Cycles) {
-	for len(e.queue) > 0 && e.queue[0].at <= deadline {
-		ev := heap.Pop(&e.queue).(event)
+// queued, and advances the clock to the deadline. Like Run it rejects
+// reentrant calls (from inside an event or a process).
+func (e *Engine) RunUntil(deadline Cycles) error {
+	if e.running {
+		return fmt.Errorf("sim: RunUntil called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for {
+		ev, ok := e.next(deadline)
+		if !ok {
+			break
+		}
 		if ev.at > e.now {
 			e.now = ev.at
 		}
-		ev.fn()
+		e.dispatch(ev)
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
+	return nil
 }
 
-// Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+// deadlockErr reports the parked processes by name, in spawn order among
+// the still-live set (deterministic for a deterministic simulation).
+func (e *Engine) deadlockErr() error {
+	var names []string
+	for _, p := range e.live {
+		if p.state == procBlocked {
+			names = append(names, p.name)
+		}
+	}
+	return fmt.Errorf("sim: %w: %d process(es) still waiting: %s",
+		ErrDeadlock, e.parked, strings.Join(names, ", "))
+}
+
+// Pending reports the number of queued events (including same-cycle
+// wakeups not yet drained).
+func (e *Engine) Pending() int {
+	return len(e.queue) + len(e.ready) - e.readyHead
+}
+
+// Reset returns the engine to its initial state (clock at zero, no
+// events) while keeping the event storage, so a harness can reuse one
+// kernel across trials instead of growing fresh heaps and rings each
+// time. Reset panics if the engine is running or if processes are still
+// live: a parked process owns a coroutine stack that cannot be unwound
+// safely, so only engines whose last Run completed without deadlock are
+// reusable.
+func (e *Engine) Reset() {
+	if e.running {
+		panic("sim: Reset called while running")
+	}
+	if len(e.live) > 0 {
+		panic(fmt.Sprintf("sim: Reset with %d live process(es)", len(e.live)))
+	}
+	clear(e.queue)
+	e.queue = e.queue[:0]
+	clear(e.ready)
+	e.ready = e.ready[:0]
+	e.readyHead = 0
+	e.now = 0
+	e.seq = 0
+	e.parked = 0
+}

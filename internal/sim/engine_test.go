@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -86,7 +88,9 @@ func TestRunUntilLeavesLaterEvents(t *testing.T) {
 		at := at
 		e.Schedule(at, func() { ran = append(ran, at) })
 	}
-	e.RunUntil(20)
+	if err := e.RunUntil(20); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
 	if len(ran) != 2 {
 		t.Fatalf("ran %v, want first two", ran)
 	}
@@ -95,6 +99,38 @@ func TestRunUntilLeavesLaterEvents(t *testing.T) {
 	}
 	if e.Pending() != 1 {
 		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestRunRejectsReentrantCalls(t *testing.T) {
+	e := NewEngine()
+	var runErr, untilErr error
+	e.Schedule(10, func() {
+		runErr = e.Run()
+		untilErr = e.RunUntil(100)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if runErr == nil {
+		t.Fatal("reentrant Run should fail")
+	}
+	if untilErr == nil {
+		t.Fatal("reentrant RunUntil should fail")
+	}
+}
+
+func TestRunUntilReentrantFromProc(t *testing.T) {
+	e := NewEngine()
+	var gotErr error
+	e.Go("p", func(p *Proc) {
+		gotErr = e.RunUntil(50)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if gotErr == nil {
+		t.Fatal("RunUntil from inside a process should fail")
 	}
 }
 
@@ -265,6 +301,200 @@ func TestDeadlockDetection(t *testing.T) {
 	err := e.Run()
 	if err == nil {
 		t.Fatal("Run should report deadlock")
+	}
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestDeadlockErrorListsParkedProcessNames(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(e, "never", 0)
+	e.Go("alpha", func(p *Proc) { sem.Acquire(p) })
+	e.Go("beta", func(p *Proc) { p.Delay(5) }) // finishes fine
+	e.Go("gamma", func(p *Proc) { sem.Acquire(p) })
+	err := e.Run()
+	if err == nil {
+		t.Fatal("Run should report deadlock")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "alpha") || !strings.Contains(msg, "gamma") {
+		t.Fatalf("deadlock error should name alpha and gamma: %q", msg)
+	}
+	if strings.Contains(msg, "beta") {
+		t.Fatalf("deadlock error should not name the finished process: %q", msg)
+	}
+	if !strings.Contains(msg, "2 process(es)") {
+		t.Fatalf("deadlock error should count 2 parked processes: %q", msg)
+	}
+}
+
+// Regression: a release from an engine event (not a process) must hand
+// off to the waiters at the release cycle, in FIFO wait order.
+func TestSemaphoreReleaseFromEngineFIFOHandoff(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(e, "dev", 0)
+	type grant struct {
+		id int
+		at Cycles
+	}
+	var grants []grant
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go("w", func(p *Proc) {
+			p.Delay(Cycles(i)) // enqueue in index order
+			sem.Acquire(p)
+			grants = append(grants, grant{i, p.Now()})
+		})
+	}
+	e.Schedule(50, func() {
+		for i := 0; i < 3; i++ {
+			sem.Release()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(grants) != 3 {
+		t.Fatalf("grants = %v, want 3", grants)
+	}
+	for i, g := range grants {
+		if g.id != i {
+			t.Fatalf("grant order = %v, want FIFO", grants)
+		}
+		if g.at != 50 {
+			t.Fatalf("waiter %d woke at %d, want the release cycle 50", g.id, g.at)
+		}
+	}
+}
+
+// Regression: WaitGroup.Done from an engine event wakes all waiters at
+// the completion cycle, in Wait order.
+func TestWaitGroupDoneFromEngineFIFOHandoff(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e)
+	wg.Add(1)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Go("j", func(p *Proc) {
+			p.Delay(Cycles(i))
+			wg.Wait(p)
+			if p.Now() != 40 {
+				t.Errorf("waiter %d woke at %d, want 40", i, p.Now())
+			}
+			order = append(order, i)
+		})
+	}
+	e.Schedule(40, wg.Done)
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{0, 1, 2}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("wake order = %v, want %v", order, want)
+		}
+	}
+}
+
+// A same-cycle wakeup must not overtake an earlier-scheduled event at
+// the same cycle: wakeups and heap events share one (at, seq) order.
+func TestWakeupDoesNotOvertakeSameCycleEvents(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(e, "s", 0)
+	var trace []string
+	e.Go("w", func(p *Proc) {
+		sem.Acquire(p)
+		trace = append(trace, "woken")
+	})
+	e.Schedule(10, func() {
+		sem.Release()                                         // wakeup at (10, seq)
+		e.Schedule(10, func() { trace = append(trace, "b") }) // (10, seq+1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"woken", "b"}
+	for i, w := range want {
+		if i >= len(trace) || trace[i] != w {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestEngineReset(t *testing.T) {
+	run := func(e *Engine) []Cycles {
+		var marks []Cycles
+		e.Go("p", func(p *Proc) {
+			p.Delay(10)
+			marks = append(marks, p.Now())
+			p.Delay(20)
+			marks = append(marks, p.Now())
+		})
+		if err := e.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return marks
+	}
+	e := NewEngine()
+	first := run(e)
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 {
+		t.Fatalf("Reset left Now=%d Pending=%d", e.Now(), e.Pending())
+	}
+	second := run(e)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("reused engine diverged: %v vs %v", first, second)
+		}
+	}
+}
+
+func TestResetPanicsWithLiveProcesses(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(e, "never", 0)
+	e.Go("stuck", func(p *Proc) { sem.Acquire(p) })
+	if err := e.Run(); err == nil {
+		t.Fatal("expected deadlock")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reset with a parked process should panic")
+		}
+	}()
+	e.Reset()
+}
+
+// Sequentially completed processes reuse pooled coroutines instead of
+// spawning a goroutine each (white-box: inspects the package pool).
+func TestCoroutinesAreReused(t *testing.T) {
+	drainCoroPool()
+	e := NewEngine()
+	for round := 0; round < 8; round++ {
+		e.Go("p", func(p *Proc) { p.Delay(3) })
+		if err := e.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	coroPool.mu.Lock()
+	idle := len(coroPool.free)
+	coroPool.mu.Unlock()
+	if idle != 1 {
+		t.Fatalf("pool holds %d coroutines after 8 sequential processes, want 1 (reused)", idle)
+	}
+}
+
+// drainCoroPool retires every pooled coroutine so pool-size assertions
+// start from a known state.
+func drainCoroPool() {
+	coroPool.mu.Lock()
+	free := coroPool.free
+	coroPool.free = nil
+	coroPool.mu.Unlock()
+	for _, c := range free {
+		c.quit = true
+		c.resume <- struct{}{}
 	}
 }
 

@@ -9,51 +9,79 @@ import (
 // processes are still parked on semaphores.
 var ErrDeadlock = errors.New("deadlock")
 
-// Proc is a simulated process: a goroutine that alternates with the
-// engine, running only between its Wait calls. A Proc must only be used
-// from the goroutine it was started on.
+// Process states. A process always transitions on a well-defined side of
+// a coroutine handoff, so the field needs no synchronization beyond the
+// handoff channels' happens-before edges.
+const (
+	procNew     = uint8(iota) // spawned; start wakeup pending on the ready ring
+	procRunning               // executing on its coroutine right now
+	procTimer                 // parked with a wakeup event in the heap
+	procBlocked               // parked on a semaphore/waitgroup (no pending event)
+	procDone                  // body returned
+)
+
+// Proc is a simulated process: a coroutine that alternates with the
+// scheduler, running only between its Wait calls. A Proc must only be
+// used from the goroutine it was started on.
 type Proc struct {
-	eng    *Engine
-	name   string
-	resume chan struct{}
-	yield  chan struct{}
-	done   bool
+	eng     *Engine
+	name    string
+	c       *coro
+	fn      func(p *Proc)
+	state   uint8
+	liveIdx int // position in eng.live, for O(1) removal
 }
 
 // Go spawns fn as a new process. fn starts executing at the current
-// virtual time (via an immediate event) and may call the blocking methods
-// of its Proc. Go may be called from the engine (inside events) or from
-// another process.
+// virtual time (via an immediate wakeup) and may call the blocking
+// methods of its Proc. Go may be called from the engine (inside events)
+// or from another process. The body runs on a pooled coroutine; no
+// goroutine or channel is created on the steady-state path.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{
-		eng:    e,
-		name:   name,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
-	}
-	e.Schedule(e.now, func() {
-		go func() {
-			<-p.resume
-			fn(p)
-			p.done = true
-			p.yield <- struct{}{}
-		}()
-		p.transfer()
-	})
+	p := &Proc{eng: e, name: name, fn: fn, state: procNew, liveIdx: len(e.live)}
+	e.live = append(e.live, p)
+	e.wake(p)
 	return p
 }
 
-// transfer hands control to the process goroutine and blocks the caller
-// (the engine or another process's event) until it yields back.
-func (p *Proc) transfer() {
-	p.resume <- struct{}{}
-	<-p.yield
+// resumeProc hands control to the process and blocks the scheduler until
+// it parks or finishes. Runs only on the scheduler goroutine.
+func (e *Engine) resumeProc(p *Proc) {
+	c := p.c
+	if p.state == procNew {
+		c = getCoro()
+		p.c = c
+		c.p = p
+	}
+	p.state = procRunning
+	c.resume <- struct{}{}
+	<-c.yield
+	if p.state == procDone {
+		e.finishProc(p)
+	}
 }
 
-// park suspends the process until some event calls transfer again.
-func (p *Proc) park() {
-	p.yield <- struct{}{}
-	<-p.resume
+// finishProc retires a completed process: drops it from the live set and
+// returns its coroutine to the pool.
+func (e *Engine) finishProc(p *Proc) {
+	last := len(e.live) - 1
+	moved := e.live[last]
+	e.live[p.liveIdx] = moved
+	moved.liveIdx = p.liveIdx
+	e.live[last] = nil
+	e.live = e.live[:last]
+	putCoro(p.c)
+	p.c = nil
+}
+
+// park suspends the process until the scheduler resumes it; state
+// records why (timer or blocked) for deadlock diagnostics. Runs only on
+// the process's coroutine.
+func (p *Proc) park(state uint8) {
+	p.state = state
+	c := p.c
+	c.yield <- struct{}{}
+	<-c.resume
 }
 
 // Name returns the process name (for diagnostics).
@@ -66,13 +94,16 @@ func (p *Proc) Engine() *Engine { return p.eng }
 func (p *Proc) Now() Cycles { return p.eng.now }
 
 // WaitUntil blocks the process until the given absolute virtual time.
-// Times in the past return immediately.
+// Times in the past return immediately. The wakeup is an intrusive heap
+// event carrying the process itself — no closure, no allocation.
 func (p *Proc) WaitUntil(t Cycles) {
-	if t <= p.eng.now {
+	e := p.eng
+	if t <= e.now {
 		return
 	}
-	p.eng.Schedule(t, func() { p.transfer() })
-	p.park()
+	e.seq++
+	e.push(event{at: t, seq: e.seq, proc: p})
+	p.park(procTimer)
 }
 
 // Delay blocks the process for d cycles.
@@ -105,7 +136,7 @@ func (s *Semaphore) Acquire(p *Proc) {
 	}
 	s.waiters = append(s.waiters, p)
 	s.eng.parked++
-	p.park()
+	p.park(procBlocked)
 }
 
 // TryAcquire takes a permit if one is immediately available.
@@ -118,14 +149,17 @@ func (s *Semaphore) TryAcquire() bool {
 }
 
 // Release returns one permit, waking the longest-waiting process if any.
-// It may be called from events or processes.
+// It may be called from events or processes. The permit is handed off
+// directly: the waiter joins the scheduler's ready ring at the current
+// cycle (FIFO among same-cycle wakeups) with no closure or heap traffic.
 func (s *Semaphore) Release() {
 	if len(s.waiters) > 0 {
 		w := s.waiters[0]
-		s.waiters = s.waiters[1:]
+		n := copy(s.waiters, s.waiters[1:])
+		s.waiters[n] = nil
+		s.waiters = s.waiters[:n]
 		s.eng.parked--
-		// Hand the permit directly to the waiter at the current time.
-		s.eng.Schedule(s.eng.now, func() { w.transfer() })
+		s.eng.wake(w)
 		return
 	}
 	s.permits++
@@ -158,19 +192,20 @@ func (wg *WaitGroup) Add(n int) {
 }
 
 // Done decrements the counter, waking waiters when it reaches zero.
+// Waiters are handed to the scheduler's ready ring directly, in Wait
+// order, without scheduling a closure per waiter.
 func (wg *WaitGroup) Done() {
 	wg.count--
 	if wg.count < 0 {
 		panic("sim: WaitGroup counter below zero")
 	}
-	if wg.count == 0 {
-		ws := wg.waiters
-		wg.waiters = nil
-		for _, w := range ws {
-			w := w
+	if wg.count == 0 && len(wg.waiters) > 0 {
+		for i, w := range wg.waiters {
 			wg.eng.parked--
-			wg.eng.Schedule(wg.eng.now, func() { w.transfer() })
+			wg.eng.wake(w)
+			wg.waiters[i] = nil
 		}
+		wg.waiters = wg.waiters[:0]
 	}
 }
 
@@ -181,5 +216,5 @@ func (wg *WaitGroup) Wait(p *Proc) {
 	}
 	wg.waiters = append(wg.waiters, p)
 	wg.eng.parked++
-	p.park()
+	p.park(procBlocked)
 }

@@ -3,7 +3,6 @@ package soc
 import (
 	"cohmeleon/internal/cache"
 	"cohmeleon/internal/mem"
-	"cohmeleon/internal/noc"
 	"cohmeleon/internal/sim"
 )
 
@@ -41,8 +40,9 @@ func (s *SoC) recallFromOwner(mt *MemTile, e *cache.DirEntry, invalidate bool, a
 		return at
 	}
 	owner := &s.agents[ownerID]
+	cp := s.cohPathTo(ownerID, mt.Part)
 	// Forward from the directory to the owner.
-	t := s.Mesh.Transfer(noc.PlaneCohFwd, mt.Coord, owner.coord, 0, at)
+	t := cp.fwd.Send(0, at)
 	_, t = owner.port.Acquire(t, s.P.L2HitCycles)
 	var present, dirty bool
 	if invalidate {
@@ -52,7 +52,7 @@ func (s *SoC) recallFromOwner(mt *MemTile, e *cache.DirEntry, invalidate bool, a
 	}
 	if present && dirty {
 		// Dirty data returns to the LLC.
-		t = s.Mesh.Transfer(noc.PlaneCohRsp, owner.coord, mt.Coord, mem.LineBytes, t)
+		t = cp.wb.Send(mem.LineBytes, t)
 		_, t = mt.Port.Acquire(t, s.P.LLCFillCycles)
 		e.State = cache.DirDirty
 	}
@@ -70,7 +70,7 @@ func (s *SoC) invalidateSharers(mt *MemTile, e *cache.DirEntry, at sim.Cycles) s
 	e.ForEachSharer(func(id int) {
 		ag := &s.agents[id]
 		_, t = mt.Port.Acquire(t, s.P.RecallHeaderCycles)
-		arrive := s.Mesh.Transfer(noc.PlaneCohFwd, mt.Coord, ag.coord, 0, t)
+		arrive := s.cohPathTo(id, mt.Part).fwd.Send(0, t)
 		_, _ = ag.port.Acquire(arrive, s.P.L2HitCycles)
 		ag.cache.Invalidate(e.Line) // may be a stale sharer (silent eviction): harmless
 	})
@@ -89,18 +89,19 @@ func (s *SoC) evictLLCVictim(mt *MemTile, v cache.DirVictim, at sim.Cycles, mete
 	dirty := v.WasDirty
 	if v.Owner != cache.NoOwner {
 		owner := &s.agents[v.Owner]
-		t = s.Mesh.Transfer(noc.PlaneCohFwd, mt.Coord, owner.coord, 0, t)
+		cp := s.cohPathTo(v.Owner, mt.Part)
+		t = cp.fwd.Send(0, t)
 		_, t = owner.port.Acquire(t, s.P.L2HitCycles)
 		present, ownerDirty := owner.cache.Invalidate(v.Line)
 		if present && ownerDirty {
-			t = s.Mesh.Transfer(noc.PlaneCohRsp, owner.coord, mt.Coord, mem.LineBytes, t)
+			t = cp.wb.Send(mem.LineBytes, t)
 			dirty = true
 		}
 	}
 	cache.ForEachSharerMask(v.Sharers, func(id int) {
 		ag := &s.agents[id]
 		_, t = mt.Port.Acquire(t, s.P.RecallHeaderCycles)
-		arrive := s.Mesh.Transfer(noc.PlaneCohFwd, mt.Coord, ag.coord, 0, t)
+		arrive := s.cohPathTo(id, mt.Part).fwd.Send(0, t)
 		_, _ = ag.port.Acquire(arrive, s.P.L2HitCycles)
 		ag.cache.Invalidate(v.Line)
 	})
@@ -117,7 +118,7 @@ func (s *SoC) evictLLCVictim(mt *MemTile, v cache.DirVictim, at sim.Cycles, mete
 // callers typically do not wait on it.
 func (s *SoC) writebackToLLC(from *agent, fromID int, line mem.LineAddr, at sim.Cycles, meter *Meter) sim.Cycles {
 	mt := s.homeTile(line)
-	t := s.Mesh.Transfer(noc.PlaneCohRsp, from.coord, mt.Coord, mem.LineBytes, at)
+	t := s.cohPathTo(fromID, mt.Part).wb.Send(mem.LineBytes, at)
 	_, t = mt.Port.Acquire(t, s.P.LLCFillCycles)
 	e := mt.LLC.Probe(line)
 	if e == nil {
@@ -164,8 +165,9 @@ func (s *SoC) cachedGroupAccess(agentID int, start mem.LineAddr, n int64, write 
 		return t
 	}
 	mt := s.homeTile(start)
+	cp := s.cohPathTo(agentID, mt.Part)
 	// One request header per group.
-	t = s.Mesh.Transfer(noc.PlaneCohReq, ag.coord, mt.Coord, 0, t)
+	t = cp.req.Send(0, t)
 
 	var fillLines int64 // lines read from DRAM
 	for _, line := range misses {
@@ -205,7 +207,7 @@ func (s *SoC) cachedGroupAccess(agentID int, start mem.LineAddr, n int64, write 
 		meter.add(fillLines)
 	}
 	// Data response for the whole group.
-	t = s.Mesh.Transfer(noc.PlaneCohRsp, mt.Coord, ag.coord, len(misses)*mem.LineBytes, t)
+	t = cp.rsp.Send(len(misses)*mem.LineBytes, t)
 	// Fill the private cache; dirty victims write back (posted).
 	for _, line := range misses {
 		st := cache.Exclusive
@@ -239,12 +241,13 @@ func (s *SoC) cachedGroupAccess(agentID int, start mem.LineAddr, n int64, write 
 // bridge is coherent with the LLC only, as in LLCCohDMA, where software
 // flushed the private caches beforehand.
 func (s *SoC) dmaGroupLLC(mt *MemTile, a *AccTile, start mem.LineAddr, n int64, write, recallOwners bool, at sim.Cycles, meter *Meter) sim.Cycles {
+	dp := s.dmaPathTo(a.ID, mt.Part)
 	var t sim.Cycles
 	if write {
 		// Data travels with the request.
-		t = s.Mesh.Transfer(noc.PlaneDMAData, a.Coord, mt.Coord, int(n)*mem.LineBytes, at)
+		t = dp.up.Send(int(n)*mem.LineBytes, at)
 	} else {
-		t = s.Mesh.Transfer(noc.PlaneDMAReq, a.Coord, mt.Coord, 0, at)
+		t = dp.req.Send(0, at)
 	}
 	missState := cache.DirClean
 	if write {
@@ -286,7 +289,7 @@ func (s *SoC) dmaGroupLLC(mt *MemTile, a *AccTile, start mem.LineAddr, n int64, 
 		meter.add(fillLines)
 	}
 	if !write {
-		t = s.Mesh.Transfer(noc.PlaneDMAData, mt.Coord, a.Coord, int(n)*mem.LineBytes, t)
+		t = dp.down.Send(int(n)*mem.LineBytes, t)
 	}
 	return t
 }
@@ -294,14 +297,15 @@ func (s *SoC) dmaGroupLLC(mt *MemTile, a *AccTile, start mem.LineAddr, n int64, 
 // dmaGroupNonCoh serves one DMA group straight from DRAM, bypassing the
 // hierarchy entirely (the NonCohDMA datapath).
 func (s *SoC) dmaGroupNonCoh(mt *MemTile, a *AccTile, start mem.LineAddr, n int64, write bool, at sim.Cycles, meter *Meter) sim.Cycles {
+	dp := s.dmaPathTo(a.ID, mt.Part)
 	if write {
-		t := s.Mesh.Transfer(noc.PlaneDMAData, a.Coord, mt.Coord, int(n)*mem.LineBytes, at)
+		t := dp.up.Send(int(n)*mem.LineBytes, at)
 		t = mt.DRAM.Post(t, n, true)
 		meter.add(n)
 		return t
 	}
-	t := s.Mesh.Transfer(noc.PlaneDMAReq, a.Coord, mt.Coord, 0, at)
+	t := dp.req.Send(0, at)
 	t = mt.DRAM.Access(t, n, false)
 	meter.add(n)
-	return s.Mesh.Transfer(noc.PlaneDMAData, mt.Coord, a.Coord, int(n)*mem.LineBytes, t)
+	return dp.down.Send(int(n)*mem.LineBytes, t)
 }

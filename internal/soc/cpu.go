@@ -36,11 +36,17 @@ func (s *SoC) CPUTouchRange(cpu *CPUTile, buf *mem.Buffer, startLine, lines int6
 // the runtime diffs snapshots around an invocation, exactly as the
 // paper's software reads the hardware counters.
 func (s *SoC) DDRTotals() []int64 {
-	out := make([]int64, len(s.Mem))
+	return s.DDRTotalsInto(make([]int64, len(s.Mem)))
+}
+
+// DDRTotalsInto fills dst (length = number of memory tiles) with the
+// per-controller off-chip totals and returns it, for callers that reuse
+// snapshot storage across an invocation.
+func (s *SoC) DDRTotalsInto(dst []int64) []int64 {
 	for i, mt := range s.Mem {
-		out[i] = mt.DRAM.Total()
+		dst[i] = mt.DRAM.Total()
 	}
-	return out
+	return dst
 }
 
 // DDRSum returns the total off-chip accesses across controllers.

@@ -3,7 +3,6 @@ package soc
 import (
 	"cohmeleon/internal/cache"
 	"cohmeleon/internal/mem"
-	"cohmeleon/internal/noc"
 	"cohmeleon/internal/sim"
 )
 
@@ -73,13 +72,14 @@ func (s *SoC) flushAgentRange(agentID int, buf *mem.Buffer, at sim.Cycles, meter
 			continue
 		}
 		mt := s.Mem[p]
+		cp := s.cohPathTo(agentID, mt.Part)
 		for off := 0; off < len(lines); off += group {
 			end := off + group
 			if end > len(lines) {
 				end = len(lines)
 			}
 			batch := lines[off:end]
-			t = s.Mesh.Transfer(noc.PlaneCohRsp, ag.coord, mt.Coord, len(batch)*mem.LineBytes, t)
+			t = cp.wb.Send(len(batch)*mem.LineBytes, t)
 			_, t = mt.Port.Acquire(t, sim.Cycles(len(batch))*s.P.LLCFillCycles)
 			for _, line := range batch {
 				e := mt.LLC.Probe(line)
@@ -137,18 +137,19 @@ func (s *SoC) flushLLCPartition(mt *MemTile, buf *mem.Buffer, at sim.Cycles, met
 		wasDirty := v.WasDirty
 		if v.Owner != cache.NoOwner {
 			owner := &s.agents[v.Owner]
-			t = s.Mesh.Transfer(noc.PlaneCohFwd, mt.Coord, owner.coord, 0, t)
+			cp := s.cohPathTo(v.Owner, mt.Part)
+			t = cp.fwd.Send(0, t)
 			_, t = owner.port.Acquire(t, s.P.L2HitCycles)
 			present, ownerDirty := owner.cache.Invalidate(line)
 			if present && ownerDirty {
-				t = s.Mesh.Transfer(noc.PlaneCohRsp, owner.coord, mt.Coord, mem.LineBytes, t)
+				t = cp.wb.Send(mem.LineBytes, t)
 				wasDirty = true
 			}
 		}
 		cache.ForEachSharerMask(v.Sharers, func(id int) {
 			ag := &s.agents[id]
 			_, t = mt.Port.Acquire(t, s.P.RecallHeaderCycles)
-			arrive := s.Mesh.Transfer(noc.PlaneCohFwd, mt.Coord, ag.coord, 0, t)
+			arrive := s.cohPathTo(id, mt.Part).fwd.Send(0, t)
 			_, _ = ag.port.Acquire(arrive, s.P.L2HitCycles)
 			ag.cache.Invalidate(line)
 		})

@@ -69,6 +69,25 @@ type agent struct {
 	port  *sim.Resource
 }
 
+// cohPath bundles the four directed coherence routes between one agent
+// and one memory tile. Every simulated coherence message travels one of
+// these, so the routes are resolved once at construction and the hot
+// flows send on them directly.
+type cohPath struct {
+	req noc.Path // agent -> mem: request headers (coh-req plane)
+	rsp noc.Path // mem -> agent: data responses (coh-rsp plane)
+	fwd noc.Path // mem -> agent: recalls and invalidations (coh-fwd plane)
+	wb  noc.Path // agent -> mem: dirty data returns (coh-rsp plane)
+}
+
+// dmaPath bundles the three directed DMA routes between one accelerator
+// tile and one memory tile.
+type dmaPath struct {
+	req  noc.Path // acc -> mem: request headers (dma-req plane)
+	up   noc.Path // acc -> mem: write payloads (dma-data plane)
+	down noc.Path // mem -> acc: read payloads (dma-data plane)
+}
+
 // SoC is a fully assembled simulated system.
 type SoC struct {
 	Cfg  *Config
@@ -85,7 +104,11 @@ type SoC struct {
 	// CPUPool limits concurrent software execution to the CPU count.
 	CPUPool *sim.Semaphore
 
-	agents      []agent
+	agents []agent
+	// Precomputed NoC routes: cohPaths[agentID*len(Mem)+part] and
+	// dmaPaths[accID*len(Mem)+part]. See cohPath/dmaPath.
+	cohPaths    []cohPath
+	dmaPaths    []dmaPath
 	missScratch []mem.LineAddr // reused by cachedGroupAccess
 	// Flush scratch, reused across flush calls (safe for the same reason
 	// as missScratch: one simulation goroutine runs at a time and the
@@ -97,12 +120,10 @@ type SoC struct {
 	// prefix of each extent. Rebuilt (O(pages)) whenever the buffer
 	// changes; resolves any logical offset to its extent in O(1) instead
 	// of walking the extent list per range.
-	runBuf *mem.Buffer
-	runExt []int32
-	runPre []int64
-	// runScratch holds the resolved physical runs of one doTransfers
-	// call (reused, never held across yields).
-	runScratch []physRun
+	runBuf  *mem.Buffer
+	runExt  []int32
+	runPre  []int64
+	runHome []*MemTile // home tile per extent (an extent never crosses partitions)
 }
 
 // llcAssoc and l2Assoc fix the cache geometries (ESP uses set-associative
@@ -112,13 +133,21 @@ const (
 	l2Assoc  = 4
 )
 
-// Build assembles the SoC described by the configuration.
-func (c *Config) Build() (*SoC, error) {
+// Build assembles the SoC described by the configuration on a fresh
+// simulation engine.
+func (c *Config) Build() (*SoC, error) { return c.BuildOn(sim.NewEngine()) }
+
+// BuildOn assembles the SoC on the given engine, which must be idle — a
+// fresh engine, or one whose previous run completed and that has been
+// Reset. Harnesses use it to reuse one kernel (its event heap, ready
+// ring, and warmed capacity) across the many fresh-SoC trials of an
+// experiment fan-out.
+func (c *Config) BuildOn(eng *sim.Engine) (*SoC, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	p := c.Params
-	s := &SoC{Cfg: c, P: p, Eng: sim.NewEngine()}
+	s := &SoC{Cfg: c, P: p, Eng: eng}
 	s.Mesh = noc.NewMesh(c.MeshW, c.MeshH)
 	s.Map = mem.NewAddressMap(c.MemTiles, p.DRAMPartitionMB<<20)
 	s.Heap = mem.NewAllocator(s.Map)
@@ -155,7 +184,46 @@ func (c *Config) Build() (*SoC, error) {
 	if len(s.agents) > 64 {
 		return nil, fmt.Errorf("soc %s: %d coherent agents exceed directory bitmask width", c.Name, len(s.agents))
 	}
+	s.buildPaths()
 	return s, nil
+}
+
+// buildPaths resolves every (agent, memory tile) and (accelerator,
+// memory tile) route pair once. The tables are small — tiles² at most —
+// and turn each simulated message into a bare link walk.
+func (s *SoC) buildPaths() {
+	for ai := range s.agents {
+		ag := &s.agents[ai]
+		for _, mt := range s.Mem {
+			s.cohPaths = append(s.cohPaths, cohPath{
+				req: s.Mesh.NewPath(noc.PlaneCohReq, ag.coord, mt.Coord),
+				rsp: s.Mesh.NewPath(noc.PlaneCohRsp, mt.Coord, ag.coord),
+				fwd: s.Mesh.NewPath(noc.PlaneCohFwd, mt.Coord, ag.coord),
+				wb:  s.Mesh.NewPath(noc.PlaneCohRsp, ag.coord, mt.Coord),
+			})
+		}
+	}
+	for _, a := range s.Accs {
+		for _, mt := range s.Mem {
+			s.dmaPaths = append(s.dmaPaths, dmaPath{
+				req:  s.Mesh.NewPath(noc.PlaneDMAReq, a.Coord, mt.Coord),
+				up:   s.Mesh.NewPath(noc.PlaneDMAData, a.Coord, mt.Coord),
+				down: s.Mesh.NewPath(noc.PlaneDMAData, mt.Coord, a.Coord),
+			})
+		}
+	}
+}
+
+// cohPathTo returns the coherence routes between an agent and a
+// memory tile.
+func (s *SoC) cohPathTo(agentID, part int) *cohPath {
+	return &s.cohPaths[agentID*len(s.Mem)+part]
+}
+
+// dmaPathTo returns the DMA routes between an accelerator tile and a
+// memory tile.
+func (s *SoC) dmaPathTo(accID, part int) *dmaPath {
+	return &s.dmaPaths[accID*len(s.Mem)+part]
 }
 
 func (s *SoC) addAgent(name string, coord noc.Coord, l2Bytes int64) int {

@@ -75,103 +75,103 @@ func bufContains(buf *mem.Buffer, line mem.LineAddr) bool {
 	return false
 }
 
-// physRun is one resolved physical run of a transfer plan.
-type physRun struct {
-	start mem.LineAddr
-	n     int64
-}
-
 // doTransfers executes the plan's read or write ranges under the mode,
 // advancing the time cursor serially (an ESP DMA engine keeps one
-// transaction in flight; parallelism comes from concurrent tiles). The
-// extent walk is inlined rather than routed through forEachRun: this is
-// the innermost dispatch of every simulated transfer, and the closure
-// capture of the time cursor shows up in CPU profiles.
+// transaction in flight; parallelism comes from concurrent tiles).
+//
+// This is the innermost dispatch of every simulated transfer: the extent
+// walk is inlined rather than routed through forEachRun (closure capture
+// of the time cursor shows up in CPU profiles), and each resolved run is
+// dispatched immediately — the mode switch inside the loop is a
+// perfectly-predicted branch, cheaper than materializing a run list.
 func (s *SoC) doTransfers(a *AccTile, buf *mem.Buffer, ranges []acc.LineRange, mode Mode, write bool, at sim.Cycles, meter *Meter) sim.Cycles {
-	// Resolve every logical range into physical runs first (reused
-	// scratch, no allocation), then dispatch all runs through one mode
-	// switch: the per-range path stays free of calls and branches.
-	runs := s.runScratch[:0]
+	t := at
 	extents := buf.Extents
 	if len(extents) == 1 {
 		// Single-extent buffer (any footprint up to one page): logical
 		// offsets map 1:1 onto the extent, no walk needed. This is the
 		// common case and skips all extent bookkeeping per range.
 		e := &extents[0]
+		mt := s.homeTile(e.Start)
 		for _, lr := range ranges {
 			if lr.Start+lr.Lines > e.Lines {
 				panic(fmt.Sprintf("soc: logical range [%d,+%d) beyond buffer", lr.Start, lr.Lines))
 			}
-			runs = append(runs, physRun{e.Start + mem.LineAddr(lr.Start), lr.Lines})
+			t = s.dispatchRun(a, mt, e.Start+mem.LineAddr(lr.Start), lr.Lines, mode, write, t, meter)
 		}
-	} else {
-		s.ensureRunTable(buf)
-		for _, lr := range ranges {
-			remaining := lr.Lines
-			logical := lr.Start
-			// O(1) lookup of the extent containing the range start.
-			pi := logical >> mem.PageLineShift
-			if pi < 0 || pi >= int64(len(s.runExt)) {
+		return t
+	}
+	s.ensureRunTable(buf)
+	runExt, runPre, runHome := s.runExt, s.runPre, s.runHome
+	for _, lr := range ranges {
+		logical := lr.Start
+		// O(1) lookup of the extent containing the range start.
+		pi := logical >> mem.PageLineShift
+		if pi < 0 || pi >= int64(len(runExt)) {
+			panic(fmt.Sprintf("soc: logical range [%d,+%d) beyond buffer", lr.Start, lr.Lines))
+		}
+		ei := int(runExt[pi])
+		if lr.Lines == 1 {
+			// Single-line range (strided and irregular accelerator
+			// patterns): no extent walk, the containing extent is final.
+			t = s.dispatchRun(a, runHome[ei], extents[ei].Start+mem.LineAddr(logical-runPre[ei]), 1, mode, write, t, meter)
+			continue
+		}
+		remaining := lr.Lines
+		base := runPre[ei]
+		for remaining > 0 {
+			if ei >= len(extents) {
 				panic(fmt.Sprintf("soc: logical range [%d,+%d) beyond buffer", lr.Start, lr.Lines))
 			}
-			ei := int(s.runExt[pi])
-			base := s.runPre[ei]
-			for remaining > 0 {
-				if ei >= len(extents) {
-					panic(fmt.Sprintf("soc: logical range [%d,+%d) beyond buffer", lr.Start, lr.Lines))
-				}
-				e := &extents[ei]
-				off := logical - base
-				n := e.Lines - off
-				if n > remaining {
-					n = remaining
-				}
-				runs = append(runs, physRun{e.Start + mem.LineAddr(off), n})
-				logical += n
-				remaining -= n
-				base += e.Lines
-				ei++
+			e := &extents[ei]
+			off := logical - base
+			n := e.Lines - off
+			if n > remaining {
+				n = remaining
 			}
+			t = s.dispatchRun(a, runHome[ei], e.Start+mem.LineAddr(off), n, mode, write, t, meter)
+			logical += n
+			remaining -= n
+			base += e.Lines
+			ei++
 		}
 	}
+	return t
+}
 
-	t := at
-	group := int64(s.P.GroupLines)
+// dispatchRun sends one physical run — a contiguous line range within a
+// single extent, so a single home tile — through the mode's datapath,
+// splitting it into hardware groups where the mode requires.
+func (s *SoC) dispatchRun(a *AccTile, mt *MemTile, start mem.LineAddr, n int64, mode Mode, write bool, t sim.Cycles, meter *Meter) sim.Cycles {
 	switch mode {
 	case NonCohDMA:
 		// Whole run in one burst: the long-burst advantage of bypassing
 		// the hierarchy.
-		for _, r := range runs {
-			t = s.dmaGroupNonCoh(s.homeTile(r.start), a, r.start, r.n, write, t, meter)
-		}
+		return s.dmaGroupNonCoh(mt, a, start, n, write, t, meter)
 	case LLCCohDMA, CohDMA:
 		recall := mode == CohDMA
-		for _, r := range runs {
-			// A run never crosses extents: every group shares one home tile.
-			mt := s.homeTile(r.start)
-			for o := int64(0); o < r.n; o += group {
-				g := group
-				if o+g > r.n {
-					g = r.n - o
-				}
-				t = s.dmaGroupLLC(mt, a, r.start+mem.LineAddr(o), g, write, recall, t, meter)
+		group := int64(s.P.GroupLines)
+		for o := int64(0); o < n; o += group {
+			g := group
+			if o+g > n {
+				g = n - o
 			}
+			t = s.dmaGroupLLC(mt, a, start+mem.LineAddr(o), g, write, recall, t, meter)
 		}
+		return t
 	case FullyCoh:
-		for _, r := range runs {
-			for o := int64(0); o < r.n; o += group {
-				g := group
-				if o+g > r.n {
-					g = r.n - o
-				}
-				t = s.cachedGroupAccess(a.Agent, r.start+mem.LineAddr(o), g, write, t, meter)
+		group := int64(s.P.GroupLines)
+		for o := int64(0); o < n; o += group {
+			g := group
+			if o+g > n {
+				g = n - o
 			}
+			t = s.cachedGroupAccess(a.Agent, start+mem.LineAddr(o), g, write, t, meter)
 		}
+		return t
 	default:
 		panic(fmt.Sprintf("soc: unknown mode %v", mode))
 	}
-	s.runScratch = runs[:0]
-	return t
 }
 
 // ensureRunTable (re)builds the logical-page -> extent lookup table for
@@ -184,9 +184,11 @@ func (s *SoC) ensureRunTable(buf *mem.Buffer) {
 	}
 	s.runExt = s.runExt[:0]
 	s.runPre = s.runPre[:0]
+	s.runHome = s.runHome[:0]
 	var base int64
 	for ei := range buf.Extents {
 		s.runPre = append(s.runPre, base)
+		s.runHome = append(s.runHome, s.homeTile(buf.Extents[ei].Start))
 		lines := buf.Extents[ei].Lines
 		for p := int64(0); p < lines>>mem.PageLineShift; p++ {
 			s.runExt = append(s.runExt, int32(ei))
@@ -210,7 +212,7 @@ func (s *SoC) RunAccelerator(p *sim.Proc, a *AccTile, buf *mem.Buffer, mode Mode
 		panic(fmt.Sprintf("soc: %s has no private cache; FullyCoh unavailable", a.InstName))
 	}
 	plan := acc.NewPlan(a.Spec, buf.Bytes, rng)
-	meter := &Meter{}
+	var meter Meter // stays on the stack: callees never retain it
 	start := p.Now()
 
 	var cur, next acc.ChunkPlan
@@ -221,7 +223,7 @@ func (s *SoC) RunAccelerator(p *sim.Proc, a *AccTile, buf *mem.Buffer, mode Mode
 	fetchIssue := start
 	var fetchDone sim.Cycles
 	if hasCur {
-		fetchDone = s.doTransfers(a, buf, cur.Reads, mode, false, start, meter)
+		fetchDone = s.doTransfers(a, buf, cur.Reads, mode, false, start, &meter)
 	}
 	prevComputeDone := start
 	lastWriteDone := start
@@ -240,11 +242,11 @@ func (s *SoC) RunAccelerator(p *sim.Proc, a *AccTile, buf *mem.Buffer, mode Mode
 		var nextIssue, nextDone sim.Cycles
 		if hasNext {
 			nextIssue = computeStart
-			nextDone = s.doTransfers(a, buf, next.Reads, mode, false, nextIssue, meter)
+			nextDone = s.doTransfers(a, buf, next.Reads, mode, false, nextIssue, &meter)
 		}
 
 		if len(cur.Writes) > 0 {
-			wDone := s.doTransfers(a, buf, cur.Writes, mode, true, computeDone, meter)
+			wDone := s.doTransfers(a, buf, cur.Writes, mode, true, computeDone, &meter)
 			comm += wDone - computeDone
 			if wDone > lastWriteDone {
 				lastWriteDone = wDone

@@ -69,13 +69,15 @@ func Run(sys *esp.System, app *App, seed uint64) (*AppResult, error) {
 	s.Eng.Go("app:"+app.Name, func(p *sim.Proc) {
 		appStart := p.Now()
 		ddrStart := s.DDRSum()
+		// One join group for the whole run: its counter returns to zero at
+		// every phase boundary, so reusing it across phases is safe and
+		// keeps the waiter storage warm.
+		wg := sim.NewWaitGroup(s.Eng)
 		for pi := range app.Phases {
 			phase := &app.Phases[pi]
 			pr := PhaseResult{Name: phase.Name}
 			phaseStart := p.Now()
 			phaseDDR := s.DDRSum()
-
-			wg := sim.NewWaitGroup(s.Eng)
 			for ti := range phase.Threads {
 				ts := &phase.Threads[ti]
 				wg.Add(1)

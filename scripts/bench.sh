@@ -43,6 +43,15 @@ run_bench() { # pkg regex benchtime workers label
         | awk -v w="$workers" '/^Benchmark/ { printf "%s %s %s\n", $1, w, $3 }' >> "$tmp/samples.txt"
 }
 
+run_bench_mem() { # pkg regex benchtime workers label — also records allocs/op
+    local pkg="$1" regex="$2" benchtime="$3" workers="$4" label="$5"
+    echo ">> $label ($pkg -bench $regex, workers=$workers, -benchmem)" >&2
+    COHMELEON_WORKERS="$workers" go test "$pkg" -run NONE -bench "$regex" \
+        -benchtime "$benchtime" -count "$count" -timeout 120m -benchmem \
+        | tee -a "$tmp/raw.txt" \
+        | awk -v w="$workers" '/^Benchmark/ { printf "%s %s %s %s\n", $1, w, $3, $7 }' >> "$tmp/samples.txt"
+}
+
 : > "$tmp/raw.txt"
 : > "$tmp/samples.txt"
 
@@ -53,6 +62,11 @@ run_bench . 'BenchmarkAppRun$' 3x "${COHMELEON_WORKERS:-1}" "simulator app run"
 run_bench ./internal/cache '.' 1000000x 1 "cache micro"
 run_bench ./internal/noc 'Transfer' 1000000x 1 "noc micro"
 run_bench ./internal/soc 'BenchmarkDMAGroup|BenchmarkCachedGroup|BenchmarkInvocation' 100000x 1 "soc micro"
+
+# Simulation-kernel micro-benchmarks, with allocs/op: the alloc columns
+# are the regression guard for the zero-allocation scheduler (0 expected
+# on every steady-state path; TestZeroAlloc* enforces the same in CI).
+run_bench_mem ./internal/sim 'BenchmarkEngineScheduleRun|BenchmarkProcSwitch|BenchmarkSemaphorePingPong' 500000x 1 "sim kernel micro"
 
 if [ "$mode" = "full" ]; then
     # Artifact regeneration, parallel then sequential reference.
@@ -65,23 +79,29 @@ python3 - "$tmp/samples.txt" "$out" <<'EOF'
 import json, sys, time, subprocess
 
 samples = {}
+allocs = {}
 order = []
 for line in open(sys.argv[1]):
-    name, workers, ns = line.split()
+    parts = line.split()
+    name, workers, ns = parts[0], parts[1], parts[2]
     key = (name, workers)
     if key not in samples:
         samples[key] = []
         order.append(key)
     samples[key].append(float(ns))
+    if len(parts) > 3:  # -benchmem rows carry allocs/op
+        allocs.setdefault(key, []).append(float(parts[3]))
 
 go = subprocess.run(["go", "version"], capture_output=True, text=True).stdout.strip()
+def entry(n, w):
+    e = {"name": n, "workers": w, "samples_ns_op": samples[(n, w)]}
+    if (n, w) in allocs:
+        e["samples_allocs_op"] = allocs[(n, w)]
+    return e
 doc = {
     "generated_unix": int(time.time()),
     "go": go,
-    "benchmarks": [
-        {"name": n, "workers": w, "samples_ns_op": samples[(n, w)]}
-        for (n, w) in order
-    ],
+    "benchmarks": [entry(n, w) for (n, w) in order],
 }
 with open(sys.argv[2], "w") as f:
     json.dump(doc, f, indent=1)
