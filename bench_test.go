@@ -111,11 +111,33 @@ func BenchmarkOverhead(b *testing.B) {
 // BenchmarkAblation runs the design-choice ablations from DESIGN.md.
 func BenchmarkAblation(b *testing.B) { runExperimentBench(b, "ablation") }
 
+// BenchmarkSweep runs the randomized scenario grid at a fixed 8
+// scenarios (not the profile's default count), so samples stay
+// comparable across PRs regardless of profile-default changes; the
+// per-scenario cost is what the trend tracks.
+func BenchmarkSweep(b *testing.B) {
+	entry, err := experiment.Lookup("sweep")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOptions()
+	opt.SweepScenarios = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := entry.Run(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAppRun measures the simulator itself: one full evaluation
 // application on SoC0 under the manual policy (≈300 invocations).
 func BenchmarkAppRun(b *testing.B) {
 	cfg := SoC0(TrafficMixed, 42)
-	app := GenerateApp(cfg, GenConfig{}, 7)
+	app, err := GenerateApp(cfg, GenConfig{}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := RunApp(cfg, NewManual(), app, 7); err != nil {

@@ -3,10 +3,12 @@
 // Usage:
 //
 //	cohmeleon list
-//	cohmeleon run [-profile quick|full|tiny] [-seed N] [-workers N] [-out FILE] <id>... | all
+//	cohmeleon run [-profile quick|full|tiny] [-seed N] [-workers N]
+//	              [-scenarios N] [-qtable-save FILE] [-qtable-load FILE]
+//	              [-out FILE] <id>... | all
 //
 // Experiment IDs: table4, fig2, fig3, fig5, fig6, fig7, fig8, fig9,
-// headline, overhead, ablation.
+// headline, overhead, ablation, sweep.
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"cohmeleon/internal/experiment"
@@ -53,18 +56,58 @@ func runExperiments(args []string) error {
 	profile := fs.String("profile", "quick", "experiment scale: quick, full or tiny")
 	seed := fs.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
 	workers := fs.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS, 1 = sequential; reports are identical either way)")
+	scenarios := fs.Int("scenarios", 0, "sweep scenario count (0 keeps the profile default)")
+	qtableSave := fs.String("qtable-save", "", "sweep: write the merged trained Q-table to this file")
+	qtableLoad := fs.String("qtable-load", "", "sweep: evaluate this Q-table frozen on the sampled scenarios")
 	outPath := fs.String("out", "", "also append rendered reports to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Flag defaults mean "use the profile's value"; an explicitly passed
+	// zero or negative is a user error, not a request for the default,
+	// and must fail loudly rather than being silently replaced.
+	var flagErr error
+	fs.Visit(func(f *flag.Flag) {
+		switch {
+		case f.Name == "workers" && *workers <= 0:
+			flagErr = fmt.Errorf("run: -workers %d invalid: need ≥ 1 (omit the flag for GOMAXPROCS)", *workers)
+		case f.Name == "scenarios" && *scenarios <= 0:
+			flagErr = fmt.Errorf("run: -scenarios %d invalid: need ≥ 1 (omit the flag for the profile default)", *scenarios)
+		}
+	})
+	if flagErr != nil {
+		return flagErr
+	}
 	ids := fs.Args()
 	if len(ids) == 0 {
-		return fmt.Errorf("run: no experiment IDs (try 'cohmeleon list' or 'run all')")
+		return fmt.Errorf("run: no experiment IDs (valid: %s, or 'all')", strings.Join(experiment.IDs(), ", "))
 	}
 	if len(ids) == 1 && ids[0] == "all" {
-		ids = nil
-		for _, e := range experiment.List() {
-			ids = append(ids, e.ID)
+		ids = experiment.IDs()
+	}
+	// Resolve every ID before running anything: a typo at the end of the
+	// list must not surface only after the preceding experiments ran.
+	entries := make([]experiment.Entry, len(ids))
+	hasSweep := false
+	for i, id := range ids {
+		entry, err := experiment.Lookup(id)
+		if err != nil {
+			return err
+		}
+		entries[i] = entry
+		hasSweep = hasSweep || id == "sweep"
+	}
+	// Sweep-only flags on a sweep-less run would be silently ignored —
+	// in the save case leaving the user without the table they asked
+	// for — so they fail loudly like every other ineffective flag.
+	if !hasSweep {
+		switch {
+		case *qtableSave != "":
+			return fmt.Errorf("run: -qtable-save only applies to the sweep experiment (ids: %s)", strings.Join(ids, ", "))
+		case *qtableLoad != "":
+			return fmt.Errorf("run: -qtable-load only applies to the sweep experiment (ids: %s)", strings.Join(ids, ", "))
+		case *scenarios > 0:
+			return fmt.Errorf("run: -scenarios only applies to the sweep experiment (ids: %s)", strings.Join(ids, ", "))
 		}
 	}
 
@@ -85,6 +128,14 @@ func runExperiments(args []string) error {
 	if *workers > 0 {
 		opt.Workers = *workers
 	}
+	if *scenarios > 0 {
+		opt.SweepScenarios = *scenarios
+	}
+	opt.QTableSave = *qtableSave
+	opt.QTableLoad = *qtableLoad
+	if err := opt.Validate(); err != nil {
+		return err
+	}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -96,19 +147,15 @@ func runExperiments(args []string) error {
 		out = io.MultiWriter(os.Stdout, f)
 	}
 
-	for _, id := range ids {
-		entry, err := experiment.Lookup(id)
-		if err != nil {
-			return err
-		}
+	for _, entry := range entries {
 		fmt.Fprintf(out, "### %s — %s (profile=%s, seed=%d)\n\n", entry.ID, entry.Title, *profile, opt.Seed)
 		start := time.Now()
 		rep, err := entry.Run(opt)
 		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+			return fmt.Errorf("%s: %w", entry.ID, err)
 		}
 		fmt.Fprintln(out, rep.Render())
-		fmt.Fprintf(out, "(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "(%s completed in %s)\n\n", entry.ID, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
 }
@@ -122,8 +169,15 @@ commands:
 
 run flags:
   -profile quick|full|tiny  protocol scale (default quick)
-  -workers N                concurrent trials (0 = GOMAXPROCS, 1 = sequential)
+  -workers N                concurrent trials (omit for GOMAXPROCS, 1 = sequential)
   -seed N                   override the experiment seed
+  -scenarios N              sweep scenario count (omit for the profile default)
+  -qtable-save FILE         sweep: save the merged trained Q-table
+  -qtable-load FILE         sweep: evaluate a saved Q-table on fresh scenarios
   -out FILE                 append rendered reports to FILE
+
+Q-table transfer workflow (train on A, test on disjoint B):
+  cohmeleon run -seed 1 -qtable-save table.gob sweep
+  cohmeleon run -seed 2 -qtable-load table.gob sweep
 `)
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// errFrom runs the CLI entry point and returns its error text.
+func errFrom(t *testing.T, args ...string) string {
+	t.Helper()
+	err := run(args)
+	if err == nil {
+		t.Fatalf("run(%v) succeeded, want error", args)
+	}
+	return err.Error()
+}
+
+func TestRunRejectsUnknownExperimentListingValidIDs(t *testing.T) {
+	msg := errFrom(t, "run", "bogus")
+	for _, id := range []string{"fig9", "sweep", "table4"} {
+		if !strings.Contains(msg, id) {
+			t.Fatalf("error %q does not list valid id %q", msg, id)
+		}
+	}
+}
+
+func TestRunRejectsUnknownIDBeforeRunningAnything(t *testing.T) {
+	// The typo is last: resolution must fail before table4 runs (and
+	// prints); run returns the lookup error either way, so assert on it.
+	msg := errFrom(t, "run", "-profile", "tiny", "table4", "bogus")
+	if !strings.Contains(msg, "unknown id") {
+		t.Fatalf("unexpected error: %q", msg)
+	}
+}
+
+func TestRunRejectsExplicitBadWorkers(t *testing.T) {
+	for _, w := range []string{"0", "-3"} {
+		msg := errFrom(t, "run", "-workers", w, "table4")
+		if !strings.Contains(msg, "-workers") {
+			t.Fatalf("error %q does not explain the -workers flag", msg)
+		}
+	}
+}
+
+func TestRunRejectsExplicitBadScenarios(t *testing.T) {
+	msg := errFrom(t, "run", "-scenarios", "0", "sweep")
+	if !strings.Contains(msg, "-scenarios") {
+		t.Fatalf("error %q does not explain the -scenarios flag", msg)
+	}
+}
+
+func TestRunRejectsSweepFlagsWithoutSweep(t *testing.T) {
+	for _, args := range [][]string{
+		{"run", "-qtable-save", "x.gob", "table4"},
+		{"run", "-qtable-load", "x.gob", "table4"},
+		{"run", "-scenarios", "8", "table4"},
+	} {
+		msg := errFrom(t, args...)
+		if !strings.Contains(msg, "only applies to the sweep") {
+			t.Fatalf("args %v: error %q should explain the sweep-only flag", args, msg)
+		}
+	}
+}
+
+func TestRunRejectsNoIDs(t *testing.T) {
+	msg := errFrom(t, "run")
+	if !strings.Contains(msg, "sweep") {
+		t.Fatalf("error %q should list valid ids", msg)
+	}
+}
+
+func TestRunRejectsUnknownProfile(t *testing.T) {
+	msg := errFrom(t, "run", "-profile", "huge", "table4")
+	if !strings.Contains(msg, "profile") {
+		t.Fatalf("unexpected error: %q", msg)
+	}
+}
+
+func TestRunTinyTable4Succeeds(t *testing.T) {
+	if err := run([]string{"run", "-profile", "tiny", "table4"}); err != nil {
+		t.Fatal(err)
+	}
+}

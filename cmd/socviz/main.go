@@ -56,7 +56,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "socviz:", err)
 			os.Exit(1)
 		}
-		app := workload.AppFor(cfg, *seed)
+		app, err := workload.AppFor(cfg, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "socviz:", err)
+			os.Exit(1)
+		}
 		if _, err := workload.Run(esp.NewSystem(s, pol), app, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "socviz:", err)
 			os.Exit(1)

@@ -26,7 +26,7 @@
 //
 //	cfg := cohmeleon.SoC5()                       // Table-4 preset
 //	agent := cohmeleon.NewAgent(cohmeleon.DefaultAgentConfig())
-//	app := cohmeleon.AppFor(cfg, 1)               // case-study workload
+//	app, err := cohmeleon.AppFor(cfg, 1)          // case-study workload
 //	cohmeleon.Train(cfg, agent, app, 10, 7)       // online learning
 //	res, err := cohmeleon.RunApp(cfg, agent, app, 3)
 //
@@ -40,6 +40,7 @@ import (
 	"cohmeleon/internal/esp"
 	"cohmeleon/internal/experiment"
 	"cohmeleon/internal/policy"
+	"cohmeleon/internal/scenario"
 	"cohmeleon/internal/sim"
 	"cohmeleon/internal/soc"
 	"cohmeleon/internal/workload"
@@ -113,6 +114,36 @@ const (
 	Streaming = acc.Streaming
 	Strided   = acc.Strided
 	Irregular = acc.Irregular
+)
+
+// Scenario-sweep types: randomized SoC topologies and workload mixes
+// sampled from a declarative seeded spec, the substrate of the `sweep`
+// experiment and the Q-table transfer workflow.
+type (
+	// RandomSoCSpec bounds the randomized SoC-configuration generator.
+	RandomSoCSpec = soc.RandomSpec
+	// ScenarioSpec bounds the scenario sampler (SoC + workload draw).
+	ScenarioSpec = scenario.Spec
+	// Scenario is one sampled (SoC, workload) evaluation point.
+	Scenario = scenario.Scenario
+	// QTable is the agent's learned state-action value table.
+	QTable = core.QTable
+)
+
+// Scenario-sweep and Q-table persistence constructors.
+var (
+	// DefaultRandomSoCSpec spans the design space around Table 4.
+	DefaultRandomSoCSpec = soc.DefaultRandomSpec
+	// RandomSoC samples one validated SoC configuration from a seed.
+	RandomSoC = soc.RandomConfig
+	// DefaultScenarioSpec spans the full default scenario space.
+	DefaultScenarioSpec = scenario.DefaultSpec
+	// SampleScenarios draws a deterministic scenario set from a seed.
+	SampleScenarios = scenario.Sample
+	// LoadQTable reads a Q-table saved with (*QTable).SaveFile.
+	LoadQTable = core.LoadTableFile
+	// MergeQTables combines trained tables by visit-weighted averaging.
+	MergeQTables = core.MergeTables
 )
 
 // Experiment types.

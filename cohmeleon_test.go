@@ -7,7 +7,10 @@ import (
 
 func TestFacadeEndToEnd(t *testing.T) {
 	cfg := SoC6()
-	app := AppFor(cfg, 1)
+	app, err := AppFor(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	agent := NewAgent(DefaultAgentConfig())
 	if err := Train(cfg, agent, app, 2, 7); err != nil {
 		t.Fatal(err)
@@ -30,7 +33,10 @@ func TestFacadeEndToEnd(t *testing.T) {
 
 func TestFacadePolicyComparison(t *testing.T) {
 	cfg := SoC5()
-	app := AppFor(cfg, 2)
+	app, err := AppFor(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	nonCoh, err := RunApp(cfg, NewFixed(NonCohDMA), app, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -46,7 +52,7 @@ func TestFacadePolicyComparison(t *testing.T) {
 
 func TestExperimentsRegistryViaFacade(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 11 {
+	if len(exps) != 12 {
 		t.Fatalf("%d experiments", len(exps))
 	}
 	rep, err := RunExperiment("table4", TinyExperimentOptions())
@@ -95,7 +101,10 @@ func (customPolicy) OverheadCycles() Cycles    { return 50 }
 func TestCustomPolicyThroughFacade(t *testing.T) {
 	var pol Policy = customPolicy{}
 	cfg := SoC6()
-	app := AppFor(cfg, 3)
+	app, err := AppFor(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := RunApp(cfg, pol, app, 4)
 	if err != nil {
 		t.Fatal(err)

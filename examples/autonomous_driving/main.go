@@ -13,8 +13,14 @@ import (
 
 func main() {
 	cfg := cohmeleon.SoC5()
-	train := cohmeleon.AutonomousDrivingApp(cfg, 100)
-	test := cohmeleon.AutonomousDrivingApp(cfg, 200)
+	train, err := cohmeleon.AutonomousDrivingApp(cfg, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := cohmeleon.AutonomousDrivingApp(cfg, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	agentCfg := cohmeleon.DefaultAgentConfig()
 	agentCfg.DecayIterations = 8

@@ -13,8 +13,14 @@ import (
 
 func main() {
 	cfg := cohmeleon.SoC6()
-	train := cohmeleon.ComputerVisionApp(cfg, 100)
-	test := cohmeleon.ComputerVisionApp(cfg, 200)
+	train, err := cohmeleon.ComputerVisionApp(cfg, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := cohmeleon.ComputerVisionApp(cfg, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Baseline for normalization: the fixed non-coherent design-time
 	// choice, as in every figure of the paper.

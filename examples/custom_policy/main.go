@@ -36,12 +36,19 @@ func (footprintHeuristic) OverheadCycles() cohmeleon.Cycles { return 150 }
 
 func main() {
 	cfg := cohmeleon.SoC4()
-	app := cohmeleon.AppFor(cfg, 11)
+	app, err := cohmeleon.AppFor(cfg, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, err := cohmeleon.AppFor(cfg, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	agentCfg := cohmeleon.DefaultAgentConfig()
 	agentCfg.DecayIterations = 6
 	agent := cohmeleon.NewAgent(agentCfg)
-	if err := cohmeleon.Train(cfg, agent, cohmeleon.AppFor(cfg, 10), 6, 1); err != nil {
+	if err := cohmeleon.Train(cfg, agent, train, 6, 1); err != nil {
 		log.Fatal(err)
 	}
 	agent.Freeze()

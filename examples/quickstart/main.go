@@ -16,8 +16,14 @@ func main() {
 	cfg := cohmeleon.SoC6()
 
 	// The matching evaluation application (phases of camera pipelines).
-	train := cohmeleon.AppFor(cfg, 100)
-	test := cohmeleon.AppFor(cfg, 200) // a different instance for testing
+	train, err := cohmeleon.AppFor(cfg, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test, err := cohmeleon.AppFor(cfg, 200) // a different instance for testing
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Train a Q-learning agent online for five application iterations.
 	agentCfg := cohmeleon.DefaultAgentConfig()

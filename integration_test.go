@@ -15,7 +15,10 @@ import (
 func runSmall(t *testing.T, pol Policy, seed uint64) *AppResult {
 	t.Helper()
 	cfg := SoC1(9)
-	app := GenerateApp(cfg, GenConfig{MinInvocations: 30}, seed)
+	app, err := GenerateApp(cfg, GenConfig{MinInvocations: 30}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := RunApp(cfg, pol, app, seed)
 	if err != nil {
 		t.Fatal(err)
@@ -25,7 +28,10 @@ func runSmall(t *testing.T, pol Policy, seed uint64) *AppResult {
 
 func TestInvocationCountsConserved(t *testing.T) {
 	cfg := SoC1(9)
-	app := GenerateApp(cfg, GenConfig{MinInvocations: 30}, 5)
+	app, err := GenerateApp(cfg, GenConfig{MinInvocations: 30}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := RunApp(cfg, NewManual(), app, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +134,10 @@ func TestDeterministicAcrossFullStack(t *testing.T) {
 
 func TestAgentTrainingReducesExploration(t *testing.T) {
 	cfg := SoC1(9)
-	app := GenerateApp(cfg, GenConfig{MinInvocations: 30}, 5)
+	app, err := GenerateApp(cfg, GenConfig{MinInvocations: 30}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	agentCfg := DefaultAgentConfig()
 	agentCfg.DecayIterations = 3
 	agent := NewAgent(agentCfg)
@@ -146,7 +155,10 @@ func TestAgentTrainingReducesExploration(t *testing.T) {
 
 func TestSoC3CachelessTilesNeverRunFullyCoh(t *testing.T) {
 	cfg := SoC3(9)
-	app := GenerateApp(cfg, GenConfig{MinInvocations: 40}, 5)
+	app, err := GenerateApp(cfg, GenConfig{MinInvocations: 40}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := RunApp(cfg, NewFixed(FullyCoh), app, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -176,7 +188,10 @@ func TestSystemReusableAcrossApps(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys := esp.NewSystem(s, NewFixed(CohDMA))
-	app := GenerateApp(cfg, GenConfig{MinInvocations: 20}, 5)
+	app, err := GenerateApp(cfg, GenConfig{MinInvocations: 20}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	first, err := workload.Run(sys, app, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -199,7 +214,10 @@ func TestAllTable4SoCsRunTheirApps(t *testing.T) {
 	for _, cfg := range Table4Configs(42) {
 		cfg := cfg
 		t.Run(cfg.Name, func(t *testing.T) {
-			app := workload.AppFor(cfg, 3)
+			app, err := workload.AppFor(cfg, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
 			// Trim generated apps for test runtime.
 			if len(app.Phases) > 2 {
 				app.Phases = app.Phases[:2]

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
 	"cohmeleon/internal/soc"
@@ -44,7 +45,12 @@ func (t *QTable) Encode(w io.Writer) error {
 	return nil
 }
 
-// DecodeTable deserializes a table written by Encode.
+// DecodeTable deserializes a table written by Encode. The declared
+// geometry is only a claim the encoder made about itself: a truncated
+// or corrupted file can declare the right States/Modes yet carry short
+// (or missing) slices, so the actual slice lengths are validated before
+// any indexing, and every cell is checked for values no training run
+// can produce (NaN/Inf rewards, negative visit counts).
 func DecodeTable(r io.Reader) (*QTable, error) {
 	var img tableImage
 	if err := gob.NewDecoder(r).Decode(&img); err != nil {
@@ -57,10 +63,24 @@ func DecodeTable(r io.Reader) (*QTable, error) {
 		return nil, fmt.Errorf("core: Q-table geometry %dx%d, want %dx%d",
 			img.States, img.Modes, NumStates, soc.NumModes)
 	}
+	if len(img.Q) != NumStates || len(img.Visits) != NumStates {
+		return nil, fmt.Errorf("core: truncated Q-table: %d Q rows and %d visit rows, want %d",
+			len(img.Q), len(img.Visits), NumStates)
+	}
 	t := NewQTable()
 	for s := 0; s < NumStates; s++ {
 		if len(img.Q[s]) != int(soc.NumModes) || len(img.Visits[s]) != int(soc.NumModes) {
 			return nil, fmt.Errorf("core: truncated Q-table row %d", s)
+		}
+		for m, q := range img.Q[s] {
+			if math.IsNaN(q) || math.IsInf(q, 0) {
+				return nil, fmt.Errorf("core: corrupt Q-table: Q[%d][%d] = %g", s, m, q)
+			}
+		}
+		for m, v := range img.Visits[s] {
+			if v < 0 {
+				return nil, fmt.Errorf("core: corrupt Q-table: visits[%d][%d] = %d", s, m, v)
+			}
 		}
 		copy(t.q[s][:], img.Q[s])
 		copy(t.visits[s][:], img.Visits[s])

@@ -2,7 +2,10 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
+	"math"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"cohmeleon/internal/esp"
@@ -60,6 +63,112 @@ func TestDecodeTableRejectsGarbage(t *testing.T) {
 func TestLoadTableFileMissing(t *testing.T) {
 	if _, err := LoadTableFile(filepath.Join(t.TempDir(), "absent")); err == nil {
 		t.Fatal("missing file should error")
+	}
+}
+
+// encodeImage gob-encodes a raw tableImage, bypassing Encode's
+// invariants, to forge corrupt and truncated files.
+func encodeImage(t *testing.T, img tableImage) *bytes.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&img); err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(buf.Bytes())
+}
+
+// validImage returns a well-formed image to corrupt per test case.
+func validImage() tableImage {
+	img := tableImage{
+		Version: tableVersion,
+		States:  NumStates,
+		Modes:   int(soc.NumModes),
+		Q:       make([][]float64, NumStates),
+		Visits:  make([][]int64, NumStates),
+	}
+	for s := range img.Q {
+		img.Q[s] = make([]float64, soc.NumModes)
+		img.Visits[s] = make([]int64, soc.NumModes)
+	}
+	return img
+}
+
+// TestDecodeTableCorruptMatrix is the regression matrix for the
+// decode-validation bug: files that declare the right geometry but
+// carry short or poisoned payloads used to panic with
+// index-out-of-range (or load silently); all must now return errors.
+func TestDecodeTableCorruptMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*tableImage)
+		want string
+	}{
+		// Pre-fix panic: States claims NumStates but Q has fewer rows.
+		{"short-Q-rows", func(img *tableImage) { img.Q = img.Q[:3] }, "truncated"},
+		{"short-visit-rows", func(img *tableImage) { img.Visits = img.Visits[:1] }, "truncated"},
+		{"nil-Q", func(img *tableImage) { img.Q = nil }, "truncated"},
+		{"short-row", func(img *tableImage) { img.Q[10] = img.Q[10][:2] }, "truncated"},
+		{"nan-cell", func(img *tableImage) { img.Q[5][1] = math.NaN() }, "corrupt"},
+		{"inf-cell", func(img *tableImage) { img.Q[0][0] = math.Inf(1) }, "corrupt"},
+		{"negative-visits", func(img *tableImage) { img.Visits[2][3] = -7 }, "corrupt"},
+		{"wrong-version", func(img *tableImage) { img.Version = 99 }, "version"},
+		{"wrong-geometry", func(img *tableImage) { img.States = 7 }, "geometry"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img := validImage()
+			tc.mut(&img)
+			_, err := DecodeTable(encodeImage(t, img))
+			if err == nil {
+				t.Fatal("corrupt image decoded without error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecodeTableTruncatedStream: a file cut off mid-write must error,
+// not panic.
+func TestDecodeTableTruncatedStream(t *testing.T) {
+	q := NewQTable()
+	q.Update(1, soc.CohDMA, 0.5, 0.5)
+	var buf bytes.Buffer
+	if err := q.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []int{2, 4, 10} {
+		cut := buf.Len() / frac
+		if _, err := DecodeTable(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("stream cut to %d/%d bytes decoded without error", cut, buf.Len())
+		}
+	}
+}
+
+func TestMergeTables(t *testing.T) {
+	a, b := NewQTable(), NewQTable()
+	a.Update(0, soc.NonCohDMA, 1.0, 1.0) // Q=1, visits=1
+	b.Update(0, soc.NonCohDMA, 0.0, 1.0) // Q=0, visits=1
+	b.Update(0, soc.NonCohDMA, 0.0, 1.0) // Q=0, visits=2
+	b.Update(5, soc.FullyCoh, 0.5, 1.0)
+
+	m := MergeTables([]*QTable{a, b, nil})
+	if got := m.Q(0, soc.NonCohDMA); got != 1.0/3 {
+		t.Fatalf("merged Q = %g, want 1/3 (visit-weighted)", got)
+	}
+	if got := m.Visits(0, soc.NonCohDMA); got != 3 {
+		t.Fatalf("merged visits = %d, want 3", got)
+	}
+	if got := m.Q(5, soc.FullyCoh); got != 0.5 {
+		t.Fatalf("single-source cell = %g, want 0.5", got)
+	}
+	if m.Q(100, soc.CohDMA) != 0 || m.Visits(100, soc.CohDMA) != 0 {
+		t.Fatal("unvisited cell should stay zero")
+	}
+	empty := MergeTables(nil)
+	if empty.TotalVisits() != 0 {
+		t.Fatal("empty merge should be a zeroed table")
 	}
 }
 

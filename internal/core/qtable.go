@@ -55,6 +55,34 @@ func (t *QTable) Clone() *QTable {
 	return &c
 }
 
+// MergeTables combines tables trained on different scenarios into one:
+// each (state, mode) cell becomes the visit-weighted mean of the input
+// cells, with the visit counts summed. Cells no input ever visited stay
+// at zero. The result depends only on the slice order, so a merge over
+// per-scenario tables collected by index is identical for any worker
+// count. Merging nil or no tables yields a zeroed table.
+func MergeTables(tables []*QTable) *QTable {
+	m := NewQTable()
+	for s := 0; s < NumStates; s++ {
+		for mo := 0; mo < int(soc.NumModes); mo++ {
+			var weighted float64
+			var visits int64
+			for _, t := range tables {
+				if t == nil {
+					continue
+				}
+				weighted += t.q[s][mo] * float64(t.visits[s][mo])
+				visits += t.visits[s][mo]
+			}
+			if visits > 0 {
+				m.q[s][mo] = weighted / float64(visits)
+				m.visits[s][mo] = visits
+			}
+		}
+	}
+	return m
+}
+
 // TotalVisits returns the number of updates across all entries.
 func (t *QTable) TotalVisits() int64 {
 	var n int64

@@ -21,7 +21,7 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestRegistryLookupAndList(t *testing.T) {
-	ids := []string{"table4", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "headline", "overhead", "ablation"}
+	ids := []string{"table4", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "headline", "overhead", "ablation", "sweep"}
 	for _, id := range ids {
 		e, err := Lookup(id)
 		if err != nil {

@@ -28,7 +28,10 @@ type Fig5Result struct {
 // Figure5 runs the phase analysis.
 func Figure5(opt Options) (*Fig5Result, error) {
 	cfg := soc.SoC0(soc.TrafficMixed, opt.Seed)
-	test := workload.Figure5App(cfg, opt.Seed+2000)
+	test, err := workload.Figure5App(cfg, opt.Seed+2000)
+	if err != nil {
+		return nil, err
+	}
 	policies, err := policySet(cfg, opt, core.DefaultWeights())
 	if err != nil {
 		return nil, err

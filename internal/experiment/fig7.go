@@ -30,7 +30,10 @@ type Fig7Result struct {
 // application and tallies their decisions from the invocation results.
 func Figure7(opt Options) (*Fig7Result, error) {
 	cfg := soc.SoC0(soc.TrafficMixed, opt.Seed)
-	test := workload.Generate(cfg, workload.GenConfig{MinInvocations: opt.MinInvocations}, opt.Seed+2000)
+	test, err := workload.Generate(cfg, workload.GenConfig{MinInvocations: opt.MinInvocations}, opt.Seed+2000)
+	if err != nil {
+		return nil, err
+	}
 	policies, err := policySet(cfg, opt, core.DefaultWeights())
 	if err != nil {
 		return nil, err

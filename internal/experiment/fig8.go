@@ -28,8 +28,14 @@ type Fig8Result struct {
 // Figure8 runs the training-time study on SoC0.
 func Figure8(opt Options) (*Fig8Result, error) {
 	cfg := soc.SoC0(soc.TrafficMixed, opt.Seed)
-	train := workload.Generate(cfg, workload.GenConfig{MinInvocations: opt.MinInvocations}, opt.Seed+1000)
-	test := workload.Generate(cfg, workload.GenConfig{MinInvocations: opt.MinInvocations}, opt.Seed+2000)
+	train, err := workload.Generate(cfg, workload.GenConfig{MinInvocations: opt.MinInvocations}, opt.Seed+1000)
+	if err != nil {
+		return nil, err
+	}
+	test, err := workload.Generate(cfg, workload.GenConfig{MinInvocations: opt.MinInvocations}, opt.Seed+2000)
+	if err != nil {
+		return nil, err
+	}
 
 	baseline, err := runApp(cfg, policy.NewFixed(soc.NonCohDMA), test, opt.Seed+3)
 	if err != nil {

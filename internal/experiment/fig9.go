@@ -68,7 +68,11 @@ func Figure9(opt Options) (*Fig9Result, error) {
 	tests := make([]*workload.App, len(cfgs))
 	policies := make([][]esp.Policy, len(cfgs))
 	if err := forEachOpt(opt, len(cfgs), func(i int) error {
-		tests[i] = workload.AppFor(cfgs[i], opt.Seed+2000)
+		test, err := workload.AppFor(cfgs[i], opt.Seed+2000)
+		if err != nil {
+			return err
+		}
+		tests[i] = test
 		pols, err := policySet(cfgs[i], inner, core.DefaultWeights())
 		policies[i] = pols
 		return err

@@ -68,10 +68,20 @@ func trainCohmeleon(cfg *soc.Config, agent *core.Cohmeleon, train *workload.App,
 	return nil
 }
 
+// freezer is implemented by learning policies that must be frozen for
+// a measurement. Detection is by interface, not concrete type, so
+// wrappers (e.g. the sweep's renamed transfer policy) stay transparent
+// by forwarding these methods.
+type freezer interface {
+	Freeze()
+	Unfreeze()
+	Frozen() bool
+}
+
 // testPolicy evaluates a policy on the test application; learning
 // policies are frozen for the measurement and restored afterwards.
 func testPolicy(cfg *soc.Config, pol esp.Policy, test *workload.App, seed uint64) (*workload.AppResult, error) {
-	if agent, ok := pol.(*core.Cohmeleon); ok {
+	if agent, ok := pol.(freezer); ok {
 		wasFrozen := agent.Frozen()
 		agent.Freeze()
 		defer func() {
@@ -183,7 +193,10 @@ func isolatedInvocation(cfg *soc.Config, instName string, bytes int64, mode soc.
 // measurement) and run concurrently; the training loop itself stays
 // sequential because iteration i+1 learns from iteration i.
 func policySet(cfg *soc.Config, opt Options, weights core.RewardWeights) ([]esp.Policy, error) {
-	train := workload.AppFor(cfg, opt.Seed+1000)
+	train, err := workload.AppFor(cfg, opt.Seed+1000)
+	if err != nil {
+		return nil, err
+	}
 	agentCfg := core.DefaultConfig()
 	agentCfg.Weights = weights
 	agentCfg.DecayIterations = opt.TrainIterations

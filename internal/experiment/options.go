@@ -1,5 +1,7 @@
 package experiment
 
+import "fmt"
+
 // Options scales the experiments. Defaults reproduce the paper's
 // protocol; Quick returns a reduced configuration for tests and
 // continuous benchmarking, trading statistical weight for runtime while
@@ -32,6 +34,36 @@ type Options struct {
 	// that nest (Figure 9's per-SoC policy preparation contains its own
 	// fan-out) split the budget across levels rather than multiplying it.
 	Workers int
+	// SweepScenarios is the number of randomized (SoC × workload)
+	// scenarios the sweep experiment samples and runs.
+	SweepScenarios int
+	// QTableSave, when set, makes the sweep write the visit-weighted
+	// merge of its per-scenario trained Q-tables to this file.
+	QTableSave string
+	// QTableLoad, when set, makes the sweep additionally evaluate the
+	// Q-table from this file frozen on every scenario, reported as
+	// "cohmeleon-transfer" — the train-on-A/test-on-B workflow.
+	QTableLoad string
+}
+
+// Validate reports option errors before any experiment spends cycles
+// on them. The zero Workers (= GOMAXPROCS) is valid here; rejecting an
+// explicitly passed zero is the CLI's job, since only the flag parser
+// knows the difference.
+func (o Options) Validate() error {
+	switch {
+	case o.Workers < 0:
+		return fmt.Errorf("experiment: workers %d must be ≥ 0 (0 = GOMAXPROCS)", o.Workers)
+	case o.Runs < 1:
+		return fmt.Errorf("experiment: runs %d must be ≥ 1", o.Runs)
+	case o.TrainIterations < 1:
+		return fmt.Errorf("experiment: training iterations %d must be ≥ 1", o.TrainIterations)
+	case o.MinInvocations < 1:
+		return fmt.Errorf("experiment: min invocations %d must be ≥ 1", o.MinInvocations)
+	case o.SweepScenarios < 1:
+		return fmt.Errorf("experiment: sweep scenarios %d must be ≥ 1", o.SweepScenarios)
+	}
+	return nil
 }
 
 // Default returns the paper-faithful configuration.
@@ -44,6 +76,7 @@ func Default() Options {
 		Fig6Models:          15,
 		Fig6TrainIterations: 50,
 		Fig8Schedules:       []int{10, 30, 50},
+		SweepScenarios:      64,
 	}
 }
 
@@ -59,6 +92,7 @@ func Quick() Options {
 		Fig6Models:          6,
 		Fig6TrainIterations: 5,
 		Fig8Schedules:       []int{4, 8},
+		SweepScenarios:      64,
 	}
 }
 
@@ -72,5 +106,6 @@ func Tiny() Options {
 		Fig6Models:          2,
 		Fig6TrainIterations: 2,
 		Fig8Schedules:       []int{2},
+		SweepScenarios:      4,
 	}
 }

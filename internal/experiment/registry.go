@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Runner executes one experiment under the given options.
@@ -61,13 +62,28 @@ var registry = map[string]Entry{
 		ID: "ablation", Title: "Ablations: state attributes, decay schedule, DDR attribution",
 		Run: func(o Options) (Report, error) { return Ablation(o) },
 	},
+	"sweep": {
+		ID: "sweep", Title: "Sweep: randomized scenario grid with Q-table transfer",
+		Run: func(o Options) (Report, error) { return Sweep(o) },
+	},
 }
 
-// Lookup returns the entry for an experiment ID.
+// IDs returns all experiment IDs sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the entry for an experiment ID; the error for an
+// unknown ID names every valid one.
 func Lookup(id string) (Entry, error) {
 	e, ok := registry[id]
 	if !ok {
-		return Entry{}, fmt.Errorf("experiment: unknown id %q (try List())", id)
+		return Entry{}, fmt.Errorf("experiment: unknown id %q (valid: %s)", id, strings.Join(IDs(), ", "))
 	}
 	return e, nil
 }

@@ -1,0 +1,283 @@
+package experiment
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/core"
+	"cohmeleon/internal/esp"
+	"cohmeleon/internal/policy"
+	"cohmeleon/internal/scenario"
+	"cohmeleon/internal/soc"
+	"cohmeleon/internal/stats"
+	"cohmeleon/internal/workload"
+)
+
+// The sweep experiment scales the paper's Figure-9 question — does the
+// learned policy hold up across SoC configurations? — from eight
+// hand-built SoCs to an arbitrary randomized scenario set: N sampled
+// (SoC topology × workload mix) scenarios, each running the policy
+// roster, reported as per-policy geomeans normalized per scenario to
+// the fixed non-coherent-DMA baseline. With Options.QTableSave the
+// per-scenario Cohmeleon tables are merged (visit-weighted) and written
+// out; with Options.QTableLoad a previously saved table is evaluated
+// frozen on this run's scenarios as "cohmeleon-transfer" — train on one
+// seed's scenario set, test on a disjoint seed's, and the transfer row
+// answers the paper's generalization question at sweep scale.
+//
+// The roster deliberately omits the fixed-heterogeneous baseline: its
+// per-spec profiling fan-out would dwarf the per-scenario cost at sweep
+// scale without adding information the Figure-9 run doesn't already
+// give.
+
+// sweepPerScenario is one scenario's measurements, collected by index.
+type sweepPerScenario struct {
+	info  SweepScenarioInfo
+	names []string  // policy names, roster order
+	execs []float64 // per policy, geomean over phases vs baseline
+	mems  []float64
+	table *core.QTable // the trained agent's table
+}
+
+// SweepScenarioInfo summarizes one sampled scenario for the report.
+type SweepScenarioInfo struct {
+	Name        string
+	MeshW       int
+	MeshH       int
+	CPUs        int
+	MemTiles    int
+	LLCSliceKB  int
+	L2KB        int
+	Accs        int
+	Invocations int
+}
+
+// SweepRow is one policy's aggregate across all scenarios.
+type SweepRow struct {
+	Policy   string
+	NormExec float64
+	NormMem  float64
+}
+
+// SweepResult is the sweep's rendered artifact.
+type SweepResult struct {
+	Scenarios []SweepScenarioInfo
+	Rows      []SweepRow
+	Notes     []string
+}
+
+// renamedPolicy reports a distinct name for a wrapped policy, so the
+// transferred frozen agent and the per-scenario trained agent stay
+// distinguishable in the same report. It forwards the freezer methods,
+// so testPolicy's freeze-for-measurement safety sees through the
+// wrapper even for a future non-frozen learning policy.
+type renamedPolicy struct {
+	esp.Policy
+	name string
+}
+
+func (r renamedPolicy) Name() string { return r.name }
+
+func (r renamedPolicy) Freeze() {
+	if f, ok := r.Policy.(freezer); ok {
+		f.Freeze()
+	}
+}
+
+func (r renamedPolicy) Unfreeze() {
+	if f, ok := r.Policy.(freezer); ok {
+		f.Unfreeze()
+	}
+}
+
+// Frozen reports true for non-learning wrapped policies: there is
+// nothing to freeze, so testPolicy must not try to unfreeze either.
+func (r renamedPolicy) Frozen() bool {
+	f, ok := r.Policy.(freezer)
+	return !ok || f.Frozen()
+}
+
+// sweepPolicies builds one scenario's policy roster. The first entry is
+// the normalization baseline. loaded, when non-nil, contributes a
+// frozen pre-trained agent evaluated without further learning.
+func sweepPolicies(sc scenario.Scenario, opt Options, loaded *core.QTable) ([]esp.Policy, *core.Cohmeleon) {
+	agentCfg := core.DefaultConfig()
+	agentCfg.DecayIterations = opt.TrainIterations
+	agentCfg.Seed = opt.Seed + sc.Seed
+	agent := core.New(agentCfg)
+	pols := []esp.Policy{
+		policy.NewFixed(soc.NonCohDMA),
+		policy.NewFixed(soc.LLCCohDMA),
+		policy.NewFixed(soc.CohDMA),
+		policy.NewFixed(soc.FullyCoh),
+		policy.NewRandom(sc.Seed),
+		policy.NewManual(),
+		agent,
+	}
+	if loaded != nil {
+		transferCfg := core.DefaultConfig()
+		transferCfg.Seed = opt.Seed + sc.Seed
+		transfer := core.New(transferCfg)
+		transfer.SetTable(loaded.Clone())
+		transfer.Freeze()
+		pols = append(pols, renamedPolicy{Policy: transfer, name: "cohmeleon-transfer"})
+	}
+	return pols, agent
+}
+
+// sweepScenario trains and measures one scenario: the agent learns on
+// the scenario's training application, then every policy runs the test
+// application on a fresh SoC. All seeds derive from the scenario, so
+// the outcome is independent of which worker runs it.
+func sweepScenario(sc scenario.Scenario, opt Options, loaded *core.QTable) (sweepPerScenario, error) {
+	out := sweepPerScenario{}
+	train, err := sc.App(1000)
+	if err != nil {
+		return out, err
+	}
+	test, err := sc.App(2000)
+	if err != nil {
+		return out, err
+	}
+	pols, agent := sweepPolicies(sc, opt, loaded)
+	if err := trainCohmeleon(sc.Cfg, agent, train, opt.TrainIterations, sc.Seed+7); err != nil {
+		return out, fmt.Errorf("%s: training: %w", sc.Cfg.Name, err)
+	}
+	results := make([]*workload.AppResult, len(pols))
+	for i, pol := range pols {
+		res, err := testPolicy(sc.Cfg, pol, test, sc.Seed+3)
+		if err != nil {
+			return out, fmt.Errorf("%s: %s: %w", sc.Cfg.Name, pol.Name(), err)
+		}
+		results[i] = res
+	}
+	baseline := results[0]
+	for i, res := range results {
+		exec, mem := geoNormalized(res, baseline)
+		out.names = append(out.names, pols[i].Name())
+		out.execs = append(out.execs, exec)
+		out.mems = append(out.mems, mem)
+	}
+	out.table = agent.Table()
+	out.info = SweepScenarioInfo{
+		Name:  sc.Cfg.Name,
+		MeshW: sc.Cfg.MeshW, MeshH: sc.Cfg.MeshH,
+		CPUs: sc.Cfg.CPUs, MemTiles: sc.Cfg.MemTiles,
+		LLCSliceKB: sc.Cfg.LLCSliceKB, L2KB: sc.Cfg.L2KB,
+		Accs:        len(sc.Cfg.Accs),
+		Invocations: test.Invocations(),
+	}
+	return out, nil
+}
+
+// Sweep runs the randomized scenario grid. Scenarios fan out on the
+// worker pool; each is self-contained (own SoC, policies, seeds) and
+// results are collected by index, then aggregated in index order, so
+// the report is byte-identical for any worker count.
+func Sweep(opt Options) (*SweepResult, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	var loaded *core.QTable
+	if opt.QTableLoad != "" {
+		t, err := core.LoadTableFile(opt.QTableLoad)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: loading Q-table: %w", err)
+		}
+		loaded = t
+	}
+
+	spec := scenario.DefaultSpec()
+	spec.MinInvocations = opt.MinInvocations
+	scens, err := scenario.Sample(spec, opt.SweepScenarios, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	perScenario := make([]sweepPerScenario, len(scens))
+	if err := forEachOpt(opt, len(scens), func(i int) error {
+		res, err := sweepScenario(scens[i], opt, loaded)
+		perScenario[i] = res
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Labels come from the roster itself (renamedPolicy supplies
+	// "cohmeleon-transfer"), so the report can never drift out of sync
+	// with sweepPolicies; every scenario runs the same roster.
+	policyNames := perScenario[0].names
+	out := &SweepResult{}
+	for pi, name := range policyNames {
+		execs := make([]float64, len(perScenario))
+		mems := make([]float64, len(perScenario))
+		for si := range perScenario {
+			execs[si] = perScenario[si].execs[pi]
+			mems[si] = perScenario[si].mems[pi]
+		}
+		out.Rows = append(out.Rows, SweepRow{
+			Policy:   name,
+			NormExec: stats.GeoMean(execs),
+			NormMem:  stats.GeoMean(mems),
+		})
+	}
+	for si := range perScenario {
+		out.Scenarios = append(out.Scenarios, perScenario[si].info)
+	}
+
+	if loaded != nil {
+		out.Notes = append(out.Notes, fmt.Sprintf(
+			"cohmeleon-transfer evaluates the table from %s frozen (no training on these scenarios)", opt.QTableLoad))
+	}
+	if opt.QTableSave != "" {
+		tables := make([]*core.QTable, len(perScenario))
+		for si := range perScenario {
+			tables[si] = perScenario[si].table
+		}
+		merged := core.MergeTables(tables)
+		if err := merged.SaveFile(opt.QTableSave); err != nil {
+			return nil, fmt.Errorf("sweep: saving Q-table: %w", err)
+		}
+		out.Notes = append(out.Notes, fmt.Sprintf(
+			"merged Q-table (%d visits from %d scenarios) saved to %s",
+			merged.TotalVisits(), len(perScenario), opt.QTableSave))
+	}
+	return out, nil
+}
+
+// Row returns the aggregate for a policy.
+func (r *SweepResult) Row(pol string) (SweepRow, bool) {
+	for _, row := range r.Rows {
+		if row.Policy == pol {
+			return row, true
+		}
+	}
+	return SweepRow{}, false
+}
+
+// Render formats the per-policy aggregate and the scenario inventory.
+func (r *SweepResult) Render() string {
+	mt := &MultiTable{}
+	summary := &Table{
+		Title: fmt.Sprintf("Sweep — %d randomized scenarios (geomean across scenarios, normalized to fixed-non-coh-dma)",
+			len(r.Scenarios)),
+		Header: []string{"policy", "norm exec", "norm off-chip"},
+	}
+	for _, row := range r.Rows {
+		summary.AddRow(row.Policy, f2(row.NormExec), f2(row.NormMem))
+	}
+	summary.Notes = append(summary.Notes, r.Notes...)
+	mt.Tables = append(mt.Tables, summary)
+
+	inv := &Table{
+		Title:  "Sweep — scenario inventory",
+		Header: []string{"scenario", "mesh", "cpus", "mem", "llc-slice", "l2", "accs", "invocations"},
+	}
+	for _, s := range r.Scenarios {
+		inv.AddRow(s.Name, fmt.Sprintf("%dx%d", s.MeshW, s.MeshH),
+			fmt.Sprintf("%d", s.CPUs), fmt.Sprintf("%d", s.MemTiles),
+			fmt.Sprintf("%dK", s.LLCSliceKB), fmt.Sprintf("%dK", s.L2KB),
+			fmt.Sprintf("%d", s.Accs), fmt.Sprintf("%d", s.Invocations))
+	}
+	mt.Tables = append(mt.Tables, inv)
+	return mt.Render()
+}

@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"testing"
+
+	"cohmeleon/internal/acc"
+	"cohmeleon/internal/soc"
+	"cohmeleon/internal/workload"
+)
+
+// TestFeasibleClassesFilters: classes the geometry cannot hold are
+// dropped; a class set with no survivors is an error rather than a
+// scenario that fails mid-sweep.
+func TestFeasibleClassesFilters(t *testing.T) {
+	cfg := &soc.Config{
+		Name: "tiny-dram", MeshW: 5, MeshH: 5, CPUs: 1, MemTiles: 1,
+		LLCSliceKB: 16, L2KB: 4096, // Medium's lower bound is 4 MB + 1
+		Accs: []soc.AccInstance{
+			{InstName: "fft.0", Spec: acc.MustByName(acc.FFT), PrivateCache: true},
+		},
+		Params: soc.DefaultParams(),
+	}
+	cfg.Params.DRAMPartitionMB = 2
+
+	// Medium's lower bound (L2+1 = 4 MB+1) exceeds DRAM; Small, Large
+	// and XL clamp onto this geometry's tiny LLC bands and survive.
+	all := []workload.SizeClass{workload.Small, workload.Medium, workload.Large, workload.ExtraLarge}
+	got, err := feasibleClasses(all, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []workload.SizeClass{workload.Small, workload.Large, workload.ExtraLarge}
+	if len(got) != len(want) {
+		t.Fatalf("feasible classes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("feasible classes = %v, want %v", got, want)
+		}
+	}
+
+	if _, err := feasibleClasses([]workload.SizeClass{workload.Medium}, cfg); err == nil {
+		t.Fatal("class set with no feasible member accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"testing"
+
+	"cohmeleon/internal/workload"
+)
+
+func TestSampleDeterministic(t *testing.T) {
+	spec := DefaultSpec()
+	spec.MinInvocations = 20
+	a, err := Sample(spec, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sample(spec, 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 6 || len(b) != 6 {
+		t.Fatalf("sampled %d and %d scenarios, want 6", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Seed != b[i].Seed || a[i].Cfg.Name != b[i].Cfg.Name ||
+			a[i].Cfg.LLCSliceKB != b[i].Cfg.LLCSliceKB || len(a[i].Cfg.Accs) != len(b[i].Cfg.Accs) ||
+			a[i].Gen.MaxThreads != b[i].Gen.MaxThreads || len(a[i].Gen.Classes) != len(b[i].Gen.Classes) {
+			t.Fatalf("scenario %d differs between identical samples", i)
+		}
+	}
+}
+
+func TestSampleSeedsDiffer(t *testing.T) {
+	spec := DefaultSpec()
+	spec.MinInvocations = 20
+	a, err := Sample(spec, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sample(spec, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i].Cfg.CPUs == b[i].Cfg.CPUs && a[i].Cfg.MemTiles == b[i].Cfg.MemTiles &&
+			a[i].Cfg.LLCSliceKB == b[i].Cfg.LLCSliceKB && len(a[i].Cfg.Accs) == len(b[i].Cfg.Accs) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("disjoint seeds produced identical scenario sets")
+	}
+}
+
+func TestScenarioAppsValidateAndDiffer(t *testing.T) {
+	spec := DefaultSpec()
+	spec.MinInvocations = 20
+	scens, err := Sample(spec, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scens {
+		train, err := sc.App(1000)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Cfg.Name, err)
+		}
+		test, err := sc.App(2000)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Cfg.Name, err)
+		}
+		if err := train.Validate(sc.Cfg); err != nil {
+			t.Fatalf("%s train: %v", sc.Cfg.Name, err)
+		}
+		if err := test.Validate(sc.Cfg); err != nil {
+			t.Fatalf("%s test: %v", sc.Cfg.Name, err)
+		}
+		if train.Name == test.Name {
+			t.Fatalf("%s: train and test instances identical", sc.Cfg.Name)
+		}
+		if train.Invocations() < spec.MinInvocations {
+			t.Fatalf("%s: undersized app (%d invocations)", sc.Cfg.Name, train.Invocations())
+		}
+	}
+}
+
+func TestSampleRejectsBadInput(t *testing.T) {
+	spec := DefaultSpec()
+	if _, err := Sample(spec, 0, 1); err == nil {
+		t.Fatal("zero scenario count accepted")
+	}
+	spec.MaxThreads = 0
+	if _, err := Sample(spec, 1, 1); err == nil {
+		t.Fatal("invalid workload bounds accepted")
+	}
+	spec = DefaultSpec()
+	spec.Classes = nil
+	if _, err := Sample(spec, 1, 1); err == nil {
+		t.Fatal("empty class set accepted")
+	}
+	spec = DefaultSpec()
+	spec.SoC.MinCPUs = 9
+	spec.SoC.MaxCPUs = 3
+	if _, err := Sample(spec, 1, 1); err == nil {
+		t.Fatal("invalid SoC spec accepted")
+	}
+}
+
+func TestDrawClassesNeverEmpty(t *testing.T) {
+	spec := DefaultSpec()
+	spec.MinInvocations = 10
+	scens, err := Sample(spec, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scens {
+		if len(sc.Gen.Classes) == 0 {
+			t.Fatalf("%s drew an empty class set", sc.Cfg.Name)
+		}
+		for _, c := range sc.Gen.Classes {
+			if c < workload.Small || c >= workload.NumSizeClasses {
+				t.Fatalf("%s drew out-of-range class %d", sc.Cfg.Name, c)
+			}
+		}
+	}
+}

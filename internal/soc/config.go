@@ -80,6 +80,12 @@ func (c *Config) LLCSliceBytes() int64 { return int64(c.LLCSliceKB) * 1024 }
 // L2Bytes returns the private-cache size.
 func (c *Config) L2Bytes() int64 { return int64(c.L2KB) * 1024 }
 
+// DRAMBytes returns the aggregate DRAM capacity behind all memory
+// tiles, or 0 when the parameter set leaves the partition size unset.
+func (c *Config) DRAMBytes() int64 {
+	return int64(c.MemTiles) * c.Params.DRAMPartitionMB << 20
+}
+
 // espAccs builds one instance of each named catalog accelerator;
 // counts[i] instances of names[i], all with private caches.
 func espAccs(names []string, counts []int) []AccInstance {

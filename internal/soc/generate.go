@@ -1,0 +1,162 @@
+package soc
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/acc"
+	"cohmeleon/internal/sim"
+)
+
+// This file is the randomized SoC-configuration generator behind the
+// scenario-sweep subsystem: where config.go provides the paper's eight
+// hand-built SoCs, RandomConfig samples the surrounding design space —
+// mesh geometry, tile mix, cache and memory sizing — so policies can be
+// trained and evaluated across topologies the authors never built.
+// Every draw is validated against the same build invariants as the
+// presets; the same (spec, seed) pair always yields the same config.
+
+// RandomSpec bounds the randomized SoC-configuration generator. The
+// zero value is not useful; start from DefaultRandomSpec.
+type RandomSpec struct {
+	// MinCPUs..MaxCPUs bounds the CPU-tile count (inclusive).
+	MinCPUs, MaxCPUs int
+	// MinMemTiles..MaxMemTiles bounds the DDR-controller/LLC-partition
+	// count (inclusive).
+	MinMemTiles, MaxMemTiles int
+	// MinAccs..MaxAccs bounds the accelerator-tile count (inclusive).
+	MinAccs, MaxAccs int
+	// LLCSliceKB are the candidate LLC-partition sizes.
+	LLCSliceKB []int
+	// L2KB are the candidate private-cache sizes. Deliberately allowed
+	// to exceed the smallest LLC slice: big-L2/small-slice geometries
+	// are exactly the degenerate corner a sweep must cover.
+	L2KB []int
+	// CatalogFraction is the probability an accelerator tile instantiates
+	// a cataloged kernel; the rest are randomized traffic generators.
+	CatalogFraction float64
+	// NoCacheFraction is the probability an accelerator tile lacks a
+	// private cache (disabling its fully-coherent mode, as on SoC3).
+	NoCacheFraction float64
+}
+
+// DefaultRandomSpec spans the evaluation space around the paper's
+// Table-4 presets: 1–4 CPUs, 1–4 memory tiles, 4–16 accelerators, LLC
+// slices from 128 kB to 1 MB and L2s from 16 kB to 256 kB.
+func DefaultRandomSpec() RandomSpec {
+	return RandomSpec{
+		MinCPUs: 1, MaxCPUs: 4,
+		MinMemTiles: 1, MaxMemTiles: 4,
+		MinAccs: 4, MaxAccs: 16,
+		LLCSliceKB:      []int{128, 256, 512, 1024},
+		L2KB:            []int{16, 32, 64, 128, 256},
+		CatalogFraction: 0.5,
+		NoCacheFraction: 0.2,
+	}
+}
+
+// Validate reports specification errors.
+func (sp RandomSpec) Validate() error {
+	checkRange := func(what string, lo, hi, min int) error {
+		if lo < min || hi < lo {
+			return fmt.Errorf("soc: random spec %s range [%d, %d] invalid (min %d)", what, lo, hi, min)
+		}
+		return nil
+	}
+	if err := checkRange("CPU", sp.MinCPUs, sp.MaxCPUs, 1); err != nil {
+		return err
+	}
+	if err := checkRange("memory-tile", sp.MinMemTiles, sp.MaxMemTiles, 1); err != nil {
+		return err
+	}
+	if err := checkRange("accelerator", sp.MinAccs, sp.MaxAccs, 1); err != nil {
+		return err
+	}
+	for _, kb := range append(append([]int(nil), sp.LLCSliceKB...), sp.L2KB...) {
+		if kb < 1 {
+			return fmt.Errorf("soc: random spec cache size %d kB invalid", kb)
+		}
+	}
+	if len(sp.LLCSliceKB) == 0 || len(sp.L2KB) == 0 {
+		return fmt.Errorf("soc: random spec needs LLC and L2 size choices")
+	}
+	if sp.CatalogFraction < 0 || sp.CatalogFraction > 1 || sp.NoCacheFraction < 0 || sp.NoCacheFraction > 1 {
+		return fmt.Errorf("soc: random spec fractions outside [0,1]")
+	}
+	return nil
+}
+
+// drawRange samples uniformly from [lo, hi].
+func drawRange(rng *sim.RNG, lo, hi int) int { return lo + rng.Intn(hi-lo+1) }
+
+// meshFor returns the smallest near-square mesh holding n tiles.
+func meshFor(n int) (w, h int) {
+	w, h = 2, 2
+	for w*h < n {
+		if w <= h {
+			w++
+		} else {
+			h++
+		}
+	}
+	return w, h
+}
+
+// RandomConfig samples one SoC configuration within the spec's bounds,
+// deterministically from the seed, and validates it against the same
+// invariants every preset satisfies. The mesh is sized to fit the drawn
+// tile count, so every returned config builds.
+func RandomConfig(name string, sp RandomSpec, seed uint64) (*Config, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(seed ^ 0x50c5eed)
+	cpus := drawRange(rng, sp.MinCPUs, sp.MaxCPUs)
+	memTiles := drawRange(rng, sp.MinMemTiles, sp.MaxMemTiles)
+	nAccs := drawRange(rng, sp.MinAccs, sp.MaxAccs)
+
+	catalogNames := acc.Names()
+	trafficGens := []func(*sim.RNG) acc.TrafficConfig{
+		acc.RandomTrafficConfig, acc.StreamingTrafficConfig, acc.IrregularTrafficConfig,
+	}
+	accs := make([]AccInstance, 0, nAccs)
+	counts := make(map[string]int)
+	for i := 0; i < nAccs; i++ {
+		var inst AccInstance
+		if rng.Float64() < sp.CatalogFraction {
+			specName := catalogNames[rng.Intn(len(catalogNames))]
+			inst = AccInstance{
+				InstName: fmt.Sprintf("%s.%d", specName, counts[specName]),
+				Spec:     acc.MustByName(specName),
+			}
+			counts[specName]++
+		} else {
+			cfg := trafficGens[rng.Intn(len(trafficGens))](rng)
+			instName := fmt.Sprintf("tgen.%d", counts["tgen"])
+			spec, err := cfg.Spec(instName)
+			if err != nil {
+				return nil, fmt.Errorf("soc: random config %s: %w", name, err)
+			}
+			inst = AccInstance{InstName: instName, Spec: spec}
+			counts["tgen"]++
+		}
+		inst.PrivateCache = rng.Float64() >= sp.NoCacheFraction
+		accs = append(accs, inst)
+	}
+
+	w, h := meshFor(cpus + memTiles + nAccs + 1) // +1 auxiliary tile
+	cfg := &Config{
+		Name:       name,
+		MeshW:      w,
+		MeshH:      h,
+		CPUs:       cpus,
+		MemTiles:   memTiles,
+		LLCSliceKB: sp.LLCSliceKB[rng.Intn(len(sp.LLCSliceKB))],
+		L2KB:       sp.L2KB[rng.Intn(len(sp.L2KB))],
+		Accs:       accs,
+		Params:     DefaultParams(),
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("soc: random config: %w", err)
+	}
+	return cfg, nil
+}

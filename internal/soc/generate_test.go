@@ -1,0 +1,110 @@
+package soc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRandomConfigAlwaysValidAndBuildable: every seed must yield a
+// config that passes Validate; a sample of them must actually build.
+func TestRandomConfigAlwaysValidAndBuildable(t *testing.T) {
+	sp := DefaultRandomSpec()
+	for seed := uint64(0); seed < 200; seed++ {
+		cfg, err := RandomConfig(fmt.Sprintf("rand-%d", seed), sp, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tiles := cfg.CPUs + cfg.MemTiles + len(cfg.Accs) + 1
+		if tiles > cfg.MeshW*cfg.MeshH {
+			t.Fatalf("seed %d: %d tiles overflow %dx%d mesh", seed, tiles, cfg.MeshW, cfg.MeshH)
+		}
+		if seed%40 == 0 {
+			if _, err := cfg.Build(); err != nil {
+				t.Fatalf("seed %d: build: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestRandomConfigDeterministic: same (spec, seed) → same config.
+func TestRandomConfigDeterministic(t *testing.T) {
+	sp := DefaultRandomSpec()
+	a, err := RandomConfig("r", sp, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomConfig("r", sp, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeshW != b.MeshW || a.MeshH != b.MeshH || a.CPUs != b.CPUs ||
+		a.MemTiles != b.MemTiles || a.LLCSliceKB != b.LLCSliceKB || a.L2KB != b.L2KB ||
+		len(a.Accs) != len(b.Accs) {
+		t.Fatalf("non-deterministic draw: %+v vs %+v", a, b)
+	}
+	for i := range a.Accs {
+		if a.Accs[i].InstName != b.Accs[i].InstName || a.Accs[i].PrivateCache != b.Accs[i].PrivateCache {
+			t.Fatalf("acc %d differs: %+v vs %+v", i, a.Accs[i], b.Accs[i])
+		}
+	}
+}
+
+// TestRandomConfigCoversDegenerateGeometry: the default spec must be
+// able to produce the big-L2/small-slice corner that motivates the
+// degenerate-class handling in the workload generator.
+func TestRandomConfigCoversDegenerateGeometry(t *testing.T) {
+	sp := DefaultRandomSpec()
+	for seed := uint64(0); seed < 500; seed++ {
+		cfg, err := RandomConfig("r", sp, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.L2Bytes() >= cfg.LLCSliceBytes() {
+			return // found one: the Medium band inverts on this config
+		}
+	}
+	t.Fatal("500 seeds never produced L2 ≥ LLC slice; spec no longer covers the degenerate corner")
+}
+
+func TestRandomSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*RandomSpec)
+	}{
+		{"inverted-cpu-range", func(sp *RandomSpec) { sp.MinCPUs = 4; sp.MaxCPUs = 1 }},
+		{"zero-mem-tiles", func(sp *RandomSpec) { sp.MinMemTiles = 0 }},
+		{"no-llc-choices", func(sp *RandomSpec) { sp.LLCSliceKB = nil }},
+		{"bad-cache-size", func(sp *RandomSpec) { sp.L2KB = []int{0} }},
+		{"bad-fraction", func(sp *RandomSpec) { sp.CatalogFraction = 1.5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := DefaultRandomSpec()
+			tc.mut(&sp)
+			if err := sp.Validate(); err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+			if _, err := RandomConfig("r", sp, 1); err == nil {
+				t.Fatal("RandomConfig accepted an invalid spec")
+			}
+		})
+	}
+}
+
+func TestMeshFor(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		w, h := meshFor(n)
+		if w*h < n {
+			t.Fatalf("meshFor(%d) = %dx%d too small", n, w, h)
+		}
+		if w < 2 || h < 2 {
+			t.Fatalf("meshFor(%d) = %dx%d below minimum mesh", n, w, h)
+		}
+		if w-h > 1 {
+			t.Fatalf("meshFor(%d) = %dx%d not near-square", n, w, h)
+		}
+	}
+}

@@ -46,53 +46,109 @@ func (g GenConfig) withDefaults() GenConfig {
 	return g
 }
 
-// classRange returns the footprint bounds of a class on a SoC.
-func classRange(c SizeClass, cfg *soc.Config) (lo, hi int64) {
+// minFootprintBytes is the smallest dataset any thread works on.
+const minFootprintBytes = 4 << 10
+
+// classRange returns the footprint bounds of a class on a SoC. The
+// nominal bands follow the paper's definition (Small fits the private
+// L2, Medium one LLC partition, Large the aggregate LLC, Extra-Large
+// three times that), but randomized topologies produce degenerate
+// geometries — an L2 bigger than an LLC slice inverts the Medium band,
+// a single memory tile collapses Large onto Medium — so empty bands are
+// merged to their lower boundary (the sampled footprint then classifies
+// as the next class up) and the upper bound is capped at DRAM capacity.
+// A class is impossible, and reported as an error, when even its lower
+// boundary exceeds what the SoC's DRAM can allocate.
+func classRange(c SizeClass, cfg *soc.Config) (lo, hi int64, err error) {
 	switch c {
 	case Small:
-		return 4 << 10, cfg.L2Bytes()
+		lo, hi = minFootprintBytes, cfg.L2Bytes()
 	case Medium:
-		return cfg.L2Bytes() + 1, cfg.LLCSliceBytes()
+		lo, hi = cfg.L2Bytes()+1, cfg.LLCSliceBytes()
 	case Large:
-		return cfg.LLCSliceBytes() + 1, cfg.TotalLLCBytes()
+		lo, hi = cfg.LLCSliceBytes()+1, cfg.TotalLLCBytes()
+	case ExtraLarge:
+		lo, hi = cfg.TotalLLCBytes()+1, 3*cfg.TotalLLCBytes()
 	default:
-		return cfg.TotalLLCBytes() + 1, 3 * cfg.TotalLLCBytes()
+		return 0, 0, fmt.Errorf("workload: unknown size class %d", int(c))
 	}
+	if lo < minFootprintBytes {
+		lo = minFootprintBytes
+	}
+	if dram := cfg.DRAMBytes(); dram > 0 {
+		if lo > dram {
+			return 0, 0, fmt.Errorf("workload: size class %v impossible on %s: needs ≥ %d bytes, DRAM holds %d",
+				c, cfg.Name, lo, dram)
+		}
+		if hi > dram {
+			hi = dram
+		}
+	}
+	if hi < lo {
+		hi = lo // degenerate band: merge onto the lower boundary
+	}
+	return lo, hi, nil
 }
 
 // sampleBytes draws a footprint uniformly within the class, rounded to
-// whole KB.
-func sampleBytes(c SizeClass, cfg *soc.Config, rng *sim.RNG) int64 {
-	lo, hi := classRange(c, cfg)
-	b := lo + rng.Int63n(hi-lo+1)
-	if b < 4<<10 {
-		b = 4 << 10
+// whole KB. Class bounds sit one byte past a cache size, so rounding
+// down would drop boundary draws back into the class below (a Medium
+// draw of L2+5 bytes must not become exactly L2); those round up
+// instead, which never exceeds the DRAM cap because capacities are
+// KB-aligned.
+func sampleBytes(c SizeClass, cfg *soc.Config, rng *sim.RNG) (int64, error) {
+	lo, hi, err := classRange(c, cfg)
+	if err != nil {
+		return 0, err
 	}
-	return (b >> 10) << 10
+	b := lo + rng.Int63n(hi-lo+1)
+	if b < minFootprintBytes {
+		b = minFootprintBytes
+	}
+	if down := (b >> 10) << 10; down >= lo {
+		b = down
+	} else {
+		b = ((lo + (1 << 10) - 1) >> 10) << 10
+	}
+	return b, nil
+}
+
+// ClassFeasible reports whether the size class can be sampled on the
+// SoC's memory geometry (nil), or why it cannot. Generate can only
+// fail on infeasible classes, so a class set filtered through this
+// check makes generation infallible for every seed.
+func ClassFeasible(c SizeClass, cfg *soc.Config) error {
+	_, _, err := classRange(c, cfg)
+	return err
 }
 
 // randomThread draws one thread spec.
-func randomThread(name string, cfg *soc.Config, g GenConfig, class SizeClass, rng *sim.RNG) ThreadSpec {
+func randomThread(name string, cfg *soc.Config, g GenConfig, class SizeClass, rng *sim.RNG) (ThreadSpec, error) {
 	chainLen := 1 + rng.Intn(g.MaxChain)
 	chain := make([]string, chainLen)
 	for i := range chain {
 		chain[i] = cfg.Accs[rng.Intn(len(cfg.Accs))].InstName
 	}
+	bytes, err := sampleBytes(class, cfg, rng)
+	if err != nil {
+		return ThreadSpec{}, err
+	}
 	return ThreadSpec{
 		Name:             name,
-		FootprintBytes:   sampleBytes(class, cfg, rng),
+		FootprintBytes:   bytes,
 		Chain:            chain,
 		Loops:            2 + rng.Intn(g.MaxLoops), // accelerators are invoked repeatedly per thread
 		RewriteFraction:  0.25,
 		ReadbackFraction: 0.25,
-	}
+	}, nil
 }
 
 // Generate builds a randomized evaluation application for the SoC. The
 // same (cfg, g, seed) triple always yields the same app; different
 // seeds yield the "different instances of the evaluation application"
-// the paper trains and tests on.
-func Generate(cfg *soc.Config, g GenConfig, seed uint64) *App {
+// the paper trains and tests on. It fails when a requested size class
+// is impossible on the SoC's memory geometry.
+func Generate(cfg *soc.Config, g GenConfig, seed uint64) (*App, error) {
 	g = g.withDefaults()
 	rng := sim.NewRNG(seed ^ 0x10ad5eed)
 	app := &App{Name: fmt.Sprintf("%s-gen-%d", cfg.Name, seed)}
@@ -101,10 +157,13 @@ func Generate(cfg *soc.Config, g GenConfig, seed uint64) *App {
 		phase := PhaseSpec{Name: fmt.Sprintf("phase-%d", pi)}
 		for ti := 0; ti < threads; ti++ {
 			class := g.Classes[rng.Intn(len(g.Classes))]
-			phase.Threads = append(phase.Threads,
-				randomThread(fmt.Sprintf("t%d", ti), cfg, g, class, rng))
+			ts, err := randomThread(fmt.Sprintf("t%d", ti), cfg, g, class, rng)
+			if err != nil {
+				return nil, err
+			}
+			phase.Threads = append(phase.Threads, ts)
 		}
 		app.Phases = append(app.Phases, phase)
 	}
-	return app
+	return app, nil
 }

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"cohmeleon/internal/acc"
+	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc"
+)
+
+// geomCfg builds a minimal config with the given cache/memory geometry.
+// It is never built into a SoC — these tests exercise the pure
+// footprint arithmetic — so a single accelerator instance suffices.
+func geomCfg(l2KB, llcSliceKB, memTiles int) *soc.Config {
+	return &soc.Config{
+		Name: "geom", MeshW: 5, MeshH: 5, CPUs: 1, MemTiles: memTiles,
+		LLCSliceKB: llcSliceKB, L2KB: l2KB,
+		Accs: []soc.AccInstance{
+			{InstName: "fft.0", Spec: acc.MustByName(acc.FFT), PrivateCache: true},
+		},
+		Params: soc.DefaultParams(),
+	}
+}
+
+// TestClassRangeDegenerateGeometries is the regression matrix for the
+// inverted-range panic: before the fix, any geometry where a class's
+// nominal lower bound exceeded its upper bound (big L2 vs small LLC
+// slice, single memory tile collapsing Large onto Medium) made
+// sampleBytes call rng.Int63n with a non-positive argument and panic.
+func TestClassRangeDegenerateGeometries(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     *soc.Config
+		classes []SizeClass
+	}{
+		// L2 (256 kB) dwarfs the LLC slice (64 kB): Medium inverts.
+		{"huge-L2-tiny-LLC", geomCfg(256, 64, 2), []SizeClass{Small, Medium, Large, ExtraLarge}},
+		// L2 as big as the aggregate LLC: Medium and Large both invert.
+		{"L2-exceeds-total-LLC", geomCfg(1024, 128, 2), []SizeClass{Small, Medium, Large, ExtraLarge}},
+		// Single memory tile: TotalLLC == slice, Large collapses.
+		{"single-memory-tile", geomCfg(32, 256, 1), []SizeClass{Small, Medium, Large, ExtraLarge}},
+		// Tiny L2 below the 4 kB floor: Small inverts.
+		{"tiny-L2", geomCfg(1, 256, 2), []SizeClass{Small, Medium, Large, ExtraLarge}},
+		// Everything degenerate at once.
+		{"all-degenerate", geomCfg(2048, 16, 1), []SizeClass{Small, Medium, Large, ExtraLarge}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := sim.NewRNG(1)
+			for _, c := range tc.classes {
+				lo, hi, err := classRange(c, tc.cfg)
+				if err != nil {
+					t.Fatalf("classRange(%v) error: %v", c, err)
+				}
+				if lo < minFootprintBytes || hi < lo {
+					t.Fatalf("classRange(%v) = [%d, %d], want ordered bounds ≥ %d", c, lo, hi, minFootprintBytes)
+				}
+				// The pre-fix code panicked here for inverted ranges.
+				b, err := sampleBytes(c, tc.cfg, rng)
+				if err != nil {
+					t.Fatalf("sampleBytes(%v) error: %v", c, err)
+				}
+				if b < minFootprintBytes {
+					t.Fatalf("sampleBytes(%v) = %d below the floor", c, b)
+				}
+			}
+		})
+	}
+}
+
+// TestClassRangeImpossibleClass: a class whose lower bound exceeds the
+// SoC's entire DRAM cannot be clamped into existence and must be an
+// error, not a panic and not a silent unallocatable footprint.
+func TestClassRangeImpossibleClass(t *testing.T) {
+	cfg := geomCfg(4096, 16, 1) // 4 MB L2
+	cfg.Params.DRAMPartitionMB = 2
+	if _, _, err := classRange(Medium, cfg); err == nil {
+		t.Fatal("Medium lower bound (4 MB+1) exceeds DRAM (2 MB); want error")
+	} else if !strings.Contains(err.Error(), "impossible") {
+		t.Fatalf("unexpected error text: %v", err)
+	}
+	if _, err := sampleBytes(Medium, cfg, sim.NewRNG(1)); err == nil {
+		t.Fatal("sampleBytes should propagate the impossible-class error")
+	}
+	if _, err := Generate(cfg, GenConfig{Classes: []SizeClass{Medium}, MinInvocations: 10}, 1); err == nil {
+		t.Fatal("Generate should fail for an impossible class, not panic")
+	}
+	// Small still fits and must keep working on the same config.
+	if _, err := Generate(cfg, GenConfig{Classes: []SizeClass{Small}, MinInvocations: 10}, 1); err != nil {
+		t.Fatalf("Small should remain generable: %v", err)
+	}
+}
+
+// TestClassRangeCapsAtDRAM: upper bounds clamp to DRAM capacity so
+// sampled footprints are always allocatable.
+func TestClassRangeCapsAtDRAM(t *testing.T) {
+	cfg := geomCfg(32, 2048, 1) // XL band nominally up to 6 MB
+	cfg.Params.DRAMPartitionMB = 4
+	lo, hi, err := classRange(ExtraLarge, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dram := cfg.DRAMBytes(); hi > dram {
+		t.Fatalf("hi %d exceeds DRAM %d", hi, dram)
+	}
+	if hi < lo {
+		t.Fatalf("bounds inverted after cap: [%d, %d]", lo, hi)
+	}
+}
+
+// TestSampleBytesStaysInClass: on regular geometry a sampled footprint
+// must classify as the requested class even for boundary draws — the
+// KB rounding rounds up, never down out of the class.
+func TestSampleBytesStaysInClass(t *testing.T) {
+	cfg := soc.SoC1(1)
+	rng := sim.NewRNG(3)
+	for _, c := range []SizeClass{Small, Medium, Large, ExtraLarge} {
+		for i := 0; i < 200; i++ {
+			b, err := sampleBytes(c, cfg, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := Classify(b, cfg); got != c {
+				t.Fatalf("sampleBytes(%v) = %d classifies as %v", c, b, got)
+			}
+		}
+	}
+}
+
+// TestClassFeasible mirrors the clamp/error split of classRange.
+func TestClassFeasible(t *testing.T) {
+	if err := ClassFeasible(Medium, geomCfg(256, 64, 2)); err != nil {
+		t.Fatalf("degenerate-but-clampable class reported infeasible: %v", err)
+	}
+	impossible := geomCfg(4096, 16, 1)
+	impossible.Params.DRAMPartitionMB = 2
+	if err := ClassFeasible(Medium, impossible); err == nil {
+		t.Fatal("class beyond DRAM reported feasible")
+	}
+}
+
+// TestGenerateOnDegenerateGeometry: the full generator survives a
+// geometry that used to panic, and its apps validate and classify.
+func TestGenerateOnDegenerateGeometry(t *testing.T) {
+	cfg := geomCfg(256, 64, 1)
+	app, err := Generate(cfg, GenConfig{MinInvocations: 30}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if app.Invocations() < 30 {
+		t.Fatalf("undersized app: %d invocations", app.Invocations())
+	}
+}

@@ -11,27 +11,41 @@ import (
 // Figure5App builds the four selected phases of Figure 5, which vary
 // thread count and workload size: 10 threads of Small workloads, 4 of
 // Medium, 6 of Large, and 3 of Variable sizes.
-func Figure5App(cfg *soc.Config, seed uint64) *App {
+func Figure5App(cfg *soc.Config, seed uint64) (*App, error) {
 	rng := sim.NewRNG(seed ^ 0xf16f5)
 	g := GenConfig{}.withDefaults()
 	app := &App{Name: cfg.Name + "-figure5"}
 
-	mk := func(name string, threads int, classes []SizeClass) PhaseSpec {
+	mk := func(name string, threads int, classes []SizeClass) (PhaseSpec, error) {
 		phase := PhaseSpec{Name: name}
 		for ti := 0; ti < threads; ti++ {
 			class := classes[rng.Intn(len(classes))]
-			phase.Threads = append(phase.Threads,
-				randomThread(fmt.Sprintf("t%d", ti), cfg, g, class, rng))
+			ts, err := randomThread(fmt.Sprintf("t%d", ti), cfg, g, class, rng)
+			if err != nil {
+				return PhaseSpec{}, err
+			}
+			phase.Threads = append(phase.Threads, ts)
 		}
-		return phase
+		return phase, nil
 	}
-	app.Phases = []PhaseSpec{
-		mk("10 Threads: Small", 10, []SizeClass{Small}),
-		mk("4 Threads: Medium", 4, []SizeClass{Medium}),
-		mk("6 Threads: Large", 6, []SizeClass{Large}),
-		mk("3 Threads: Variable", 3, []SizeClass{Small, Medium, Large, ExtraLarge}),
+	specs := []struct {
+		name    string
+		threads int
+		classes []SizeClass
+	}{
+		{"10 Threads: Small", 10, []SizeClass{Small}},
+		{"4 Threads: Medium", 4, []SizeClass{Medium}},
+		{"6 Threads: Large", 6, []SizeClass{Large}},
+		{"3 Threads: Variable", 3, []SizeClass{Small, Medium, Large, ExtraLarge}},
 	}
-	return app
+	for _, s := range specs {
+		phase, err := mk(s.name, s.threads, s.classes)
+		if err != nil {
+			return nil, err
+		}
+		app.Phases = append(app.Phases, phase)
+	}
+	return app, nil
 }
 
 // instancesOf returns the SoC's instance names for one spec, in index
@@ -54,17 +68,22 @@ func instancesOf(cfg *soc.Config, specName string) []string {
 // pipelines (FFT ↔ Viterbi) and CNN inference pipelines
 // (Conv-2D → GEMM), mirroring the collaborative-autonomous-vehicle
 // workload the paper targets.
-func AutonomousDrivingApp(cfg *soc.Config, seed uint64) *App {
+func AutonomousDrivingApp(cfg *soc.Config, seed uint64) (*App, error) {
 	rng := sim.NewRNG(seed ^ 0xad5)
 	ffts := instancesOf(cfg, acc.FFT)
 	vits := instancesOf(cfg, acc.Viterbi)
 	convs := instancesOf(cfg, acc.Conv2D)
 	gemms := instancesOf(cfg, acc.GEMM)
 
+	var threadErr error
 	thread := func(name string, chain []string, class SizeClass, loops int) ThreadSpec {
+		bytes, err := sampleBytes(class, cfg, rng)
+		if err != nil && threadErr == nil {
+			threadErr = err
+		}
 		return ThreadSpec{
 			Name:             name,
-			FootprintBytes:   sampleBytes(class, cfg, rng),
+			FootprintBytes:   bytes,
 			Chain:            chain,
 			Loops:            loops,
 			RewriteFraction:  0.25,
@@ -103,22 +122,30 @@ func AutonomousDrivingApp(cfg *soc.Config, seed uint64) *App {
 		thread("map-fusion", []string{gemms[0], gemms[1%len(gemms)]}, ExtraLarge, 1),
 	)
 	app.Phases = []PhaseSpec{v2v, cnn, full}
-	return app
+	if threadErr != nil {
+		return nil, threadErr
+	}
+	return app, nil
 }
 
 // ComputerVisionApp is the SoC6 case study: three parallel instances of
 // the night-vision → autoencoder → MLP classification pipeline
 // (undarken, denoise, classify), swept over image batch sizes.
-func ComputerVisionApp(cfg *soc.Config, seed uint64) *App {
+func ComputerVisionApp(cfg *soc.Config, seed uint64) (*App, error) {
 	rng := sim.NewRNG(seed ^ 0xc6)
 	nvs := instancesOf(cfg, acc.NightVision)
 	aes := instancesOf(cfg, acc.Autoencoder)
 	mlps := instancesOf(cfg, acc.MLP)
 
+	var threadErr error
 	pipeline := func(name string, i int, class SizeClass, loops int) ThreadSpec {
+		bytes, err := sampleBytes(class, cfg, rng)
+		if err != nil && threadErr == nil {
+			threadErr = err
+		}
 		return ThreadSpec{
 			Name:             name,
-			FootprintBytes:   sampleBytes(class, cfg, rng),
+			FootprintBytes:   bytes,
 			Chain:            []string{nvs[i%len(nvs)], aes[i%len(aes)], mlps[i%len(mlps)]},
 			Loops:            loops,
 			RewriteFraction:  0.5, // fresh camera frames each iteration
@@ -126,13 +153,12 @@ func ComputerVisionApp(cfg *soc.Config, seed uint64) *App {
 		}
 	}
 	app := &App{Name: cfg.Name + "-computer-vision"}
-	for pi, class := range []SizeClass{Small, Medium, Large} {
+	for _, class := range []SizeClass{Small, Medium, Large} {
 		phase := PhaseSpec{Name: fmt.Sprintf("batch-%s", class)}
 		for i := 0; i < 3; i++ {
 			phase.Threads = append(phase.Threads, pipeline(fmt.Sprintf("cam%d", i), i, class, 2))
 		}
 		app.Phases = append(app.Phases, phase)
-		_ = pi
 	}
 	// Mixed phase: cameras at different resolutions.
 	mixed := PhaseSpec{Name: "mixed-batch"}
@@ -140,14 +166,17 @@ func ComputerVisionApp(cfg *soc.Config, seed uint64) *App {
 		mixed.Threads = append(mixed.Threads, pipeline(fmt.Sprintf("cam%d", i), i, class, 2))
 	}
 	app.Phases = append(app.Phases, mixed)
-	return app
+	if threadErr != nil {
+		return nil, threadErr
+	}
+	return app, nil
 }
 
 // AppFor returns the evaluation application matched to a SoC: the case
 // studies for SoC5/SoC6, and a generated mixed application (seeded)
 // otherwise — including SoC4, whose "application" in the paper invokes
 // its many heterogeneous accelerators from parallel threads.
-func AppFor(cfg *soc.Config, seed uint64) *App {
+func AppFor(cfg *soc.Config, seed uint64) (*App, error) {
 	switch cfg.Name {
 	case "SoC5":
 		return AutonomousDrivingApp(cfg, seed)

@@ -41,10 +41,21 @@ func TestClassBytesRoundTrip(t *testing.T) {
 	}
 }
 
+// mustGenerate fails the test on generator errors (preset SoCs have no
+// degenerate geometry, so errors here are always bugs).
+func mustGenerate(t *testing.T, cfg *soc.Config, g GenConfig, seed uint64) *App {
+	t.Helper()
+	app, err := Generate(cfg, g, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return app
+}
+
 func TestGenerateDeterministicAndValid(t *testing.T) {
 	cfg := soc.SoC1(7)
-	a := Generate(cfg, GenConfig{}, 42)
-	b := Generate(cfg, GenConfig{}, 42)
+	a := mustGenerate(t, cfg, GenConfig{}, 42)
+	b := mustGenerate(t, cfg, GenConfig{}, 42)
 	if a.Invocations() != b.Invocations() || len(a.Phases) != len(b.Phases) {
 		t.Fatal("generator not deterministic")
 	}
@@ -54,7 +65,7 @@ func TestGenerateDeterministicAndValid(t *testing.T) {
 	if a.Invocations() < 300 {
 		t.Fatalf("generated app has %d invocations, want ≥ 300", a.Invocations())
 	}
-	c := Generate(cfg, GenConfig{}, 43)
+	c := mustGenerate(t, cfg, GenConfig{}, 43)
 	if c.Invocations() == a.Invocations() && len(c.Phases) == len(a.Phases) &&
 		c.Phases[0].Threads[0].FootprintBytes == a.Phases[0].Threads[0].FootprintBytes {
 		t.Fatal("different seeds produced identical apps")
@@ -63,7 +74,7 @@ func TestGenerateDeterministicAndValid(t *testing.T) {
 
 func TestGenerateRespectsClassRestriction(t *testing.T) {
 	cfg := soc.SoC1(7)
-	app := Generate(cfg, GenConfig{Classes: []SizeClass{Small}, MinInvocations: 50}, 1)
+	app := mustGenerate(t, cfg, GenConfig{Classes: []SizeClass{Small}, MinInvocations: 50}, 1)
 	for _, ph := range app.Phases {
 		for _, th := range ph.Threads {
 			if got := Classify(th.FootprintBytes, cfg); got != Small {
@@ -75,7 +86,10 @@ func TestGenerateRespectsClassRestriction(t *testing.T) {
 
 func TestFigure5AppShape(t *testing.T) {
 	cfg := soc.SoC0(soc.TrafficMixed, 3)
-	app := Figure5App(cfg, 11)
+	app, err := Figure5App(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := app.Validate(cfg); err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +115,10 @@ func TestFigure5AppShape(t *testing.T) {
 
 func TestCaseStudyAppsValidate(t *testing.T) {
 	soc5 := soc.SoC5()
-	ad := AutonomousDrivingApp(soc5, 1)
+	ad, err := AutonomousDrivingApp(soc5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := ad.Validate(soc5); err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +126,10 @@ func TestCaseStudyAppsValidate(t *testing.T) {
 		t.Fatalf("autonomous driving has %d phases", len(ad.Phases))
 	}
 	soc6 := soc.SoC6()
-	cv := ComputerVisionApp(soc6, 1)
+	cv, err := ComputerVisionApp(soc6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := cv.Validate(soc6); err != nil {
 		t.Fatal(err)
 	}
@@ -124,14 +144,21 @@ func TestCaseStudyAppsValidate(t *testing.T) {
 }
 
 func TestAppForDispatch(t *testing.T) {
-	if app := AppFor(soc.SoC5(), 1); app.Name != "SoC5-autonomous-driving" {
+	mustApp := func(cfg *soc.Config) *App {
+		t.Helper()
+		app, err := AppFor(cfg, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return app
+	}
+	if app := mustApp(soc.SoC5()); app.Name != "SoC5-autonomous-driving" {
 		t.Fatalf("SoC5 app = %q", app.Name)
 	}
-	if app := AppFor(soc.SoC6(), 1); app.Name != "SoC6-computer-vision" {
+	if app := mustApp(soc.SoC6()); app.Name != "SoC6-computer-vision" {
 		t.Fatalf("SoC6 app = %q", app.Name)
 	}
-	cfg := soc.SoC1(1)
-	if app := AppFor(cfg, 1); app.Invocations() < 300 {
+	if app := mustApp(soc.SoC1(1)); app.Invocations() < 300 {
 		t.Fatalf("generated app too small: %d", app.Invocations())
 	}
 }

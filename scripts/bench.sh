@@ -68,6 +68,10 @@ run_bench ./internal/soc 'BenchmarkDMAGroup|BenchmarkCachedGroup|BenchmarkInvoca
 # on every steady-state path; TestZeroAlloc* enforces the same in CI).
 run_bench_mem ./internal/sim 'BenchmarkEngineScheduleRun|BenchmarkProcSwitch|BenchmarkSemaphorePingPong' 500000x 1 "sim kernel micro"
 
+# Randomized scenario sweep (fixed 8 scenarios inside the benchmark):
+# tracks the per-scenario cost of the sweep subsystem across PRs.
+run_bench . 'BenchmarkSweep$' 1x "${COHMELEON_WORKERS:-1}" "scenario sweep"
+
 if [ "$mode" = "full" ]; then
     # Artifact regeneration, parallel then sequential reference.
     run_bench . 'BenchmarkHeadline$' 1x 0 "headline (workers=GOMAXPROCS)"
