@@ -130,6 +130,25 @@ func BenchmarkSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkLearners runs the (algorithm × schedule) learner grid at a
+// fixed 4 scenarios, so samples stay comparable across PRs regardless
+// of profile-default changes; the per-stack training cost is what the
+// trend tracks.
+func BenchmarkLearners(b *testing.B) {
+	entry, err := experiment.Lookup("learners")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOptions()
+	opt.LearnerScenarios = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := entry.Run(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAppRun measures the simulator itself: one full evaluation
 // application on SoC0 under the manual policy (≈300 invocations).
 func BenchmarkAppRun(b *testing.B) {

@@ -5,10 +5,11 @@
 //	cohmeleon list
 //	cohmeleon run [-profile quick|full|tiny] [-seed N] [-workers N]
 //	              [-scenarios N] [-qtable-save FILE] [-qtable-load FILE]
+//	              [-learner NAME] [-schedule NAME]
 //	              [-out FILE] <id>... | all
 //
 // Experiment IDs: table4, fig2, fig3, fig5, fig6, fig7, fig8, fig9,
-// headline, overhead, ablation, sweep.
+// headline, overhead, ablation, sweep, learners.
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"cohmeleon/internal/experiment"
+	"cohmeleon/internal/learn"
 )
 
 func main() {
@@ -59,9 +61,20 @@ func runExperiments(args []string) error {
 	scenarios := fs.Int("scenarios", 0, "sweep scenario count (0 keeps the profile default)")
 	qtableSave := fs.String("qtable-save", "", "sweep: write the merged trained Q-table to this file")
 	qtableLoad := fs.String("qtable-load", "", "sweep: evaluate this Q-table frozen on the sampled scenarios")
+	learner := fs.String("learner", "", "agent algorithm for training experiments (omit for the paper's \"q\")")
+	schedule := fs.String("schedule", "", "agent ε/α schedule for training experiments (omit for the paper's \"linear\")")
 	outPath := fs.String("out", "", "also append rendered reports to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Learner-stack names resolve against the learn registry before
+	// anything runs; the registry's error already lists every valid
+	// option, like unknown experiment IDs do.
+	if _, err := learn.NewAlgorithm(*learner); err != nil {
+		return fmt.Errorf("run: -learner: %w", err)
+	}
+	if _, err := learn.NewSchedule(*schedule, learn.ScheduleParams{Epsilon0: 0.5, Alpha0: 0.25, DecayIterations: 1}); err != nil {
+		return fmt.Errorf("run: -schedule: %w", err)
 	}
 	// Flag defaults mean "use the profile's value"; an explicitly passed
 	// zero or negative is a user error, not a request for the default,
@@ -88,7 +101,7 @@ func runExperiments(args []string) error {
 	// Resolve every ID before running anything: a typo at the end of the
 	// list must not surface only after the preceding experiments ran.
 	entries := make([]experiment.Entry, len(ids))
-	hasSweep := false
+	hasSweep, trainsAgent := false, false
 	for i, id := range ids {
 		entry, err := experiment.Lookup(id)
 		if err != nil {
@@ -96,6 +109,7 @@ func runExperiments(args []string) error {
 		}
 		entries[i] = entry
 		hasSweep = hasSweep || id == "sweep"
+		trainsAgent = trainsAgent || trainingExperiments[id]
 	}
 	// Sweep-only flags on a sweep-less run would be silently ignored —
 	// in the save case leaving the user without the table they asked
@@ -109,6 +123,12 @@ func runExperiments(args []string) error {
 		case *scenarios > 0:
 			return fmt.Errorf("run: -scenarios only applies to the sweep experiment (ids: %s)", strings.Join(ids, ", "))
 		}
+	}
+	// A learner-stack override on experiments that never train an agent
+	// would be silently ignored; fail loudly like the sweep-only flags.
+	if !trainsAgent && (*learner != "" || *schedule != "") {
+		return fmt.Errorf("run: -learner/-schedule only apply to experiments that train an agent (%s); ids: %s",
+			strings.Join(trainingIDs(), ", "), strings.Join(ids, ", "))
 	}
 
 	var opt experiment.Options
@@ -133,6 +153,8 @@ func runExperiments(args []string) error {
 	}
 	opt.QTableSave = *qtableSave
 	opt.QTableLoad = *qtableLoad
+	opt.Learner = *learner
+	opt.Schedule = *schedule
 	if err := opt.Validate(); err != nil {
 		return err
 	}
@@ -160,6 +182,27 @@ func runExperiments(args []string) error {
 	return nil
 }
 
+// trainingExperiments lists the experiments whose Cohmeleon agent is
+// built from the options' learner stack: -learner/-schedule change
+// their behavior and are rejected elsewhere. (The ablation deliberately
+// pins the paper's default stack — its variants are defined relative to
+// it — and the overhead sweep charges a stack-independent constant.)
+var trainingExperiments = map[string]bool{
+	"fig5": true, "fig6": true, "fig7": true, "fig8": true, "fig9": true,
+	"headline": true, "sweep": true, "learners": true,
+}
+
+// trainingIDs returns the training experiments sorted like the registry.
+func trainingIDs() []string {
+	var out []string
+	for _, id := range experiment.IDs() {
+		if trainingExperiments[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 func usage() {
 	fmt.Fprint(os.Stderr, `cohmeleon — reproduce the MICRO 2021 Cohmeleon evaluation
 
@@ -174,10 +217,16 @@ run flags:
   -scenarios N              sweep scenario count (omit for the profile default)
   -qtable-save FILE         sweep: save the merged trained Q-table
   -qtable-load FILE         sweep: evaluate a saved Q-table on fresh scenarios
+  -learner NAME             agent algorithm: q, double-q, ucb1, boltzmann
+  -schedule NAME            agent ε/α schedule: linear, exp, const
   -out FILE                 append rendered reports to FILE
 
 Q-table transfer workflow (train on A, test on disjoint B):
   cohmeleon run -seed 1 -qtable-save table.gob sweep
   cohmeleon run -seed 2 -qtable-load table.gob sweep
+
+Learner comparison (algorithm × schedule grid over random scenarios):
+  cohmeleon run learners
+  cohmeleon run -learner double-q -schedule exp fig9
 `)
 }

@@ -62,6 +62,39 @@ func TestRunRejectsSweepFlagsWithoutSweep(t *testing.T) {
 	}
 }
 
+func TestRunRejectsUnknownLearnerListingValidNames(t *testing.T) {
+	msg := errFrom(t, "run", "-learner", "sarsa", "fig9")
+	for _, name := range []string{"-learner", "q", "double-q", "ucb1", "boltzmann"} {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error %q does not mention %q", msg, name)
+		}
+	}
+}
+
+func TestRunRejectsUnknownScheduleListingValidNames(t *testing.T) {
+	msg := errFrom(t, "run", "-schedule", "cosine", "fig9")
+	for _, name := range []string{"-schedule", "linear", "exp", "const"} {
+		if !strings.Contains(msg, name) {
+			t.Fatalf("error %q does not mention %q", msg, name)
+		}
+	}
+}
+
+func TestRunRejectsLearnerFlagsOnNonTrainingExperiments(t *testing.T) {
+	for _, args := range [][]string{
+		{"run", "-learner", "double-q", "table4"},
+		{"run", "-schedule", "exp", "table4", "fig2"},
+	} {
+		msg := errFrom(t, args...)
+		if !strings.Contains(msg, "train an agent") {
+			t.Fatalf("args %v: error %q should explain the training-only flags", args, msg)
+		}
+		if !strings.Contains(msg, "learners") {
+			t.Fatalf("args %v: error %q should list the training experiments", args, msg)
+		}
+	}
+}
+
 func TestRunRejectsNoIDs(t *testing.T) {
 	msg := errFrom(t, "run")
 	if !strings.Contains(msg, "sweep") {

@@ -11,12 +11,14 @@
 //     controllers, and accelerator sockets implementing the paper's four
 //     coherence modes (non-coherent DMA, LLC-coherent DMA, coherent DMA,
 //     fully-coherent).
-//   - The Cohmeleon reinforcement-learning module: Table-3 state
-//     encoding, a 243×4 Q-table, the multi-objective reward built from
-//     hardware monitors, and ε-greedy selection with linear decay —
-//     alongside the paper's baselines (Random, four Fixed policies, a
-//     profiling-derived Fixed-heterogeneous policy, and the
-//     manually-tuned Algorithm 1).
+//   - The Cohmeleon reinforcement-learning module, built on a pluggable
+//     learner engine with three seams: a Featurizer (Table-3 state
+//     encoding), an Algorithm (tabular ε-greedy Q-learning by default,
+//     with double Q-learning, UCB1 and Boltzmann variants) and a
+//     Schedule (linear ε/α decay by default, with exponential and
+//     constant variants) — alongside the paper's baselines (Random,
+//     four Fixed policies, a profiling-derived Fixed-heterogeneous
+//     policy, and the manually-tuned Algorithm 1).
 //   - An experiment harness that regenerates every evaluation artifact:
 //     Table 4, Figures 2–3 (motivation), Figures 5–9, the headline
 //     speedup/off-chip aggregates, the runtime-overhead sweep, and a set
@@ -25,7 +27,7 @@
 // Quick start:
 //
 //	cfg := cohmeleon.SoC5()                       // Table-4 preset
-//	agent := cohmeleon.NewAgent(cohmeleon.DefaultAgentConfig())
+//	agent, err := cohmeleon.NewAgent(cohmeleon.DefaultAgentConfig())
 //	app, err := cohmeleon.AppFor(cfg, 1)          // case-study workload
 //	cohmeleon.Train(cfg, agent, app, 10, 7)       // online learning
 //	res, err := cohmeleon.RunApp(cfg, agent, app, 3)
@@ -39,6 +41,7 @@ import (
 	"cohmeleon/internal/core"
 	"cohmeleon/internal/esp"
 	"cohmeleon/internal/experiment"
+	"cohmeleon/internal/learn"
 	"cohmeleon/internal/policy"
 	"cohmeleon/internal/scenario"
 	"cohmeleon/internal/sim"
@@ -84,12 +87,52 @@ type (
 	InvocationResult = esp.Result
 	// System binds a simulated SoC to a coherence policy.
 	System = esp.System
-	// Agent is the Cohmeleon Q-learning policy.
+	// Agent is the Cohmeleon learning policy (a learner-stack
+	// composition).
 	Agent = core.Cohmeleon
-	// AgentConfig parameterizes a Cohmeleon agent.
+	// AgentConfig parameterizes a Cohmeleon agent, including its
+	// learner stack (Learner, Schedule, Featurizer).
 	AgentConfig = core.Config
 	// RewardWeights are the x, y, z reward coefficients.
 	RewardWeights = core.RewardWeights
+)
+
+// Pluggable learner-engine types: the three seams an Agent composes.
+type (
+	// Featurizer maps a sensed context to a discrete learner state.
+	Featurizer = learn.Featurizer
+	// LearnerAlgorithm owns decide/update over (state, mode) values.
+	LearnerAlgorithm = learn.Algorithm
+	// LearnerSchedule yields the per-iteration ε/α trajectories.
+	LearnerSchedule = learn.Schedule
+	// LearnerScheduleParams parameterize schedule construction.
+	LearnerScheduleParams = learn.ScheduleParams
+	// LearnerState is a portable snapshot of a tabular algorithm.
+	LearnerState = learn.TabularState
+	// Table3Featurizer is the paper's five-attribute state encoder.
+	Table3Featurizer = learn.Encoder
+)
+
+// Learner-engine constructors and registries.
+var (
+	// NewLearnerAlgorithm builds a registered algorithm by name
+	// ("q", "double-q", "ucb1", "boltzmann").
+	NewLearnerAlgorithm = learn.NewAlgorithm
+	// NewLearnerSchedule builds a registered schedule by name
+	// ("linear", "exp", "const").
+	NewLearnerSchedule = learn.NewSchedule
+	// LearnerAlgorithmNames and LearnerScheduleNames list the
+	// registries (the CLI's -learner/-schedule domains).
+	LearnerAlgorithmNames = learn.AlgorithmNames
+	LearnerScheduleNames  = learn.ScheduleNames
+	// NewTable3Featurizer returns the paper's full encoder; the ablated
+	// variant pins chosen attributes.
+	NewTable3Featurizer = learn.NewEncoder
+	// SaveLearnerState and LoadLearnerState persist any tabular
+	// algorithm's state with the versioned codec (reads PR-3-era
+	// Q-table files too).
+	SaveLearnerState = learn.SaveStateFile
+	LoadLearnerState = learn.LoadStateFile
 )
 
 // Workload types.

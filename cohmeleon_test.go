@@ -11,7 +11,10 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	agent := NewAgent(DefaultAgentConfig())
+	agent, err := NewAgent(DefaultAgentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := Train(cfg, agent, app, 2, 7); err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +55,7 @@ func TestFacadePolicyComparison(t *testing.T) {
 
 func TestExperimentsRegistryViaFacade(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 12 {
+	if len(exps) != 13 {
 		t.Fatalf("%d experiments", len(exps))
 	}
 	rep, err := RunExperiment("table4", TinyExperimentOptions())

@@ -24,7 +24,10 @@ func main() {
 
 	agentCfg := cohmeleon.DefaultAgentConfig()
 	agentCfg.DecayIterations = 8
-	agent := cohmeleon.NewAgent(agentCfg)
+	agent, err := cohmeleon.NewAgent(agentCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := cohmeleon.Train(cfg, agent, train, 8, 1); err != nil {
 		log.Fatal(err)
 	}

@@ -32,7 +32,10 @@ func main() {
 	const iterations = 8
 	agentCfg := cohmeleon.DefaultAgentConfig()
 	agentCfg.DecayIterations = iterations
-	agent := cohmeleon.NewAgent(agentCfg)
+	agent, err := cohmeleon.NewAgent(agentCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("SoC6 computer-vision pipelines: learning curve")
 	fmt.Printf("%-10s %12s %12s %8s %8s\n", "iteration", "norm exec", "norm mem", "ε", "α")

@@ -47,7 +47,10 @@ func main() {
 
 	agentCfg := cohmeleon.DefaultAgentConfig()
 	agentCfg.DecayIterations = 6
-	agent := cohmeleon.NewAgent(agentCfg)
+	agent, err := cohmeleon.NewAgent(agentCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := cohmeleon.Train(cfg, agent, train, 6, 1); err != nil {
 		log.Fatal(err)
 	}

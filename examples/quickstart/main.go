@@ -28,7 +28,10 @@ func main() {
 	// Train a Q-learning agent online for five application iterations.
 	agentCfg := cohmeleon.DefaultAgentConfig()
 	agentCfg.DecayIterations = 5
-	agent := cohmeleon.NewAgent(agentCfg)
+	agent, err := cohmeleon.NewAgent(agentCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := cohmeleon.Train(cfg, agent, train, 5, 1); err != nil {
 		log.Fatal(err)
 	}

@@ -140,7 +140,10 @@ func TestAgentTrainingReducesExploration(t *testing.T) {
 	}
 	agentCfg := DefaultAgentConfig()
 	agentCfg.DecayIterations = 3
-	agent := NewAgent(agentCfg)
+	agent, err := NewAgent(agentCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	eps0 := agent.Epsilon()
 	if err := Train(cfg, agent, app, 3, 1); err != nil {
 		t.Fatal(err)

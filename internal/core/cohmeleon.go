@@ -4,12 +4,14 @@ import (
 	"fmt"
 
 	"cohmeleon/internal/esp"
+	"cohmeleon/internal/learn"
+	"cohmeleon/internal/policy"
 	"cohmeleon/internal/sim"
 	"cohmeleon/internal/soc"
 )
 
 // Config parameterizes a Cohmeleon agent. The zero value is not valid;
-// use DefaultConfig as a base.
+// use DefaultConfig as a base and Validate to check a modified copy.
 type Config struct {
 	// Weights are the reward coefficients (x, y, z).
 	Weights RewardWeights
@@ -17,20 +19,24 @@ type Config struct {
 	Epsilon0 float64
 	// Alpha0 is the initial learning rate (paper: 0.25).
 	Alpha0 float64
-	// DecayIterations is the training-iteration count over which ε and α
-	// decay linearly to zero.
+	// DecayIterations is the training-iteration count over which the
+	// schedule decays ε and α (to zero for the default linear schedule).
 	DecayIterations int
 	// OverheadCycles is the CPU cost charged per invocation for status
-	// tracking, Q-table lookup and bookkeeping.
+	// tracking, value-table lookup and bookkeeping.
 	OverheadCycles sim.Cycles
-	// Seed drives ε-greedy exploration.
+	// Seed drives the learner's exploration draws.
 	Seed uint64
-	// Encoder maps contexts to states; nil means the full five-attribute
-	// encoder (set an ablated encoder for the state-ablation study).
-	Encoder *Encoder
-	// NoDecay disables the linear ε/α schedule (both stay at their
-	// initial values) — the decay-schedule ablation.
-	NoDecay bool
+	// Learner selects the algorithm seam by registry name; empty means
+	// the paper's tabular Q-learning ("q"). See learn.AlgorithmNames.
+	Learner string
+	// Schedule selects the ε/α trajectory by registry name; empty means
+	// the paper's linear decay ("linear"). See learn.ScheduleNames.
+	Schedule string
+	// Featurizer maps contexts to states; nil means the full Table-3
+	// five-attribute encoder (set an ablated encoder for the
+	// state-ablation study).
+	Featurizer learn.Featurizer
 	// TrueDDRReward feeds the reward the simulator's ground-truth
 	// off-chip counts instead of the monitor approximation — the
 	// attribution ablation.
@@ -38,28 +44,74 @@ type Config struct {
 }
 
 // DefaultConfig returns the paper's training setup: ε0 = 0.5, α0 = 0.25
-// decaying over 10 iterations, reward weights (67.5, 7.5, 25).
+// decaying over 10 iterations, reward weights (67.5, 7.5, 25), and the
+// default learner stack (Table-3 featurizer, tabular Q, linear decay).
 func DefaultConfig() Config {
 	return Config{
 		Weights:         DefaultWeights(),
 		Epsilon0:        0.5,
 		Alpha0:          0.25,
 		DecayIterations: 10,
-		OverheadCycles:  3000,
+		OverheadCycles:  policy.CohmeleonOverheadCycles,
 		Seed:            1,
 	}
 }
 
-// Cohmeleon is the learning coherence policy (esp.Policy). It selects a
-// mode per invocation by ε-greedy lookup in its Q-table and updates the
-// table online from each invocation's reward. Training proceeds in
-// iterations (whole application runs); call EndIteration after each to
-// advance the linear decay, and Freeze to evaluate the learned policy
-// without exploration or updates.
+// validateBasics checks everything except the learner-stack names,
+// which New validates as a side effect of constructing the seams (so
+// an agent build never allocates throwaway value tables just to check
+// a registry name).
+func (cfg Config) validateBasics() error {
+	if cfg.Epsilon0 < 0 || cfg.Epsilon0 > 1 || cfg.Alpha0 < 0 || cfg.Alpha0 > 1 {
+		return fmt.Errorf("core: ε0=%g α0=%g outside [0,1]", cfg.Epsilon0, cfg.Alpha0)
+	}
+	if cfg.DecayIterations < 1 {
+		return fmt.Errorf("core: DecayIterations %d must be ≥ 1", cfg.DecayIterations)
+	}
+	if cfg.OverheadCycles < 0 {
+		return fmt.Errorf("core: OverheadCycles %d must be ≥ 0", cfg.OverheadCycles)
+	}
+	if err := cfg.Weights.Validate(); err != nil {
+		return err
+	}
+	if cfg.Featurizer != nil && cfg.Featurizer.NumStates() > learn.NumStates {
+		return fmt.Errorf("core: featurizer %q spans %d states, the value tables hold %d",
+			cfg.Featurizer.Name(), cfg.Featurizer.NumStates(), learn.NumStates)
+	}
+	return nil
+}
+
+// Validate reports configuration errors before an agent is built:
+// rates outside [0, 1], a degenerate decay horizon, non-positive reward
+// weights, an oversized featurizer, or unknown learner/schedule names.
+func (cfg Config) Validate() error {
+	if err := cfg.validateBasics(); err != nil {
+		return err
+	}
+	if _, err := learn.NewAlgorithm(cfg.Learner); err != nil {
+		return err
+	}
+	if _, err := learn.NewSchedule(cfg.Schedule, learn.ScheduleParams{
+		Epsilon0: cfg.Epsilon0, Alpha0: cfg.Alpha0, DecayIterations: cfg.DecayIterations,
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Cohmeleon is the learning coherence policy (esp.Policy): a thin
+// composition of the three learn seams — a Featurizer senses the state,
+// an Algorithm decides a mode and learns from each invocation's reward,
+// and a Schedule drives the per-iteration ε/α trajectories. Training
+// proceeds in iterations (whole application runs); call EndIteration
+// after each to advance the schedule, and Freeze to evaluate the
+// learned policy without exploration or updates.
 type Cohmeleon struct {
 	cfg     Config
-	enc     *Encoder
-	table   *QTable
+	name    string
+	feat    learn.Featurizer
+	alg     learn.Algorithm
+	sched   learn.Schedule
 	rewards *RewardComputer
 	rng     *sim.RNG
 
@@ -72,60 +124,65 @@ type Cohmeleon struct {
 }
 
 type pendingDecision struct {
-	state State
+	state learn.State
 	mode  soc.Mode
 }
 
 // New creates an agent from the configuration.
-func New(cfg Config) *Cohmeleon {
-	if cfg.Epsilon0 < 0 || cfg.Epsilon0 > 1 || cfg.Alpha0 < 0 || cfg.Alpha0 > 1 {
-		panic(fmt.Sprintf("core: ε0=%g α0=%g outside [0,1]", cfg.Epsilon0, cfg.Alpha0))
+func New(cfg Config) (*Cohmeleon, error) {
+	if err := cfg.validateBasics(); err != nil {
+		return nil, err
 	}
-	if cfg.DecayIterations < 1 {
-		panic("core: DecayIterations must be ≥ 1")
+	feat := cfg.Featurizer
+	if feat == nil {
+		feat = learn.NewEncoder()
 	}
-	enc := cfg.Encoder
-	if enc == nil {
-		enc = NewEncoder()
+	alg, err := learn.NewAlgorithm(cfg.Learner)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := learn.NewSchedule(cfg.Schedule, learn.ScheduleParams{
+		Epsilon0: cfg.Epsilon0, Alpha0: cfg.Alpha0, DecayIterations: cfg.DecayIterations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rewards, err := NewRewardComputer(cfg.Weights)
+	if err != nil {
+		return nil, err
+	}
+	name := "cohmeleon"
+	if alg.Name() != learn.DefaultAlgorithm || sched.Name() != learn.DefaultSchedule {
+		name = fmt.Sprintf("cohmeleon-%s-%s", alg.Name(), sched.Name())
 	}
 	c := &Cohmeleon{
 		cfg:     cfg,
-		enc:     enc,
-		table:   NewQTable(),
-		rewards: NewRewardComputer(cfg.Weights),
+		name:    name,
+		feat:    feat,
+		alg:     alg,
+		sched:   sched,
+		rewards: rewards,
 		rng:     sim.NewRNG(cfg.Seed ^ 0xc0de1e0f),
 		pending: make(map[int]pendingDecision),
 	}
 	c.rewards.UseTrueDDR(cfg.TrueDDRReward)
-	return c
+	return c, nil
 }
 
-// Name implements esp.Policy.
-func (c *Cohmeleon) Name() string { return "cohmeleon" }
+// Name implements esp.Policy: "cohmeleon" for the paper's default
+// stack, "cohmeleon-<algorithm>-<schedule>" for any other combination
+// so comparison reports stay unambiguous.
+func (c *Cohmeleon) Name() string { return c.name }
 
 // OverheadCycles implements esp.Policy.
 func (c *Cohmeleon) OverheadCycles() sim.Cycles { return c.cfg.OverheadCycles }
-
-// decayFactor is the remaining fraction of ε0/α0 at the current
-// iteration: 1 at iteration 0, 0 from DecayIterations on. With NoDecay
-// the factor stays 1 forever.
-func (c *Cohmeleon) decayFactor() float64 {
-	if c.cfg.NoDecay {
-		return 1
-	}
-	f := 1 - float64(c.iter)/float64(c.cfg.DecayIterations)
-	if f < 0 {
-		return 0
-	}
-	return f
-}
 
 // Epsilon returns the current exploration rate.
 func (c *Cohmeleon) Epsilon() float64 {
 	if c.frozen {
 		return 0
 	}
-	return c.cfg.Epsilon0 * c.decayFactor()
+	return c.sched.Epsilon(c.iter)
 }
 
 // Alpha returns the current learning rate.
@@ -133,25 +190,28 @@ func (c *Cohmeleon) Alpha() float64 {
 	if c.frozen {
 		return 0
 	}
-	return c.cfg.Alpha0 * c.decayFactor()
+	return c.sched.Alpha(c.iter)
 }
 
-// Decide implements esp.Policy: ε-greedy selection over the Q-table.
+// Decide implements esp.Policy: featurize the context, then let the
+// algorithm select a mode. Frozen agents exploit greedily without
+// consuming RNG draws, so a train/test/train sequence sees the same
+// exploration stream as uninterrupted training.
 func (c *Cohmeleon) Decide(ctx *esp.Context) soc.Mode {
-	s := c.enc.Encode(ctx)
+	s := c.feat.Featurize(ctx)
 	var mode soc.Mode
-	if !c.frozen && c.rng.Float64() < c.Epsilon() {
-		mode = ctx.Available[c.rng.Intn(len(ctx.Available))]
+	if c.frozen {
+		mode = c.alg.Exploit(s, ctx.Available)
 	} else {
-		mode = c.table.Best(s, ctx.Available)
+		mode = c.alg.Decide(c.rng, s, ctx.Available, c.sched.Epsilon(c.iter))
 	}
 	c.pending[ctx.Acc.ID] = pendingDecision{state: s, mode: mode}
 	c.decisions[mode]++
 	return mode
 }
 
-// Observe implements esp.Policy: compute the reward and update the
-// Q-table entry of the recorded (state, action).
+// Observe implements esp.Policy: compute the reward and hand it to the
+// algorithm for the recorded (state, action).
 func (c *Cohmeleon) Observe(res *esp.Result) {
 	pd, ok := c.pending[res.Acc.ID]
 	if !ok || pd.mode != res.Mode {
@@ -164,11 +224,11 @@ func (c *Cohmeleon) Observe(res *esp.Result) {
 	delete(c.pending, res.Acc.ID)
 	reward := c.rewards.Reward(res)
 	if alpha := c.Alpha(); alpha > 0 {
-		c.table.Update(pd.state, pd.mode, reward, alpha)
+		c.alg.Update(c.rng, pd.state, pd.mode, reward, alpha)
 	}
 }
 
-// EndIteration advances the linear ε/α decay by one training iteration.
+// EndIteration advances the ε/α schedule by one training iteration.
 func (c *Cohmeleon) EndIteration() { c.iter++ }
 
 // Iteration returns the number of completed training iterations.
@@ -183,11 +243,46 @@ func (c *Cohmeleon) Unfreeze() { c.frozen = false }
 // Frozen reports whether the agent is in evaluation mode.
 func (c *Cohmeleon) Frozen() bool { return c.frozen }
 
-// Table exposes the Q-table (reports, checkpoints, tests).
-func (c *Cohmeleon) Table() *QTable { return c.table }
+// Featurizer exposes the state-encoding seam.
+func (c *Cohmeleon) Featurizer() learn.Featurizer { return c.feat }
 
-// SetTable replaces the Q-table (restoring a checkpoint).
-func (c *Cohmeleon) SetTable(t *QTable) { c.table = t }
+// Algorithm exposes the decide/update seam.
+func (c *Cohmeleon) Algorithm() learn.Algorithm { return c.alg }
+
+// Schedule exposes the ε/α-trajectory seam.
+func (c *Cohmeleon) Schedule() learn.Schedule { return c.sched }
+
+// Table exposes the algorithm's primary value table (reports,
+// checkpoints, the sweep's merge). Multi-table algorithms expose the
+// rest through LearnerState.
+func (c *Cohmeleon) Table() *QTable { return c.alg.Tables()[0].Table }
+
+// SetTable replaces the algorithm's primary value table (restoring a
+// checkpoint); secondary tables reset.
+func (c *Cohmeleon) SetTable(t *QTable) { c.alg.SetPrimary(t) }
+
+// LearnerState snapshots the full algorithm state for the versioned
+// persistence codec (learn.SaveStateFile).
+func (c *Cohmeleon) LearnerState() *learn.TabularState { return learn.Snapshot(c.alg) }
+
+// SetLearnerState replaces the whole algorithm from a persisted
+// snapshot — unlike SetTable this restores every table of a
+// multi-table algorithm, and the agent adopts the snapshot's algorithm
+// even if it differs from the configured one (the transfer workflow
+// evaluates whatever was trained).
+func (c *Cohmeleon) SetLearnerState(st *learn.TabularState) error {
+	alg, err := learn.Restore(st)
+	if err != nil {
+		return err
+	}
+	c.alg = alg
+	if alg.Name() != learn.DefaultAlgorithm || c.sched.Name() != learn.DefaultSchedule {
+		c.name = fmt.Sprintf("cohmeleon-%s-%s", alg.Name(), c.sched.Name())
+	} else {
+		c.name = "cohmeleon"
+	}
+	return nil
+}
 
 // Decisions returns how many times each mode has been selected.
 func (c *Cohmeleon) Decisions() [soc.NumModes]int64 { return c.decisions }

@@ -19,18 +19,33 @@ type RewardWeights struct {
 // DefaultWeights returns the (67.5, 7.5, 25) setting.
 func DefaultWeights() RewardWeights { return RewardWeights{Exec: 0.675, Comm: 0.075, Mem: 0.25} }
 
-// Normalized returns the weights scaled to sum to one.
-func (w RewardWeights) Normalized() RewardWeights {
-	sum := w.Exec + w.Comm + w.Mem
-	if sum <= 0 {
-		panic(fmt.Sprintf("core: non-positive reward weights %+v", w))
+// Validate reports whether the weights can be normalized: their sum
+// must be positive (individual coefficients may be zero).
+func (w RewardWeights) Validate() error {
+	if w.Exec+w.Comm+w.Mem <= 0 {
+		// Format the fields directly: %v would re-enter String → Normalized.
+		return fmt.Errorf("core: non-positive reward weights (x=%g, y=%g, z=%g)", w.Exec, w.Comm, w.Mem)
 	}
-	return RewardWeights{Exec: w.Exec / sum, Comm: w.Comm / sum, Mem: w.Mem / sum}
+	return nil
 }
 
-// String formats the weights as percentages.
+// Normalized returns the weights scaled to sum to one, or an error for
+// weights whose sum is not positive.
+func (w RewardWeights) Normalized() (RewardWeights, error) {
+	if err := w.Validate(); err != nil {
+		return RewardWeights{}, err
+	}
+	sum := w.Exec + w.Comm + w.Mem
+	return RewardWeights{Exec: w.Exec / sum, Comm: w.Comm / sum, Mem: w.Mem / sum}, nil
+}
+
+// String formats the weights as percentages (raw values for weights
+// that cannot be normalized).
 func (w RewardWeights) String() string {
-	n := w.Normalized()
+	n, err := w.Normalized()
+	if err != nil {
+		return fmt.Sprintf("(%g, %g, %g)", w.Exec, w.Comm, w.Mem)
+	}
 	return fmt.Sprintf("(%.1f, %.1f, %.1f)", n.Exec*100, n.Comm*100, n.Mem*100)
 }
 
@@ -55,9 +70,14 @@ type RewardComputer struct {
 }
 
 // NewRewardComputer returns a computer with the given weights
-// (normalized to sum to one).
-func NewRewardComputer(w RewardWeights) *RewardComputer {
-	return &RewardComputer{weights: w.Normalized(), hist: make(map[int]*accHistory)}
+// (normalized to sum to one); weights whose sum is not positive are
+// rejected.
+func NewRewardComputer(w RewardWeights) (*RewardComputer, error) {
+	n, err := w.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	return &RewardComputer{weights: n, hist: make(map[int]*accHistory)}, nil
 }
 
 // UseTrueDDR switches the mem component from the paper's footprint-

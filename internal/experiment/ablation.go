@@ -39,20 +39,25 @@ func Ablation(opt Options) (*AblationResult, error) {
 		return nil, err
 	}
 
+	// Every variant is a learner-stack configuration: the decay ablation
+	// swaps the Schedule seam for the constant schedule, the state
+	// ablations swap the Featurizer seam for an ablated encoder, and the
+	// attribution ablation redirects the reward's mem component. The
+	// pre-refactor bespoke Config booleans (NoDecay, Encoder) are gone.
 	type variant struct {
 		name string
 		mut  func(*core.Config)
 	}
 	variants := []variant{
 		{"full (paper)", func(*core.Config) {}},
-		{"no-decay", func(c *core.Config) { c.NoDecay = true }},
+		{"no-decay", func(c *core.Config) { c.Schedule = "const" }},
 		{"true-ddr-reward", func(c *core.Config) { c.TrueDDRReward = true }},
 	}
 	for a := core.Attribute(0); a < core.NumAttributes; a++ {
 		a := a
 		variants = append(variants, variant{
 			name: "drop-" + a.String(),
-			mut:  func(c *core.Config) { c.Encoder = core.NewAblatedEncoder(a) },
+			mut:  func(c *core.Config) { c.Featurizer = core.NewAblatedEncoder(a) },
 		})
 	}
 
@@ -65,7 +70,10 @@ func Ablation(opt Options) (*AblationResult, error) {
 		agentCfg.DecayIterations = opt.TrainIterations
 		agentCfg.Seed = opt.Seed
 		v.mut(&agentCfg)
-		agent := core.New(agentCfg)
+		agent, err := core.New(agentCfg)
+		if err != nil {
+			return err
+		}
 		if err := trainCohmeleon(cfg, agent, train, opt.TrainIterations, opt.Seed+7); err != nil {
 			return err
 		}

@@ -21,7 +21,7 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestRegistryLookupAndList(t *testing.T) {
-	ids := []string{"table4", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "headline", "overhead", "ablation", "sweep"}
+	ids := []string{"table4", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "headline", "overhead", "ablation", "sweep", "learners"}
 	for _, id := range ids {
 		e, err := Lookup(id)
 		if err != nil {
@@ -273,6 +273,18 @@ func TestHeadlineFromSyntheticFig9(t *testing.T) {
 	}
 	if !strings.Contains(h.Render(), "38%") {
 		t.Error("render should cite the paper number")
+	}
+
+	// A non-default learner stack renames the agent's row; the headline
+	// must still find it instead of silently averaging nothing.
+	for i, p := range fig9.Points {
+		if p.Policy == "cohmeleon" {
+			fig9.Points[i].Policy = "cohmeleon-double-q-exp"
+		}
+	}
+	h2 := HeadlineFrom(fig9)
+	if h2.AvgSpeedup != h.AvgSpeedup || h2.AvgMemReduction != h.AvgMemReduction || h2.VsManualExec != h.VsManualExec {
+		t.Errorf("renamed learned policy changed the headline: %+v vs %+v", h2, h)
 	}
 }
 

@@ -96,11 +96,14 @@ func Figure6(opt Options) (*Fig6Result, error) {
 		} else {
 			w := weights[i-len(baselineMakers)]
 			mi := i - len(baselineMakers)
-			agentCfg := core.DefaultConfig()
+			agentCfg := agentConfig(opt)
 			agentCfg.Weights = w
 			agentCfg.DecayIterations = opt.Fig6TrainIterations
 			agentCfg.Seed = opt.Seed + uint64(mi)
-			agent := core.New(agentCfg)
+			agent, err := core.New(agentCfg)
+			if err != nil {
+				return err
+			}
 			if err := trainCohmeleon(cfg, agent, train, opt.Fig6TrainIterations, opt.Seed+uint64(100*mi)); err != nil {
 				return err
 			}

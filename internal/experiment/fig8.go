@@ -48,10 +48,12 @@ func Figure8(opt Options) (*Fig8Result, error) {
 	series := make([][]Fig8Point, len(opt.Fig8Schedules))
 	if err := forEachOpt(opt, len(opt.Fig8Schedules), func(si int) error {
 		schedule := opt.Fig8Schedules[si]
-		agentCfg := core.DefaultConfig()
+		agentCfg := agentConfig(opt)
 		agentCfg.DecayIterations = schedule
-		agentCfg.Seed = opt.Seed
-		agent := core.New(agentCfg)
+		agent, err := core.New(agentCfg)
+		if err != nil {
+			return err
+		}
 
 		record := func(iter int) error {
 			res, err := testPolicy(cfg, agent, test, opt.Seed+3)

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"strings"
+
 	"cohmeleon/internal/core"
 	"cohmeleon/internal/esp"
 	"cohmeleon/internal/soc"
@@ -116,6 +118,19 @@ func (r *Fig9Result) Point(socName, pol string) (Fig9Point, bool) {
 	return Fig9Point{}, false
 }
 
+// LearnedPoint returns the learned-policy measurement for a SoC,
+// whatever learner stack it ran under: the agent reports as
+// "cohmeleon" for the default stack and "cohmeleon-<algo>-<sched>"
+// otherwise, and the headline must aggregate either.
+func (r *Fig9Result) LearnedPoint(socName string) (Fig9Point, bool) {
+	for _, p := range r.Points {
+		if p.SoC == socName && strings.HasPrefix(p.Policy, "cohmeleon") {
+			return p, true
+		}
+	}
+	return Fig9Point{}, false
+}
+
 // SoCs returns the configuration names in order.
 func (r *Fig9Result) SoCs() []string {
 	seen := map[string]bool{}
@@ -176,7 +191,7 @@ func Headline(opt Options) (*HeadlineResult, error) {
 func HeadlineFrom(fig9 *Fig9Result) *HeadlineResult {
 	var speedups, reductions, vsManual []float64
 	for _, socName := range fig9.SoCs() {
-		cohm, ok := fig9.Point(socName, "cohmeleon")
+		cohm, ok := fig9.LearnedPoint(socName)
 		if !ok {
 			continue
 		}

@@ -186,6 +186,21 @@ func isolatedInvocation(cfg *soc.Config, instName string, bytes int64, mode soc.
 	return out
 }
 
+// agentConfig is the shared agent setup: the paper's defaults scaled
+// to the option's training length and seed, with the learner stack
+// (algorithm and schedule seams) taken from the options so -learner
+// and -schedule reach every experiment that trains an agent. Empty
+// stack names keep the paper's default, which is byte-identical to the
+// pre-refactor agent.
+func agentConfig(opt Options) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.DecayIterations = opt.TrainIterations
+	cfg.Seed = opt.Seed
+	cfg.Learner = opt.Learner
+	cfg.Schedule = opt.Schedule
+	return cfg
+}
+
 // policySet builds the paper's eight policies for one SoC, training
 // Cohmeleon and profiling the heterogeneous baseline. The training and
 // test applications differ (different generator seeds). Training and
@@ -197,11 +212,12 @@ func policySet(cfg *soc.Config, opt Options, weights core.RewardWeights) ([]esp.
 	if err != nil {
 		return nil, err
 	}
-	agentCfg := core.DefaultConfig()
+	agentCfg := agentConfig(opt)
 	agentCfg.Weights = weights
-	agentCfg.DecayIterations = opt.TrainIterations
-	agentCfg.Seed = opt.Seed
-	agent := core.New(agentCfg)
+	agent, err := core.New(agentCfg)
+	if err != nil {
+		return nil, err
+	}
 	var het *policy.FixedHeterogeneous
 	if err := forEachOpt(opt, 2, func(i int) error {
 		if i == 0 {

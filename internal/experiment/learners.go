@@ -1,0 +1,239 @@
+package experiment
+
+import (
+	"fmt"
+
+	"cohmeleon/internal/core"
+	"cohmeleon/internal/learn"
+	"cohmeleon/internal/policy"
+	"cohmeleon/internal/scenario"
+	"cohmeleon/internal/soc"
+	"cohmeleon/internal/stats"
+	"cohmeleon/internal/workload"
+)
+
+// The learners experiment is the comparison the pluggable engine
+// exists for: the same randomized scenario grid the sweep uses, but
+// instead of racing Cohmeleon against the paper's fixed baselines it
+// races learner stacks against each other — every curated (algorithm ×
+// schedule) combination trains and is evaluated frozen on each
+// scenario, normalized to the fixed non-coherent-DMA baseline, with a
+// per-stack geomean aggregate and the decision mix of the frozen test
+// runs. The "q+linear" row is the paper's agent and doubles as the
+// reference point.
+
+// LearnerStack names one (algorithm, schedule) combination.
+type LearnerStack struct {
+	Algorithm string
+	Schedule  string
+}
+
+// Label is the stack's report name.
+func (ls LearnerStack) Label() string { return ls.Algorithm + "+" + ls.Schedule }
+
+// LearnerGrid returns the curated comparison grid: all four algorithms,
+// each under the schedules where the combination is informative (UCB1's
+// exploration is count-based, so only the update gating differs across
+// its schedules and one entry suffices; the constant schedule is the
+// no-decay ablation and rides along with the default algorithm).
+func LearnerGrid() []LearnerStack {
+	return []LearnerStack{
+		{"q", "linear"}, // the paper's stack
+		{"q", "exp"},
+		{"q", "const"},
+		{"double-q", "linear"},
+		{"double-q", "exp"},
+		{"ucb1", "linear"},
+		{"boltzmann", "linear"},
+		{"boltzmann", "exp"},
+	}
+}
+
+// stacksFor resolves the grid against the options: with no stack
+// override the full curated grid runs; -learner/-schedule narrow it to
+// the matching entries, and an uncurated (but valid) combination runs
+// as a single-stack grid, so the flags are never a silent no-op here.
+func stacksFor(opt Options) []LearnerStack {
+	if opt.Learner == "" && opt.Schedule == "" {
+		return LearnerGrid()
+	}
+	var out []LearnerStack
+	for _, st := range LearnerGrid() {
+		if (opt.Learner == "" || st.Algorithm == opt.Learner) &&
+			(opt.Schedule == "" || st.Schedule == opt.Schedule) {
+			out = append(out, st)
+		}
+	}
+	if len(out) == 0 {
+		algo, sched := opt.Learner, opt.Schedule
+		if algo == "" {
+			algo = learn.DefaultAlgorithm
+		}
+		if sched == "" {
+			sched = learn.DefaultSchedule
+		}
+		out = []LearnerStack{{Algorithm: algo, Schedule: sched}}
+	}
+	return out
+}
+
+// LearnerRow is one stack's aggregate across all scenarios.
+type LearnerRow struct {
+	Stack    string
+	NormExec float64
+	NormMem  float64
+	// DecisionShare is the mode mix of the frozen test runs, in percent
+	// of all invocations across scenarios.
+	DecisionShare [soc.NumModes]float64
+}
+
+// LearnersResult is the learner-comparison artifact.
+type LearnersResult struct {
+	Scenarios []SweepScenarioInfo
+	Rows      []LearnerRow
+}
+
+// learnerCell is one (scenario, stack) measurement, collected by index.
+type learnerCell struct {
+	exec, mem float64
+	decisions [soc.NumModes]int64
+}
+
+// Learners runs the (learner stack × scenario) grid. Baselines fan out
+// per scenario, then every (scenario, stack) trial fans out
+// independently — each owns its agent and seeds derived from the
+// scenario, so results collected by index aggregate byte-identically
+// for any worker count.
+func Learners(opt Options) (*LearnersResult, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	spec := scenario.DefaultSpec()
+	spec.MinInvocations = opt.MinInvocations
+	scens, err := scenario.Sample(spec, opt.LearnerScenarios, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	stacks := stacksFor(opt)
+
+	// Stage 1: per scenario, generate the (deterministic) training and
+	// test applications once — every stack reuses them read-only, like
+	// fig7's concurrent trials share one test app — and run the
+	// normalization baseline.
+	type prep struct {
+		train, test *workload.App
+		baseline    *workload.AppResult
+	}
+	preps := make([]prep, len(scens))
+	if err := forEachOpt(opt, len(scens), func(i int) error {
+		sc := scens[i]
+		train, err := sc.App(1000)
+		if err != nil {
+			return err
+		}
+		test, err := sc.App(2000)
+		if err != nil {
+			return err
+		}
+		baseline, err := runApp(sc.Cfg, policy.NewFixed(soc.NonCohDMA), test, sc.Seed+3)
+		preps[i] = prep{train: train, test: test, baseline: baseline}
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Stage 2: the full grid. Seeds mirror the sweep's per-scenario
+	// derivation, so the "q+linear" row of a 1-scenario run matches the
+	// sweep's "cohmeleon" measurement on the same scenario.
+	cells := make([]learnerCell, len(scens)*len(stacks))
+	if err := forEachOpt(opt, len(cells), func(i int) error {
+		si, ki := i/len(stacks), i%len(stacks)
+		sc, st := scens[si], stacks[ki]
+		train, test := preps[si].train, preps[si].test
+		agentCfg := agentConfig(opt)
+		agentCfg.Seed = opt.Seed + sc.Seed
+		agentCfg.Learner = st.Algorithm
+		agentCfg.Schedule = st.Schedule
+		agent, err := core.New(agentCfg)
+		if err != nil {
+			return err
+		}
+		if err := trainCohmeleon(sc.Cfg, agent, train, opt.TrainIterations, sc.Seed+7); err != nil {
+			return fmt.Errorf("%s: %s: training: %w", sc.Cfg.Name, st.Label(), err)
+		}
+		agent.ResetDecisions()
+		res, err := testPolicy(sc.Cfg, agent, test, sc.Seed+3)
+		if err != nil {
+			return fmt.Errorf("%s: %s: %w", sc.Cfg.Name, st.Label(), err)
+		}
+		exec, mem := geoNormalized(res, preps[si].baseline)
+		cells[i] = learnerCell{exec: exec, mem: mem, decisions: agent.Decisions()}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	out := &LearnersResult{}
+	for ki, st := range stacks {
+		execs := make([]float64, len(scens))
+		mems := make([]float64, len(scens))
+		var decisions [soc.NumModes]int64
+		var total int64
+		for si := range scens {
+			c := cells[si*len(stacks)+ki]
+			execs[si], mems[si] = c.exec, c.mem
+			for m, n := range c.decisions {
+				decisions[m] += n
+				total += n
+			}
+		}
+		row := LearnerRow{
+			Stack:    st.Label(),
+			NormExec: stats.GeoMean(execs),
+			NormMem:  stats.GeoMean(mems),
+		}
+		if total > 0 {
+			for m := range decisions {
+				row.DecisionShare[m] = 100 * float64(decisions[m]) / float64(total)
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	for si := range scens {
+		sc := scens[si]
+		out.Scenarios = append(out.Scenarios, SweepScenarioInfo{
+			Name:  sc.Cfg.Name,
+			MeshW: sc.Cfg.MeshW, MeshH: sc.Cfg.MeshH,
+			CPUs: sc.Cfg.CPUs, MemTiles: sc.Cfg.MemTiles,
+			LLCSliceKB: sc.Cfg.LLCSliceKB, L2KB: sc.Cfg.L2KB,
+			Accs: len(sc.Cfg.Accs),
+		})
+	}
+	return out, nil
+}
+
+// Row returns the aggregate for a stack label.
+func (r *LearnersResult) Row(stack string) (LearnerRow, bool) {
+	for _, row := range r.Rows {
+		if row.Stack == stack {
+			return row, true
+		}
+	}
+	return LearnerRow{}, false
+}
+
+// Render formats the per-stack aggregate.
+func (r *LearnersResult) Render() string {
+	t := &Table{
+		Title: fmt.Sprintf("Learners — %d stacks × %d randomized scenarios (geomean, normalized to fixed-non-coh-dma)",
+			len(r.Rows), len(r.Scenarios)),
+		Header: []string{"stack", "norm exec", "norm off-chip", "non-coh%", "llc-coh%", "coh-dma%", "full-coh%"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Stack, f2(row.NormExec), f2(row.NormMem),
+			f1(row.DecisionShare[soc.NonCohDMA]), f1(row.DecisionShare[soc.LLCCohDMA]),
+			f1(row.DecisionShare[soc.CohDMA]), f1(row.DecisionShare[soc.FullyCoh]))
+	}
+	t.AddNote("q+linear is the paper's agent; decision mix is from the frozen test runs")
+	return t.Render()
+}

@@ -1,0 +1,137 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"cohmeleon/internal/learn"
+)
+
+// learnerTestOptions is the smallest grid that still runs every stack.
+func learnerTestOptions() Options {
+	opt := Tiny()
+	opt.LearnerScenarios = 2
+	return opt
+}
+
+func TestLearnerGridCoversAlgorithmsAndSchedules(t *testing.T) {
+	algos := map[string]bool{}
+	scheds := map[string]bool{}
+	for _, st := range LearnerGrid() {
+		if _, err := learn.NewAlgorithm(st.Algorithm); err != nil {
+			t.Fatalf("grid entry %s: %v", st.Label(), err)
+		}
+		if _, err := learn.NewSchedule(st.Schedule, learn.ScheduleParams{
+			Epsilon0: 0.5, Alpha0: 0.25, DecayIterations: 2,
+		}); err != nil {
+			t.Fatalf("grid entry %s: %v", st.Label(), err)
+		}
+		algos[st.Algorithm] = true
+		scheds[st.Schedule] = true
+	}
+	// Acceptance floor: ≥ 3 algorithms × ≥ 2 schedules over the grid.
+	if len(algos) < 3 {
+		t.Fatalf("grid exercises %d algorithms, want ≥ 3", len(algos))
+	}
+	if len(scheds) < 2 {
+		t.Fatalf("grid exercises %d schedules, want ≥ 2", len(scheds))
+	}
+	if LearnerGrid()[0].Label() != "q+linear" {
+		t.Fatal("the paper's stack must lead the grid")
+	}
+}
+
+func TestLearnersRunsEveryStack(t *testing.T) {
+	res, err := Learners(learnerTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 2 {
+		t.Fatalf("ran %d scenarios, want 2", len(res.Scenarios))
+	}
+	for _, st := range LearnerGrid() {
+		row, ok := res.Row(st.Label())
+		if !ok {
+			t.Fatalf("stack %s missing from the report", st.Label())
+		}
+		if row.NormExec <= 0 || row.NormMem < 0 {
+			t.Fatalf("stack %s has degenerate aggregates: %+v", st.Label(), row)
+		}
+		var share float64
+		for _, p := range row.DecisionShare {
+			share += p
+		}
+		if share < 99.9 || share > 100.1 {
+			t.Fatalf("stack %s decision shares sum to %.2f", st.Label(), share)
+		}
+	}
+	rendered := res.Render()
+	for _, st := range LearnerGrid() {
+		if !strings.Contains(rendered, st.Label()) {
+			t.Fatalf("render misses stack %s", st.Label())
+		}
+	}
+}
+
+// TestLearnersDeterministicAcrossWorkers is the acceptance check: the
+// learners report must be byte-identical whether trials run
+// sequentially or on a full worker pool.
+func TestLearnersDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		opt := learnerTestOptions()
+		opt.Workers = workers
+		res, err := Learners(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Render()
+	}
+	seq := render(1)
+	par := render(8)
+	if seq != par {
+		t.Fatalf("learners report differs between workers=1 and workers=8\n%s", diffAt(par, seq))
+	}
+}
+
+// TestLearnersHonorsStackOverride: -learner/-schedule narrow the grid
+// instead of being silently ignored; an uncurated combination runs as
+// a single stack.
+func TestLearnersHonorsStackOverride(t *testing.T) {
+	opt := learnerTestOptions()
+	opt.Learner = "boltzmann"
+	res, err := Learners(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("boltzmann override ran %d stacks, want its 2 curated entries", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !strings.HasPrefix(row.Stack, "boltzmann+") {
+			t.Fatalf("override leaked stack %s", row.Stack)
+		}
+	}
+
+	opt.Schedule = "const" // boltzmann+const is valid but not curated
+	res, err = Learners(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Stack != "boltzmann+const" {
+		t.Fatalf("uncurated combination ran %v, want the single requested stack", res.Rows)
+	}
+}
+
+func TestLearnersRegistered(t *testing.T) {
+	e, err := Lookup("learners")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Run(learnerTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Render(), "q+linear") {
+		t.Fatal("registry-run learners report misses the reference stack")
+	}
+}

@@ -1,6 +1,10 @@
 package experiment
 
-import "fmt"
+import (
+	"fmt"
+
+	"cohmeleon/internal/learn"
+)
 
 // Options scales the experiments. Defaults reproduce the paper's
 // protocol; Quick returns a reduced configuration for tests and
@@ -44,6 +48,16 @@ type Options struct {
 	// Q-table from this file frozen on every scenario, reported as
 	// "cohmeleon-transfer" — the train-on-A/test-on-B workflow.
 	QTableLoad string
+	// Learner selects the agent's algorithm seam by learn-registry name
+	// for every experiment that trains a Cohmeleon agent; empty keeps
+	// the paper's tabular Q-learning ("q").
+	Learner string
+	// Schedule selects the agent's ε/α trajectory by learn-registry
+	// name; empty keeps the paper's linear decay ("linear").
+	Schedule string
+	// LearnerScenarios is the number of randomized scenarios the
+	// learners experiment runs its (algorithm × schedule) grid over.
+	LearnerScenarios int
 }
 
 // Validate reports option errors before any experiment spends cycles
@@ -62,6 +76,16 @@ func (o Options) Validate() error {
 		return fmt.Errorf("experiment: min invocations %d must be ≥ 1", o.MinInvocations)
 	case o.SweepScenarios < 1:
 		return fmt.Errorf("experiment: sweep scenarios %d must be ≥ 1", o.SweepScenarios)
+	case o.LearnerScenarios < 1:
+		return fmt.Errorf("experiment: learner scenarios %d must be ≥ 1", o.LearnerScenarios)
+	}
+	if _, err := learn.NewAlgorithm(o.Learner); err != nil {
+		return err
+	}
+	if _, err := learn.NewSchedule(o.Schedule, learn.ScheduleParams{
+		Epsilon0: 0.5, Alpha0: 0.25, DecayIterations: 1,
+	}); err != nil {
+		return err
 	}
 	return nil
 }
@@ -77,6 +101,7 @@ func Default() Options {
 		Fig6TrainIterations: 50,
 		Fig8Schedules:       []int{10, 30, 50},
 		SweepScenarios:      64,
+		LearnerScenarios:    12,
 	}
 }
 
@@ -93,6 +118,7 @@ func Quick() Options {
 		Fig6TrainIterations: 5,
 		Fig8Schedules:       []int{4, 8},
 		SweepScenarios:      64,
+		LearnerScenarios:    6,
 	}
 }
 
@@ -107,5 +133,6 @@ func Tiny() Options {
 		Fig6TrainIterations: 2,
 		Fig8Schedules:       []int{2},
 		SweepScenarios:      4,
+		LearnerScenarios:    3,
 	}
 }

@@ -35,7 +35,10 @@ func Overhead(opt Options) (*OverheadResult, error) {
 	points := make([]OverheadPoint, len(footprints))
 	if err := forEachOpt(opt, len(footprints), func(i int) error {
 		kb := footprints[i]
-		agent := core.New(agentCfg)
+		agent, err := core.New(agentCfg)
+		if err != nil {
+			return err
+		}
 		agent.Freeze()
 		s := mustBuild(cfg)
 		sys := esp.NewSystem(s, agent)

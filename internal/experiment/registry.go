@@ -66,6 +66,10 @@ var registry = map[string]Entry{
 		ID: "sweep", Title: "Sweep: randomized scenario grid with Q-table transfer",
 		Run: func(o Options) (Report, error) { return Sweep(o) },
 	},
+	"learners": {
+		ID: "learners", Title: "Learners: algorithm × schedule grid over randomized scenarios",
+		Run: func(o Options) (Report, error) { return Learners(o) },
+	},
 }
 
 // IDs returns all experiment IDs sorted.

@@ -5,6 +5,7 @@ import (
 
 	"cohmeleon/internal/core"
 	"cohmeleon/internal/esp"
+	"cohmeleon/internal/learn"
 	"cohmeleon/internal/policy"
 	"cohmeleon/internal/scenario"
 	"cohmeleon/internal/soc"
@@ -35,7 +36,7 @@ type sweepPerScenario struct {
 	names []string  // policy names, roster order
 	execs []float64 // per policy, geomean over phases vs baseline
 	mems  []float64
-	table *core.QTable // the trained agent's table
+	state *learn.TabularState // the trained agent's full learner state
 }
 
 // SweepScenarioInfo summarizes one sampled scenario for the report.
@@ -98,12 +99,17 @@ func (r renamedPolicy) Frozen() bool {
 
 // sweepPolicies builds one scenario's policy roster. The first entry is
 // the normalization baseline. loaded, when non-nil, contributes a
-// frozen pre-trained agent evaluated without further learning.
-func sweepPolicies(sc scenario.Scenario, opt Options, loaded *core.QTable) ([]esp.Policy, *core.Cohmeleon) {
-	agentCfg := core.DefaultConfig()
-	agentCfg.DecayIterations = opt.TrainIterations
+// frozen pre-trained agent evaluated without further learning. The
+// trained agent's learner stack follows the options (-learner,
+// -schedule); the transfer agent adopts whatever algorithm the loaded
+// state was trained with (a PR-3-era file restores as "q").
+func sweepPolicies(sc scenario.Scenario, opt Options, loaded *learn.TabularState) ([]esp.Policy, *core.Cohmeleon, error) {
+	agentCfg := agentConfig(opt)
 	agentCfg.Seed = opt.Seed + sc.Seed
-	agent := core.New(agentCfg)
+	agent, err := core.New(agentCfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	pols := []esp.Policy{
 		policy.NewFixed(soc.NonCohDMA),
 		policy.NewFixed(soc.LLCCohDMA),
@@ -116,19 +122,24 @@ func sweepPolicies(sc scenario.Scenario, opt Options, loaded *core.QTable) ([]es
 	if loaded != nil {
 		transferCfg := core.DefaultConfig()
 		transferCfg.Seed = opt.Seed + sc.Seed
-		transfer := core.New(transferCfg)
-		transfer.SetTable(loaded.Clone())
+		transfer, err := core.New(transferCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := transfer.SetLearnerState(loaded); err != nil {
+			return nil, nil, err
+		}
 		transfer.Freeze()
 		pols = append(pols, renamedPolicy{Policy: transfer, name: "cohmeleon-transfer"})
 	}
-	return pols, agent
+	return pols, agent, nil
 }
 
 // sweepScenario trains and measures one scenario: the agent learns on
 // the scenario's training application, then every policy runs the test
 // application on a fresh SoC. All seeds derive from the scenario, so
 // the outcome is independent of which worker runs it.
-func sweepScenario(sc scenario.Scenario, opt Options, loaded *core.QTable) (sweepPerScenario, error) {
+func sweepScenario(sc scenario.Scenario, opt Options, loaded *learn.TabularState) (sweepPerScenario, error) {
 	out := sweepPerScenario{}
 	train, err := sc.App(1000)
 	if err != nil {
@@ -138,7 +149,10 @@ func sweepScenario(sc scenario.Scenario, opt Options, loaded *core.QTable) (swee
 	if err != nil {
 		return out, err
 	}
-	pols, agent := sweepPolicies(sc, opt, loaded)
+	pols, agent, err := sweepPolicies(sc, opt, loaded)
+	if err != nil {
+		return out, err
+	}
 	if err := trainCohmeleon(sc.Cfg, agent, train, opt.TrainIterations, sc.Seed+7); err != nil {
 		return out, fmt.Errorf("%s: training: %w", sc.Cfg.Name, err)
 	}
@@ -157,7 +171,7 @@ func sweepScenario(sc scenario.Scenario, opt Options, loaded *core.QTable) (swee
 		out.execs = append(out.execs, exec)
 		out.mems = append(out.mems, mem)
 	}
-	out.table = agent.Table()
+	out.state = agent.LearnerState()
 	out.info = SweepScenarioInfo{
 		Name:  sc.Cfg.Name,
 		MeshW: sc.Cfg.MeshW, MeshH: sc.Cfg.MeshH,
@@ -177,13 +191,13 @@ func Sweep(opt Options) (*SweepResult, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
-	var loaded *core.QTable
+	var loaded *learn.TabularState
 	if opt.QTableLoad != "" {
-		t, err := core.LoadTableFile(opt.QTableLoad)
+		st, err := learn.LoadStateFile(opt.QTableLoad)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: loading Q-table: %w", err)
+			return nil, fmt.Errorf("sweep: loading learner state: %w", err)
 		}
-		loaded = t
+		loaded = st
 	}
 
 	spec := scenario.DefaultSpec()
@@ -226,20 +240,24 @@ func Sweep(opt Options) (*SweepResult, error) {
 
 	if loaded != nil {
 		out.Notes = append(out.Notes, fmt.Sprintf(
-			"cohmeleon-transfer evaluates the table from %s frozen (no training on these scenarios)", opt.QTableLoad))
+			"cohmeleon-transfer evaluates the %s state from %s frozen (no training on these scenarios)",
+			loaded.Algo, opt.QTableLoad))
 	}
 	if opt.QTableSave != "" {
-		tables := make([]*core.QTable, len(perScenario))
+		states := make([]*learn.TabularState, len(perScenario))
 		for si := range perScenario {
-			tables[si] = perScenario[si].table
+			states[si] = perScenario[si].state
 		}
-		merged := core.MergeTables(tables)
-		if err := merged.SaveFile(opt.QTableSave); err != nil {
-			return nil, fmt.Errorf("sweep: saving Q-table: %w", err)
+		merged, err := learn.MergeStates(states)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: merging learner states: %w", err)
+		}
+		if err := learn.SaveStateFile(opt.QTableSave, merged); err != nil {
+			return nil, fmt.Errorf("sweep: saving learner state: %w", err)
 		}
 		out.Notes = append(out.Notes, fmt.Sprintf(
-			"merged Q-table (%d visits from %d scenarios) saved to %s",
-			merged.TotalVisits(), len(perScenario), opt.QTableSave))
+			"merged %s learner state (%d visits from %d scenarios) saved to %s",
+			merged.Algo, merged.TotalVisits(), len(perScenario), opt.QTableSave))
 	}
 	return out, nil
 }

@@ -112,6 +112,9 @@ func TestOptionsValidate(t *testing.T) {
 		{"zero-train-iterations", func(o *Options) { o.TrainIterations = 0 }},
 		{"zero-min-invocations", func(o *Options) { o.MinInvocations = 0 }},
 		{"zero-sweep-scenarios", func(o *Options) { o.SweepScenarios = 0 }},
+		{"zero-learner-scenarios", func(o *Options) { o.LearnerScenarios = 0 }},
+		{"unknown-learner", func(o *Options) { o.Learner = "sarsa" }},
+		{"unknown-schedule", func(o *Options) { o.Schedule = "cosine" }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,233 @@
+package learn
+
+import (
+	"math"
+
+	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc"
+)
+
+// EpsilonGreedyQ is the paper's algorithm: tabular Q-learning with
+// ε-greedy selection and the exponential-moving-average update rule.
+// Its RNG draw order — one Float64 per training decision, one Intn per
+// exploration — is pinned by the golden regression tests: under the
+// default stack the composed agent must stay byte-identical to the
+// pre-refactor implementation.
+type EpsilonGreedyQ struct {
+	table *QTable
+}
+
+// NewEpsilonGreedyQ returns an untrained tabular Q-learner.
+func NewEpsilonGreedyQ() *EpsilonGreedyQ { return &EpsilonGreedyQ{table: NewQTable()} }
+
+// Name implements Algorithm.
+func (a *EpsilonGreedyQ) Name() string { return "q" }
+
+// Decide implements Algorithm: ε-greedy selection over the Q-table.
+func (a *EpsilonGreedyQ) Decide(rng *sim.RNG, s State, available []soc.Mode, epsilon float64) soc.Mode {
+	if rng.Float64() < epsilon {
+		return available[rng.Intn(len(available))]
+	}
+	return a.table.Best(s, available)
+}
+
+// Exploit implements Algorithm.
+func (a *EpsilonGreedyQ) Exploit(s State, available []soc.Mode) soc.Mode {
+	return a.table.Best(s, available)
+}
+
+// Update implements Algorithm: Q(s,a) ← (1−α)·Q(s,a) + α·R.
+func (a *EpsilonGreedyQ) Update(_ *sim.RNG, s State, m soc.Mode, reward, alpha float64) {
+	a.table.Update(s, m, reward, alpha)
+}
+
+// Tables implements Algorithm.
+func (a *EpsilonGreedyQ) Tables() []NamedTable { return []NamedTable{{Name: "q", Table: a.table}} }
+
+// SetPrimary implements Algorithm.
+func (a *EpsilonGreedyQ) SetPrimary(t *QTable) { a.table = t }
+
+// DoubleQ damps the maximization bias of single-table Q-learning (van
+// Hasselt): it keeps two tables A and B, selects greedily over their
+// sum, and on each update flips a coin to decide which table absorbs
+// the reward. With this repository's bandit-style updates (the target
+// is the immediate reward, no bootstrapped next-state term) the scheme
+// reduces to averaging two half-rate estimators, which still halves the
+// upward bias a noisy maximum inflicts on action selection.
+type DoubleQ struct {
+	a, b *QTable
+}
+
+// NewDoubleQ returns an untrained double Q-learner.
+func NewDoubleQ() *DoubleQ { return &DoubleQ{a: NewQTable(), b: NewQTable()} }
+
+// Name implements Algorithm.
+func (d *DoubleQ) Name() string { return "double-q" }
+
+// bestSum returns the available mode maximizing A+B, ties resolving in
+// mode order like QTable.Best.
+func (d *DoubleQ) bestSum(s State, available []soc.Mode) soc.Mode {
+	best := available[0]
+	bv := d.a.Q(s, best) + d.b.Q(s, best)
+	for _, m := range available[1:] {
+		if v := d.a.Q(s, m) + d.b.Q(s, m); v > bv {
+			best, bv = m, v
+		}
+	}
+	return best
+}
+
+// Decide implements Algorithm: ε-greedy over the summed tables.
+func (d *DoubleQ) Decide(rng *sim.RNG, s State, available []soc.Mode, epsilon float64) soc.Mode {
+	if rng.Float64() < epsilon {
+		return available[rng.Intn(len(available))]
+	}
+	return d.bestSum(s, available)
+}
+
+// Exploit implements Algorithm.
+func (d *DoubleQ) Exploit(s State, available []soc.Mode) soc.Mode {
+	return d.bestSum(s, available)
+}
+
+// Update implements Algorithm: a fair coin picks the table to update.
+func (d *DoubleQ) Update(rng *sim.RNG, s State, m soc.Mode, reward, alpha float64) {
+	if rng.Float64() < 0.5 {
+		d.a.Update(s, m, reward, alpha)
+	} else {
+		d.b.Update(s, m, reward, alpha)
+	}
+}
+
+// Tables implements Algorithm.
+func (d *DoubleQ) Tables() []NamedTable {
+	return []NamedTable{{Name: "a", Table: d.a}, {Name: "b", Table: d.b}}
+}
+
+// SetPrimary implements Algorithm: the restored table becomes A and B
+// resets, so Exploit's A+B argmax equals the restored table's argmax.
+func (d *DoubleQ) SetPrimary(t *QTable) { d.a, d.b = t, NewQTable() }
+
+// ucbC is UCB1's exploration constant: √2 matches the classic bound for
+// rewards in [0, 1], which is exactly this repository's reward range.
+const ucbC = math.Sqrt2
+
+// UCB1 replaces randomized exploration with count-based optimism: every
+// untried (state, mode) is tried once (in mode order), after which the
+// algorithm picks argmax Q + √2·√(ln N / n) where N is the state's
+// total play count and n the arm's. Decisions consume no RNG draws and
+// the value estimate is the running mean of observed rewards (the
+// schedule's ε/α trajectories only gate whether updates happen at all).
+type UCB1 struct {
+	table *QTable
+}
+
+// NewUCB1 returns an untrained UCB1 learner.
+func NewUCB1() *UCB1 { return &UCB1{table: NewQTable()} }
+
+// Name implements Algorithm.
+func (u *UCB1) Name() string { return "ucb1" }
+
+// Decide implements Algorithm: optimism in the face of uncertainty.
+func (u *UCB1) Decide(_ *sim.RNG, s State, available []soc.Mode, _ float64) soc.Mode {
+	var total int64
+	for _, m := range available {
+		n := u.table.Visits(s, m)
+		if n == 0 {
+			return m // every arm plays once before any bound applies
+		}
+		total += n
+	}
+	logN := math.Log(float64(total))
+	best := available[0]
+	bv := u.table.Q(s, best) + ucbC*math.Sqrt(logN/float64(u.table.Visits(s, best)))
+	for _, m := range available[1:] {
+		if v := u.table.Q(s, m) + ucbC*math.Sqrt(logN/float64(u.table.Visits(s, m))); v > bv {
+			best, bv = m, v
+		}
+	}
+	return best
+}
+
+// Exploit implements Algorithm: greedy on the mean-reward estimates.
+func (u *UCB1) Exploit(s State, available []soc.Mode) soc.Mode {
+	return u.table.Best(s, available)
+}
+
+// Update implements Algorithm: incremental running mean.
+func (u *UCB1) Update(_ *sim.RNG, s State, m soc.Mode, reward, _ float64) {
+	u.table.UpdateMean(s, m, reward)
+}
+
+// Tables implements Algorithm.
+func (u *UCB1) Tables() []NamedTable { return []NamedTable{{Name: "ucb1", Table: u.table}} }
+
+// SetPrimary implements Algorithm.
+func (u *UCB1) SetPrimary(t *QTable) { u.table = t }
+
+// boltzmannMinTemp is the temperature below which softmax selection
+// degenerates to greedy: exp() ratios overflow long before this, and a
+// fully decayed schedule hands in exactly zero.
+const boltzmannMinTemp = 1e-6
+
+// Boltzmann selects modes with probability ∝ exp(Q(s,a)/τ): all modes
+// stay reachable but better-valued ones are preferred smoothly, unlike
+// ε-greedy's all-or-nothing split. The schedule's ε trajectory is read
+// as the temperature τ, so the default linear decay anneals selection
+// from near-uniform (τ = ε₀) to greedy. Updates reuse the paper's EMA
+// rule. Each training decision consumes exactly one RNG draw.
+type Boltzmann struct {
+	table *QTable
+}
+
+// NewBoltzmann returns an untrained softmax learner.
+func NewBoltzmann() *Boltzmann { return &Boltzmann{table: NewQTable()} }
+
+// Name implements Algorithm.
+func (b *Boltzmann) Name() string { return "boltzmann" }
+
+// Decide implements Algorithm: sample from the softmax distribution.
+func (b *Boltzmann) Decide(rng *sim.RNG, s State, available []soc.Mode, epsilon float64) soc.Mode {
+	tau := epsilon
+	if tau <= boltzmannMinTemp {
+		return b.table.Best(s, available)
+	}
+	// Subtract the max before exponentiating so weights stay in (0, 1].
+	maxQ := b.table.Q(s, available[0])
+	for _, m := range available[1:] {
+		if q := b.table.Q(s, m); q > maxQ {
+			maxQ = q
+		}
+	}
+	var weights [soc.NumModes]float64
+	var sum float64
+	for i, m := range available {
+		w := math.Exp((b.table.Q(s, m) - maxQ) / tau)
+		weights[i] = w
+		sum += w
+	}
+	draw := rng.Float64() * sum
+	for i, m := range available {
+		draw -= weights[i]
+		if draw < 0 {
+			return m
+		}
+	}
+	return available[len(available)-1] // float round-off: the draw exhausted the mass
+}
+
+// Exploit implements Algorithm.
+func (b *Boltzmann) Exploit(s State, available []soc.Mode) soc.Mode {
+	return b.table.Best(s, available)
+}
+
+// Update implements Algorithm: Q(s,a) ← (1−α)·Q(s,a) + α·R.
+func (b *Boltzmann) Update(_ *sim.RNG, s State, m soc.Mode, reward, alpha float64) {
+	b.table.Update(s, m, reward, alpha)
+}
+
+// Tables implements Algorithm.
+func (b *Boltzmann) Tables() []NamedTable { return []NamedTable{{Name: "boltzmann", Table: b.table}} }
+
+// SetPrimary implements Algorithm.
+func (b *Boltzmann) SetPrimary(t *QTable) { b.table = t }

@@ -1,0 +1,59 @@
+package learn
+
+import (
+	"testing"
+
+	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc"
+)
+
+// benchAlgorithm returns a lightly trained instance so Decide walks
+// realistic table contents rather than all-zero ties.
+func benchAlgorithm(b *testing.B, name string) Algorithm {
+	b.Helper()
+	a, err := NewAlgorithm(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(77)
+	for i := 0; i < 4*NumStates; i++ {
+		s := State(i % NumStates)
+		m := a.Decide(rng, s, soc.AllModes[:], 0.5)
+		a.Update(rng, s, m, float64(i%23)/23, 0.25)
+	}
+	return a
+}
+
+// BenchmarkLearnerDecide measures one training decision plus its update
+// for every registered algorithm — the learner-side cost an invocation
+// pays on top of the simulator work. The default ("q") sub-benchmark is
+// the hot path the PR-2 zero-alloc discipline guards (see
+// alloc_test.go); bench.sh records allocs/op for all of them.
+func BenchmarkLearnerDecide(b *testing.B) {
+	for _, name := range AlgorithmNames() {
+		b.Run(name, func(b *testing.B) {
+			a := benchAlgorithm(b, name)
+			rng := sim.NewRNG(5)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := State(i % NumStates)
+				m := a.Decide(rng, s, soc.AllModes[:], 0.3)
+				a.Update(rng, s, m, 0.5, 0.2)
+			}
+		})
+	}
+}
+
+// BenchmarkFeaturize measures the Table-3 encoding of one context.
+func BenchmarkFeaturize(b *testing.B) {
+	e := NewEncoder()
+	ctx := ctxWith(1, 1, 0.5, 64<<10, 128<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink State
+	for i := 0; i < b.N; i++ {
+		sink = e.Featurize(ctx)
+	}
+	_ = sink
+}

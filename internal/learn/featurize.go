@@ -1,17 +1,15 @@
-// Package core implements Cohmeleon's reinforcement-learning module:
-// the Table-3 state encoding, the Q-table over 243 states × 4 coherence
-// modes, the multi-objective reward built from the hardware monitors,
-// and the ε-greedy agent with linearly decaying exploration and
-// learning rates. It plugs into the ESP software stack as an
-// esp.Policy, selecting a mode at each accelerator invocation and
-// updating its table when the invocation's evaluation arrives.
-package core
+package learn
 
 import (
 	"fmt"
+	"strings"
 
 	"cohmeleon/internal/esp"
 )
+
+// The Table-3 featurizer: five SoC-status attributes, three buckets
+// each, 3^5 = 243 states (paper §4.2). Attributes can be disabled
+// (pinned to bucket 0) for the state-ablation study.
 
 // Attribute identifies one of the five state attributes of Table 3.
 type Attribute int
@@ -51,10 +49,7 @@ const valuesPerAttribute = 3
 // NumStates is the size of the state space: 3^5 = 243 (paper §4.2).
 const NumStates = 243
 
-// State is an encoded Table-3 state in [0, NumStates).
-type State uint16
-
-// Encoder maps a sensed context to a State. Attributes can be disabled
+// Encoder is the Table-3 Featurizer. Attributes can be disabled
 // (treated as constant) for the state-ablation study; the paper's
 // encoder has all five enabled.
 type Encoder struct {
@@ -70,12 +65,29 @@ func NewAblatedEncoder(disabled ...Attribute) *Encoder {
 	e := &Encoder{}
 	for _, a := range disabled {
 		if a < 0 || a >= NumAttributes {
-			panic(fmt.Sprintf("core: bad attribute %d", a))
+			panic(fmt.Sprintf("learn: bad attribute %d", a))
 		}
 		e.disabled[a] = true
 	}
 	return e
 }
+
+// Name implements Featurizer: "table3", with any disabled attributes
+// appended ("table3-drop-acc-footprint").
+func (e *Encoder) Name() string {
+	var b strings.Builder
+	b.WriteString("table3")
+	for a := Attribute(0); a < NumAttributes; a++ {
+		if e.disabled[a] {
+			b.WriteString("-drop-")
+			b.WriteString(a.String())
+		}
+	}
+	return b.String()
+}
+
+// NumStates implements Featurizer.
+func (e *Encoder) NumStates() int { return NumStates }
 
 // bucketCount maps a (possibly averaged) count onto {0, 1, 2+}:
 // rounds to nearest and clamps.
@@ -128,11 +140,14 @@ func (e *Encoder) Encode(ctx *esp.Context) State {
 	return State(idx)
 }
 
+// Featurize implements Featurizer.
+func (e *Encoder) Featurize(ctx *esp.Context) State { return e.Encode(ctx) }
+
 // Decode expands a state index back into attribute buckets (for
 // reporting and tests).
 func Decode(s State) [NumAttributes]int {
 	if int(s) >= NumStates {
-		panic(fmt.Sprintf("core: state %d out of range", s))
+		panic(fmt.Sprintf("learn: state %d out of range", s))
 	}
 	var v [NumAttributes]int
 	idx := int(s)

@@ -1,0 +1,160 @@
+// Package learn is Cohmeleon's pluggable reinforcement-learning engine.
+// It splits the RL core into three orthogonal seams so that alternative
+// designs can be compared over the same experiment grid:
+//
+//   - Featurizer: context → discrete state. The paper's Table-3
+//     five-attribute encoder is the default implementation.
+//   - Algorithm: decide + update over (state, mode) values. The paper's
+//     tabular Q-learning with ε-greedy selection is the default; the
+//     package also ships double Q-learning (damps maximization bias),
+//     UCB1 (count-based exploration) and Boltzmann/softmax selection.
+//   - Schedule: the per-iteration ε/α trajectories. The paper's linear
+//     decay is the default, alongside exponential decay and a constant
+//     (no-decay) schedule.
+//
+// The agent in internal/core composes one implementation of each seam;
+// under the default stack (table3 + q + linear) it is byte-identical to
+// the pre-refactor single-algorithm agent, which the golden regression
+// tests in internal/experiment pin down. Algorithms and schedules are
+// registered by name so the CLI and the experiment layer can select
+// them (-learner, -schedule).
+package learn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cohmeleon/internal/esp"
+	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc"
+)
+
+// State is a discrete learner state in [0, featurizer.NumStates()).
+type State uint16
+
+// Featurizer maps a sensed invocation context to a discrete state.
+type Featurizer interface {
+	// Name identifies the featurizer in reports and persisted state.
+	Name() string
+	// NumStates is the size of the state space the featurizer maps into.
+	NumStates() int
+	// Featurize returns the state index for a context.
+	Featurize(ctx *esp.Context) State
+}
+
+// Algorithm owns the value state over (state, mode) pairs and the
+// decide/update rules. Implementations must be deterministic given the
+// RNG handed in: the agent owns a single RNG stream and the default
+// algorithm's draw order is part of the repository's golden behavior.
+type Algorithm interface {
+	// Name is the registry name ("q", "double-q", "ucb1", "boltzmann").
+	Name() string
+	// Decide selects a mode during training. epsilon is the schedule's
+	// exploration knob at the current iteration (the Boltzmann algorithm
+	// reads it as its temperature; UCB1 ignores it). Implementations may
+	// consume RNG draws.
+	Decide(rng *sim.RNG, s State, available []soc.Mode, epsilon float64) soc.Mode
+	// Exploit returns the greedy choice without exploration and without
+	// consuming RNG draws (frozen evaluation).
+	Exploit(s State, available []soc.Mode) soc.Mode
+	// Update learns from the reward of a taken (state, mode). alpha is
+	// the schedule's learning-rate knob; count-based algorithms may
+	// ignore its value (the agent already gates updates on alpha > 0).
+	Update(rng *sim.RNG, s State, m soc.Mode, reward, alpha float64)
+	// Tables exposes the algorithm's live value tables, primary first
+	// (persistence, merging, reports).
+	Tables() []NamedTable
+	// SetPrimary replaces the primary value table (restoring a trained
+	// checkpoint); any secondary tables reset to zero.
+	SetPrimary(t *QTable)
+}
+
+// NamedTable labels one of an algorithm's value tables.
+type NamedTable struct {
+	Name  string
+	Table *QTable
+}
+
+// Schedule yields the exploration and learning rates at each training
+// iteration.
+type Schedule interface {
+	// Name is the registry name ("linear", "exp", "const").
+	Name() string
+	// Epsilon is the exploration rate at a completed-iteration count.
+	Epsilon(iter int) float64
+	// Alpha is the learning rate at a completed-iteration count.
+	Alpha(iter int) float64
+}
+
+// ScheduleParams parameterize schedule construction.
+type ScheduleParams struct {
+	// Epsilon0 and Alpha0 are the initial rates.
+	Epsilon0 float64
+	Alpha0   float64
+	// DecayIterations is the horizon of the decay: linear reaches zero
+	// there, exponential reaches 5% of the initial rates.
+	DecayIterations int
+}
+
+// algorithmMakers registers algorithm constructors by name.
+var algorithmMakers = map[string]func() Algorithm{
+	"q":         func() Algorithm { return NewEpsilonGreedyQ() },
+	"double-q":  func() Algorithm { return NewDoubleQ() },
+	"ucb1":      func() Algorithm { return NewUCB1() },
+	"boltzmann": func() Algorithm { return NewBoltzmann() },
+}
+
+// scheduleMakers registers schedule constructors by name.
+var scheduleMakers = map[string]func(ScheduleParams) Schedule{
+	"linear": func(p ScheduleParams) Schedule { return NewLinear(p) },
+	"exp":    func(p ScheduleParams) Schedule { return NewExponential(p) },
+	"const":  func(p ScheduleParams) Schedule { return NewConstant(p) },
+}
+
+// DefaultAlgorithm and DefaultSchedule are the paper's stack.
+const (
+	DefaultAlgorithm = "q"
+	DefaultSchedule  = "linear"
+)
+
+// NewAlgorithm constructs a registered algorithm; the error for an
+// unknown name lists every valid one.
+func NewAlgorithm(name string) (Algorithm, error) {
+	if name == "" {
+		name = DefaultAlgorithm
+	}
+	mk, ok := algorithmMakers[name]
+	if !ok {
+		return nil, fmt.Errorf("learn: unknown algorithm %q (valid: %s)", name, strings.Join(AlgorithmNames(), ", "))
+	}
+	return mk(), nil
+}
+
+// NewSchedule constructs a registered schedule; the error for an
+// unknown name lists every valid one.
+func NewSchedule(name string, p ScheduleParams) (Schedule, error) {
+	if name == "" {
+		name = DefaultSchedule
+	}
+	mk, ok := scheduleMakers[name]
+	if !ok {
+		return nil, fmt.Errorf("learn: unknown schedule %q (valid: %s)", name, strings.Join(ScheduleNames(), ", "))
+	}
+	return mk(p), nil
+}
+
+// AlgorithmNames lists the registered algorithms, sorted.
+func AlgorithmNames() []string { return sortedKeys(algorithmMakers) }
+
+// ScheduleNames lists the registered schedules, sorted.
+func ScheduleNames() []string { return sortedKeys(scheduleMakers) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,4 +1,4 @@
-package core
+package learn
 
 import (
 	"fmt"
@@ -8,6 +8,8 @@ import (
 
 // QTable holds the expected reward of taking each coherence mode from
 // each state: 243 × 4 = 972 entries, initialized to zero (paper §4.2).
+// It is the value store shared by every tabular algorithm in this
+// package; UCB1 reuses the visit counters as its play counts.
 type QTable struct {
 	q      [NumStates][soc.NumModes]float64
 	visits [NumStates][soc.NumModes]int64
@@ -26,10 +28,17 @@ func (t *QTable) Visits(s State, m soc.Mode) int64 { return t.visits[s][m] }
 // Q(s,a) ← (1−α)·Q(s,a) + α·R.
 func (t *QTable) Update(s State, m soc.Mode, reward, alpha float64) {
 	if alpha < 0 || alpha > 1 {
-		panic(fmt.Sprintf("core: learning rate %g outside [0,1]", alpha))
+		panic(fmt.Sprintf("learn: learning rate %g outside [0,1]", alpha))
 	}
 	t.q[s][m] = (1-alpha)*t.q[s][m] + alpha*reward
 	t.visits[s][m]++
+}
+
+// UpdateMean applies the incremental running-mean rule used by the
+// count-based algorithms: Q(s,a) ← Q(s,a) + (R − Q(s,a))/n.
+func (t *QTable) UpdateMean(s State, m soc.Mode, reward float64) {
+	t.visits[s][m]++
+	t.q[s][m] += (reward - t.q[s][m]) / float64(t.visits[s][m])
 }
 
 // Best returns the available mode with the highest Q-value from s; ties
@@ -37,7 +46,7 @@ func (t *QTable) Update(s State, m soc.Mode, reward, alpha float64) {
 // coherence (non-coherent DMA first).
 func (t *QTable) Best(s State, available []soc.Mode) soc.Mode {
 	if len(available) == 0 {
-		panic("core: Best with no available modes")
+		panic("learn: Best with no available modes")
 	}
 	best := available[0]
 	for _, m := range available[1:] {

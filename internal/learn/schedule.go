@@ -1,0 +1,84 @@
+package learn
+
+import "math"
+
+// Linear is the paper's schedule: ε and α decay linearly from their
+// initial values to zero over DecayIterations. The arithmetic mirrors
+// the pre-refactor agent exactly (factor first, then scale), so the
+// default stack's floating-point trajectory is bit-identical.
+type Linear struct {
+	p ScheduleParams
+}
+
+// NewLinear returns the paper's linear-decay schedule.
+func NewLinear(p ScheduleParams) *Linear { return &Linear{p: p} }
+
+// Name implements Schedule.
+func (l *Linear) Name() string { return "linear" }
+
+// factor is the remaining fraction of the initial rates: 1 at iteration
+// 0, 0 from DecayIterations on.
+func (l *Linear) factor(iter int) float64 {
+	f := 1 - float64(iter)/float64(l.p.DecayIterations)
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// Epsilon implements Schedule.
+func (l *Linear) Epsilon(iter int) float64 { return l.p.Epsilon0 * l.factor(iter) }
+
+// Alpha implements Schedule.
+func (l *Linear) Alpha(iter int) float64 { return l.p.Alpha0 * l.factor(iter) }
+
+// expFloor is the fraction of the initial rates an exponential schedule
+// retains at DecayIterations: 5%, chosen so its horizon is comparable
+// to the linear schedule's while never reaching exactly zero — late
+// iterations keep a trickle of exploration and learning.
+const expFloor = 0.05
+
+// Exponential decays ε and α geometrically: factor = expFloor^(iter/n),
+// i.e. 5% of the initial rates remain at iteration n. Compared to the
+// linear schedule it explores less in the middle of training and never
+// fully stops adapting.
+type Exponential struct {
+	p    ScheduleParams
+	rate float64 // per-iteration multiplier
+}
+
+// NewExponential returns the exponential-decay schedule.
+func NewExponential(p ScheduleParams) *Exponential {
+	return &Exponential{p: p, rate: math.Pow(expFloor, 1/float64(p.DecayIterations))}
+}
+
+// Name implements Schedule.
+func (e *Exponential) Name() string { return "exp" }
+
+// Epsilon implements Schedule.
+func (e *Exponential) Epsilon(iter int) float64 {
+	return e.p.Epsilon0 * math.Pow(e.rate, float64(iter))
+}
+
+// Alpha implements Schedule.
+func (e *Exponential) Alpha(iter int) float64 {
+	return e.p.Alpha0 * math.Pow(e.rate, float64(iter))
+}
+
+// Constant keeps ε and α at their initial values forever — the paper's
+// decay-schedule ablation (the pre-refactor NoDecay flag).
+type Constant struct {
+	p ScheduleParams
+}
+
+// NewConstant returns the no-decay schedule.
+func NewConstant(p ScheduleParams) *Constant { return &Constant{p: p} }
+
+// Name implements Schedule.
+func (c *Constant) Name() string { return "const" }
+
+// Epsilon implements Schedule.
+func (c *Constant) Epsilon(int) float64 { return c.p.Epsilon0 }
+
+// Alpha implements Schedule.
+func (c *Constant) Alpha(int) float64 { return c.p.Alpha0 }

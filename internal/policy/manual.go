@@ -61,4 +61,4 @@ func (m *Manual) Observe(*esp.Result) {}
 
 // OverheadCycles implements esp.Policy: the decision tree is cheap but
 // still reads the tracker.
-func (m *Manual) OverheadCycles() sim.Cycles { return 400 }
+func (m *Manual) OverheadCycles() sim.Cycles { return ManualOverheadCycles }

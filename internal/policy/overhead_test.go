@@ -1,0 +1,58 @@
+// Package policy_test asserts the documented overhead table from the
+// outside: it imports internal/core for the Cohmeleon entry, which the
+// in-package tests cannot (core imports policy).
+package policy_test
+
+import (
+	"testing"
+
+	"cohmeleon/internal/core"
+	"cohmeleon/internal/policy"
+	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc"
+)
+
+// TestOverheadTableMatchesPaper pins the §4.3/§6 decision-overhead
+// model: the documented constants, what every policy implementation
+// actually charges, and the agent's default configuration must agree.
+func TestOverheadTableMatchesPaper(t *testing.T) {
+	// The paper's figures, restated independently of overhead.go so a
+	// silent edit there fails here.
+	paper := map[string]sim.Cycles{
+		"fixed":        0,
+		"rand":         100,
+		"fixed-hetero": 100,
+		"manual":       400,
+		"cohmeleon":    3000,
+	}
+	if len(policy.OverheadCyclesByPolicy) != len(paper) {
+		t.Fatalf("overhead table has %d entries, want %d", len(policy.OverheadCyclesByPolicy), len(paper))
+	}
+	for name, want := range paper {
+		if got, ok := policy.OverheadCyclesByPolicy[name]; !ok || got != want {
+			t.Errorf("table[%q] = %d (present=%v), paper says %d", name, got, ok, want)
+		}
+	}
+
+	// Every implementation returns its table entry.
+	if got := policy.NewFixed(soc.CohDMA).OverheadCycles(); got != policy.FixedOverheadCycles {
+		t.Errorf("Fixed charges %d, table says %d", got, policy.FixedOverheadCycles)
+	}
+	if got := policy.NewRandom(1).OverheadCycles(); got != policy.RandomOverheadCycles {
+		t.Errorf("Random charges %d, table says %d", got, policy.RandomOverheadCycles)
+	}
+	het := policy.NewFixedHeterogeneous(nil, soc.CohDMA)
+	if got := het.OverheadCycles(); got != policy.HeteroOverheadCycles {
+		t.Errorf("FixedHeterogeneous charges %d, table says %d", got, policy.HeteroOverheadCycles)
+	}
+	if got := policy.NewManual().OverheadCycles(); got != policy.ManualOverheadCycles {
+		t.Errorf("Manual charges %d, table says %d", got, policy.ManualOverheadCycles)
+	}
+	agent, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := agent.OverheadCycles(); got != policy.CohmeleonOverheadCycles {
+		t.Errorf("Cohmeleon charges %d, table says %d", got, policy.CohmeleonOverheadCycles)
+	}
+}

@@ -33,7 +33,7 @@ func (r *Random) Decide(ctx *esp.Context) soc.Mode {
 func (r *Random) Observe(*esp.Result) {}
 
 // OverheadCycles implements esp.Policy.
-func (r *Random) OverheadCycles() sim.Cycles { return 100 }
+func (r *Random) OverheadCycles() sim.Cycles { return RandomOverheadCycles }
 
 // Fixed applies one coherence mode to every invocation — the
 // design-time homogeneous choice that represents nearly all prior work.
@@ -59,7 +59,7 @@ func (f *Fixed) Decide(ctx *esp.Context) soc.Mode { return ctx.Clamp(f.mode) }
 func (f *Fixed) Observe(*esp.Result) {}
 
 // OverheadCycles implements esp.Policy.
-func (f *Fixed) OverheadCycles() sim.Cycles { return 0 }
+func (f *Fixed) OverheadCycles() sim.Cycles { return FixedOverheadCycles }
 
 // FixedHeterogeneous assigns one design-time mode per accelerator type,
 // the per-accelerator static choice of prior work (Bhardwaj et al.).
@@ -100,7 +100,7 @@ func (f *FixedHeterogeneous) Decide(ctx *esp.Context) soc.Mode {
 func (f *FixedHeterogeneous) Observe(*esp.Result) {}
 
 // OverheadCycles implements esp.Policy.
-func (f *FixedHeterogeneous) OverheadCycles() sim.Cycles { return 100 }
+func (f *FixedHeterogeneous) OverheadCycles() sim.Cycles { return HeteroOverheadCycles }
 
 // String describes the assignment (for reports).
 func (f *FixedHeterogeneous) String() string {

@@ -68,9 +68,19 @@ run_bench ./internal/soc 'BenchmarkDMAGroup|BenchmarkCachedGroup|BenchmarkInvoca
 # on every steady-state path; TestZeroAlloc* enforces the same in CI).
 run_bench_mem ./internal/sim 'BenchmarkEngineScheduleRun|BenchmarkProcSwitch|BenchmarkSemaphorePingPong' 500000x 1 "sim kernel micro"
 
+# Learner decide+update micro-benchmarks, one sub-benchmark per
+# registered algorithm, with allocs/op: the default ("q") path is the
+# per-invocation hot path and must stay 0 allocs/op (TestZeroAlloc* in
+# internal/learn enforces the same in CI).
+run_bench_mem ./internal/learn 'BenchmarkLearnerDecide|BenchmarkFeaturize' 1000000x 1 "learner micro"
+
 # Randomized scenario sweep (fixed 8 scenarios inside the benchmark):
 # tracks the per-scenario cost of the sweep subsystem across PRs.
 run_bench . 'BenchmarkSweep$' 1x "${COHMELEON_WORKERS:-1}" "scenario sweep"
+
+# Learner grid (fixed 4 scenarios × 8 stacks inside the benchmark):
+# tracks the cost of the pluggable-learner comparison across PRs.
+run_bench . 'BenchmarkLearners$' 1x "${COHMELEON_WORKERS:-1}" "learner grid"
 
 if [ "$mode" = "full" ]; then
     # Artifact regeneration, parallel then sequential reference.
