@@ -40,6 +40,10 @@ func runExperimentBench(b *testing.B, id string) {
 	opt := benchOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Each iteration regenerates cold: the in-process run cache would
+		// otherwise serve repeated (and cross-benchmark) static runs and
+		// silently shift the series.
+		experiment.ResetRunCache()
 		rep, err := entry.Run(opt)
 		if err != nil {
 			b.Fatal(err)
@@ -80,6 +84,7 @@ func BenchmarkHeadline(b *testing.B) {
 	opt := benchOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		experiment.ResetRunCache()
 		h, err := experiment.Headline(opt)
 		if err != nil {
 			b.Fatal(err)
@@ -97,6 +102,7 @@ func BenchmarkOverhead(b *testing.B) {
 	opt := benchOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		experiment.ResetRunCache()
 		r, err := experiment.Overhead(opt)
 		if err != nil {
 			b.Fatal(err)
@@ -124,10 +130,44 @@ func BenchmarkSweep(b *testing.B) {
 	opt.SweepScenarios = 8
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Each iteration measures a cold regeneration: the run cache is
+		// cleared so the series stays comparable across PRs (warm-cache
+		// regeneration is BenchmarkSweepCached's series).
+		experiment.ResetRunCache()
 		if _, err := entry.Run(opt); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSweepCached measures warm-cache artifact regeneration: the
+// same fixed 8-scenario sweep as BenchmarkSweep, but every static-policy
+// run is served from the content-keyed run cache (one cold run primes it
+// before the timer starts). The gap to BenchmarkSweep is the
+// duplicate-run elimination the cache buys on repeated regeneration.
+func BenchmarkSweepCached(b *testing.B) {
+	entry, err := experiment.Lookup("sweep")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOptions()
+	opt.SweepScenarios = 8
+	experiment.ResetRunCache()
+	if _, err := entry.Run(opt); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := entry.Run(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := experiment.GetRunCacheStats()
+	if st.Hits == 0 {
+		b.Fatal("warm sweep served no cache hits")
+	}
+	experiment.ResetRunCache()
 }
 
 // BenchmarkLearners runs the (algorithm × schedule) learner grid at a
@@ -143,6 +183,8 @@ func BenchmarkLearners(b *testing.B) {
 	opt.LearnerScenarios = 4
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Cold regeneration per iteration, as in BenchmarkSweep.
+		experiment.ResetRunCache()
 		if _, err := entry.Run(opt); err != nil {
 			b.Fatal(err)
 		}

@@ -5,7 +5,8 @@
 //	cohmeleon list
 //	cohmeleon run [-profile quick|full|tiny] [-seed N] [-workers N]
 //	              [-scenarios N] [-qtable-save FILE] [-qtable-load FILE]
-//	              [-learner NAME] [-schedule NAME]
+//	              [-learner NAME] [-schedule NAME] [-cache-dir DIR]
+//	              [-cpuprofile FILE] [-memprofile FILE]
 //	              [-out FILE] <id>... | all
 //
 // Experiment IDs: table4, fig2, fig3, fig5, fig6, fig7, fig8, fig9,
@@ -17,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -63,6 +66,9 @@ func runExperiments(args []string) error {
 	qtableLoad := fs.String("qtable-load", "", "sweep: evaluate this Q-table frozen on the sampled scenarios")
 	learner := fs.String("learner", "", "agent algorithm for training experiments (omit for the paper's \"q\")")
 	schedule := fs.String("schedule", "", "agent ε/α schedule for training experiments (omit for the paper's \"linear\")")
+	cacheDir := fs.String("cache-dir", "", "persist content-keyed static-policy run results under this directory (reports are byte-identical with or without it)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file on clean exit (forces -workers 1)")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on clean exit (forces -workers 1)")
 	outPath := fs.String("out", "", "also append rendered reports to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,6 +96,17 @@ func runExperiments(args []string) error {
 	})
 	if flagErr != nil {
 		return flagErr
+	}
+	// Profiling runs must be sequential: a multi-worker profile
+	// interleaves independent trials and attributes their costs to one
+	// confounded timeline. An explicit -workers > 1 is rejected rather
+	// than silently overridden; omitting -workers profiles sequentially.
+	profiling := *cpuprofile != "" || *memprofile != ""
+	if profiling {
+		if *workers > 1 {
+			return fmt.Errorf("run: -cpuprofile/-memprofile need -workers 1 (a %d-worker profile interleaves unrelated trials); omit -workers to profile sequentially", *workers)
+		}
+		*workers = 1
 	}
 	ids := fs.Args()
 	if len(ids) == 0 {
@@ -158,6 +175,23 @@ func runExperiments(args []string) error {
 	if err := opt.Validate(); err != nil {
 		return err
 	}
+	if err := experiment.SetRunCacheDir(*cacheDir); err != nil {
+		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("run: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("run: -cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -169,6 +203,7 @@ func runExperiments(args []string) error {
 		out = io.MultiWriter(os.Stdout, f)
 	}
 
+	prevCache := experiment.GetRunCacheStats()
 	for _, entry := range entries {
 		fmt.Fprintf(out, "### %s — %s (profile=%s, seed=%d)\n\n", entry.ID, entry.Title, *profile, opt.Seed)
 		start := time.Now()
@@ -178,6 +213,26 @@ func runExperiments(args []string) error {
 		}
 		fmt.Fprintln(out, rep.Render())
 		fmt.Fprintf(out, "(%s completed in %s)\n\n", entry.ID, time.Since(start).Round(time.Millisecond))
+		// Duplicate-run elimination is reported on stderr so the rendered
+		// artifact stays byte-identical whether the cache is cold, warm,
+		// or disabled.
+		cur := experiment.GetRunCacheStats()
+		if cur != prevCache {
+			fmt.Fprintf(os.Stderr, "cohmeleon: %s: run cache: %d memo hits, %d disk hits, %d simulated\n",
+				entry.ID, cur.Hits-prevCache.Hits, cur.DiskHits-prevCache.DiskHits, cur.Misses-prevCache.Misses)
+		}
+		prevCache = cur
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("run: -memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("run: -memprofile: %w", err)
+		}
 	}
 	return nil
 }
@@ -219,6 +274,13 @@ run flags:
   -qtable-load FILE         sweep: evaluate a saved Q-table on fresh scenarios
   -learner NAME             agent algorithm: q, double-q, ucb1, boltzmann
   -schedule NAME            agent ε/α schedule: linear, exp, const
+  -cache-dir DIR            persist static-policy run results (content-keyed);
+                            repeated regeneration skips those simulations, and
+                            reports stay byte-identical either way
+  -cpuprofile FILE          write a pprof CPU profile on clean exit
+  -memprofile FILE          write a pprof heap profile on clean exit
+                            (profiling forces -workers 1; explicit -workers > 1
+                            is rejected — a parallel profile confounds trials)
   -out FILE                 append rendered reports to FILE
 
 Q-table transfer workflow (train on A, test on disjoint B):

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"cohmeleon/internal/experiment"
 )
 
 // errFrom runs the CLI entry point and returns its error text.
@@ -112,5 +116,51 @@ func TestRunRejectsUnknownProfile(t *testing.T) {
 func TestRunTinyTable4Succeeds(t *testing.T) {
 	if err := run([]string{"run", "-profile", "tiny", "table4"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsProfilingWithParallelWorkers(t *testing.T) {
+	for _, flag := range []string{"-cpuprofile", "-memprofile"} {
+		msg := errFrom(t, "run", flag, "/tmp/p.prof", "-workers", "2", "table4")
+		if !strings.Contains(msg, "-workers 1") {
+			t.Fatalf("%s: error %q should require -workers 1", flag, msg)
+		}
+	}
+}
+
+func TestRunProfilesWrittenOnCleanExit(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	heap := filepath.Join(dir, "heap.prof")
+	if err := run([]string{"run", "-profile", "tiny", "-cpuprofile", cpu, "-memprofile", heap, "table4"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, heap} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestRunCacheDirPersistsAcrossInvocations(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"run", "-profile", "tiny", "-scenarios", "2", "-cache-dir", dir, "sweep"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "run-v*.gob"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("cache dir holds %v (err %v), want persisted runs", files, err)
+	}
+	experiment.ResetRunCache()
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if st := experiment.GetRunCacheStats(); st.DiskHits == 0 {
+		t.Fatalf("second invocation over the cache dir hit nothing: %+v", st)
 	}
 }

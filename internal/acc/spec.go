@@ -12,6 +12,7 @@ package acc
 
 import (
 	"fmt"
+	"io"
 
 	"cohmeleon/internal/mem"
 	"cohmeleon/internal/sim"
@@ -131,6 +132,18 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("acc %s: PLM %d smaller than a line", s.Name, s.PLMBytes)
 	}
 	return nil
+}
+
+// HashContent writes a canonical encoding of every behavioral field of
+// the spec to w, for content-keyed memoization of simulation runs. The
+// Reuse function cannot be encoded by value; callers that know the
+// footprints a run will use must additionally hash Reuse's outputs at
+// those footprints (see the experiment run cache), which pins its
+// behavioral contribution exactly.
+func (s *Spec) HashContent(w io.Writer) {
+	fmt.Fprintf(w, "spec|%s|%d|%d|%g|%g|%d|%g|%t|%d\n",
+		s.Name, s.Pattern, s.BurstLines, s.ComputePerByte, s.ReadFraction,
+		s.StrideLines, s.AccessFraction, s.InPlace, s.PLMBytes)
 }
 
 // LineRange is a run of logical lines (offsets into the invocation's

@@ -63,6 +63,12 @@ func (e *DirEntry) ForEachSharer(fn func(agent int)) {
 	forEachSharer(e.Sharers, fn)
 }
 
+// Owner/sharer mutations of entries resident in a Directory must go
+// through the Directory's SetOwner/AddSharer/... methods so the
+// partition occupancy summary stays exact. The DirEntry-level AddSharer
+// and RemoveSharer below exist for entries outside a directory (test
+// fixtures, detached victims).
+
 // ForEachSharerMask iterates a raw sharer bitmask (e.g. the one carried
 // by a DirVictim) in ascending index order, without allocating.
 func ForEachSharerMask(mask uint64, fn func(agent int)) { forEachSharer(mask, fn) }
@@ -115,6 +121,15 @@ type Directory struct {
 	tick    uint64
 	stats   DirStats
 	lines   int
+	// Occupancy summary of the partition (the coherence "region" of one
+	// address-interleaved slice): how many resident entries list a
+	// private-cache owner, and how many list at least one sharer. The
+	// counts are exact — every owner/sharer mutation of a resident entry
+	// goes through the SetOwner/AddSharer/... methods below — and they
+	// let the run-level flows skip recall/invalidate interrogation
+	// wholesale when the region provably holds no private copies.
+	owned  int
+	shared int
 }
 
 // NewDirectory creates an LLC partition of the given size/associativity.
@@ -159,6 +174,16 @@ func (d *Directory) Stats() DirStats { return d.stats }
 
 // ValidLines returns the number of valid lines currently held.
 func (d *Directory) ValidLines() int { return d.lines }
+
+// Sets returns the number of sets (the run-operation collision bound:
+// contiguous lines land in distinct sets up to this count).
+func (d *Directory) Sets() int64 { return d.numSets }
+
+// EntryAt returns the entry at a way index reported by a run outcome.
+// The caller must know the entry still holds its line (run lines map to
+// distinct sets, so a run never displaces its own entries); use ProbeAt
+// when later inserts could have intervened.
+func (d *Directory) EntryAt(way int32) *DirEntry { return &d.entries[way] }
 
 // bump advances the LRU tick and returns it as the stored uint32.
 // Wrapping would silently invert eviction order, so it panics instead;
@@ -266,6 +291,7 @@ func (d *Directory) Insert(line mem.LineAddr, st DirState) (*DirEntry, DirVictim
 		}
 		if v.Owner != NoOwner || v.Sharers != 0 {
 			d.stats.Recalls++
+			d.noteEvicted(v.Owner, v.Sharers)
 		}
 	} else {
 		d.lines++
@@ -322,6 +348,7 @@ func (d *Directory) AccessOrInsert(line mem.LineAddr, missState DirState) (e *Di
 		}
 		if v.Owner != NoOwner || v.Sharers != 0 {
 			d.stats.Recalls++
+			d.noteEvicted(v.Owner, v.Sharers)
 		}
 	} else {
 		d.lines++
@@ -330,6 +357,93 @@ func (d *Directory) AccessOrInsert(line mem.LineAddr, missState DirState) (e *Di
 	d.tags[victim] = line
 	d.lrus[victim] = tick
 	return w, v, false
+}
+
+// noteEvicted rolls an evicted or invalidated entry's owner/sharer
+// state out of the occupancy summary.
+func (d *Directory) noteEvicted(owner int, sharers uint64) {
+	if owner != NoOwner {
+		d.owned--
+	}
+	if sharers != 0 {
+		d.shared--
+	}
+}
+
+// HasPrivateCopies reports whether any resident entry lists an owner or
+// a sharer. When false, no line of this partition can require a recall
+// or invalidation — the run-level flows and range flushes use this to
+// take their batched fast paths.
+func (d *Directory) HasPrivateCopies() bool { return d.owned != 0 || d.shared != 0 }
+
+// OwnedLines returns the number of resident entries with an owner.
+func (d *Directory) OwnedLines() int { return d.owned }
+
+// SharedLines returns the number of resident entries with ≥1 sharer.
+func (d *Directory) SharedLines() int { return d.shared }
+
+// SetOwner makes agent the exclusive owner of a resident entry,
+// maintaining the occupancy summary. agent may be NoOwner to clear.
+func (d *Directory) SetOwner(e *DirEntry, agent int) {
+	if (e.Owner == NoOwner) != (agent == NoOwner) {
+		if agent == NoOwner {
+			d.owned--
+		} else {
+			d.owned++
+		}
+	}
+	e.Owner = agent
+}
+
+// AddSharer marks agent as holding a Shared copy of a resident entry,
+// maintaining the occupancy summary.
+func (d *Directory) AddSharer(e *DirEntry, agent int) {
+	if e.Sharers == 0 {
+		d.shared++
+	}
+	e.Sharers |= 1 << uint(agent)
+}
+
+// RemoveSharer clears agent's Shared copy on a resident entry,
+// maintaining the occupancy summary.
+func (d *Directory) RemoveSharer(e *DirEntry, agent int) {
+	was := e.Sharers
+	e.Sharers &^= 1 << uint(agent)
+	if was != 0 && e.Sharers == 0 {
+		d.shared--
+	}
+}
+
+// ClearSharers drops every sharer of a resident entry, maintaining the
+// occupancy summary.
+func (d *Directory) ClearSharers(e *DirEntry) {
+	if e.Sharers != 0 {
+		d.shared--
+	}
+	e.Sharers = 0
+}
+
+// CheckSummary recomputes the occupancy summary from the entry array
+// and reports whether the maintained counts match (a test invariant; a
+// mismatch means some mutation bypassed the Directory methods).
+func (d *Directory) CheckSummary() error {
+	owned, shared := 0, 0
+	for i := range d.entries {
+		if d.entries[i].State == DirInvalid {
+			continue
+		}
+		if d.entries[i].Owner != NoOwner {
+			owned++
+		}
+		if d.entries[i].Sharers != 0 {
+			shared++
+		}
+	}
+	if owned != d.owned || shared != d.shared {
+		return fmt.Errorf("cache: %s: occupancy summary drift: counted owned=%d shared=%d, maintained owned=%d shared=%d",
+			d.name, owned, shared, d.owned, d.shared)
+	}
+	return nil
 }
 
 // ForEachValid calls fn for every valid entry. The callback must not
@@ -359,6 +473,7 @@ func (d *Directory) Invalidate(line mem.LineAddr) (DirVictim, bool) {
 			if v.WasDirty {
 				d.stats.Writebacks++
 			}
+			d.noteEvicted(e.Owner, e.Sharers)
 			e.State = DirInvalid
 			e.Line = noLine
 			e.Owner = NoOwner

@@ -83,8 +83,11 @@ func TestOverheadShape(t *testing.T) {
 
 func TestIsolatedInvocationDeterministic(t *testing.T) {
 	cfg := soc.MotivationIsolation()
-	a := isolatedInvocation(cfg, cfg.Accs[0].InstName, 16<<10, soc.CohDMA, 1, 5)
-	b := isolatedInvocation(cfg, cfg.Accs[0].InstName, 16<<10, soc.CohDMA, 1, 5)
+	a, errA := isolatedInvocation(cfg, cfg.Accs[0].InstName, 16<<10, soc.CohDMA, 1, 5)
+	b, errB := isolatedInvocation(cfg, cfg.Accs[0].InstName, 16<<10, soc.CohDMA, 1, 5)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
 	if a != b {
 		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
 	}
@@ -93,8 +96,14 @@ func TestIsolatedInvocationDeterministic(t *testing.T) {
 func TestFigure2WarmCacheModesZeroOffChip(t *testing.T) {
 	// One accelerator/size slice of Figure 2 (full sweep is a bench).
 	cfg := soc.MotivationIsolation()
-	non := isolatedInvocation(cfg, "fft.0", 16<<10, soc.NonCohDMA, 1, 42)
-	llc := isolatedInvocation(cfg, "fft.0", 16<<10, soc.LLCCohDMA, 1, 42)
+	non, err := isolatedInvocation(cfg, "fft.0", 16<<10, soc.NonCohDMA, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llc, err := isolatedInvocation(cfg, "fft.0", 16<<10, soc.LLCCohDMA, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if llc.OffChip != 0 {
 		t.Errorf("warm small llc-coh off-chip = %g, want 0", llc.OffChip)
 	}
@@ -231,7 +240,10 @@ func TestProfileHeterogeneousCoversAllSpecs(t *testing.T) {
 	cfg := soc.SoC5() // 4 spec types
 	opt := Tiny()
 	opt.Seed = 1
-	het := profileHeterogeneous(cfg, opt)
+	het, err := profileHeterogeneous(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	seen := map[string]bool{}
 	for _, a := range cfg.Accs {
 		if seen[a.Spec.Name] {

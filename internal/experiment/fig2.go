@@ -44,13 +44,16 @@ func Figure2(opt Options) (*Fig2Result, error) {
 	cfg := soc.MotivationIsolation()
 	nS, nM := len(fig2Sizes), int(soc.NumModes)
 	ms := make([]isolationMeasurement, len(cfg.Accs)*nS*nM)
-	_ = forEachOpt(opt, len(ms), func(i int) error {
+	if err := forEachOpt(opt, len(ms), func(i int) error {
 		inst := cfg.Accs[i/(nS*nM)]
 		size := fig2Sizes[i/nM%nS]
 		mode := soc.AllModes[i%nM]
-		ms[i] = isolatedInvocation(cfg, inst.InstName, size.Bytes, mode, opt.Runs, opt.Seed)
-		return nil
-	})
+		var err error
+		ms[i], err = isolatedInvocation(cfg, inst.InstName, size.Bytes, mode, opt.Runs, opt.Seed)
+		return err
+	}); err != nil {
+		return nil, err
+	}
 
 	out := &Fig2Result{}
 	for ai, inst := range cfg.Accs {

@@ -48,10 +48,13 @@ func Figure3(opt Options) (*Fig3Result, error) {
 	baseMem := map[string]float64{}
 	baseE := make([]map[string]float64, len(types))
 	baseM := make([]map[string]float64, len(types))
-	_ = forEachOpt(opt, len(types), func(i int) error {
-		baseE[i], baseM[i] = fig3Measure(cfg, []string{types[i] + ".0"}, soc.NonCohDMA, bytes, opt)
-		return nil
-	})
+	if err := forEachOpt(opt, len(types), func(i int) error {
+		var err error
+		baseE[i], baseM[i], err = fig3Measure(cfg, []string{types[i] + ".0"}, soc.NonCohDMA, bytes, opt)
+		return err
+	}); err != nil {
+		return nil, err
+	}
 	for i, tn := range types {
 		baseExec[tn] = baseE[i][tn]
 		baseMem[tn] = baseM[i][tn]
@@ -65,14 +68,17 @@ func Figure3(opt Options) (*Fig3Result, error) {
 	cells := len(fig3Counts) * nM
 	execVals := make([]float64, cells*nT)
 	memVals := make([]float64, cells*nT)
-	_ = forEachOpt(opt, cells*nT, func(t int) error {
+	if err := forEachOpt(opt, cells*nT, func(t int) error {
 		i, ti := t/nT, t%nT
 		n := fig3Counts[i/nM]
 		mode := soc.AllModes[i%nM]
 		if n == 1 {
 			// One accelerator at a time, averaged over the four types.
 			tn := types[ti]
-			e, m := fig3Measure(cfg, []string{tn + ".0"}, mode, bytes, opt)
+			e, m, err := fig3Measure(cfg, []string{tn + ".0"}, mode, bytes, opt)
+			if err != nil {
+				return err
+			}
 			execVals[t] = stats.Ratio(e[tn], baseExec[tn])
 			memVals[t] = stats.Ratio(m[tn], baseMem[tn])
 			return nil
@@ -87,13 +93,18 @@ func Figure3(opt Options) (*Fig3Result, error) {
 				insts = append(insts, fmt.Sprintf("%s.%d", name, k))
 			}
 		}
-		e, m := fig3Measure(cfg, insts, mode, bytes, opt)
+		e, m, err := fig3Measure(cfg, insts, mode, bytes, opt)
+		if err != nil {
+			return err
+		}
 		for tj, tn := range types {
 			execVals[i*nT+tj] = stats.Ratio(e[tn], baseExec[tn])
 			memVals[i*nT+tj] = stats.Ratio(m[tn], baseMem[tn])
 		}
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 
 	out := &Fig3Result{}
 	for i := 0; i < cells; i++ {
@@ -109,14 +120,20 @@ func Figure3(opt Options) (*Fig3Result, error) {
 // fig3Measure runs the listed accelerator instances concurrently (each
 // invoked opt.Runs+1 times in a row from its own thread, first warm-up
 // measured too, as on the FPGA) and returns the mean invocation exec
-// and off-chip per accelerator type.
-func fig3Measure(cfg *soc.Config, insts []string, mode soc.Mode, bytes int64, opt Options) (map[string]float64, map[string]float64) {
-	s := mustBuild(cfg)
+// and off-chip per accelerator type. Setup failures inside the
+// simulation threads (allocation, instance lookup) surface as errors
+// through the experiment result rather than tearing the process down.
+func fig3Measure(cfg *soc.Config, insts []string, mode soc.Mode, bytes int64, opt Options) (map[string]float64, map[string]float64, error) {
+	s, err := build(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	sys := esp.NewSystem(s, policy.NewFixed(mode))
 	execSum := map[string]float64{}
 	memSum := map[string]float64{}
 	count := map[string]float64{}
 
+	var procErr error
 	wg := sim.NewWaitGroup(s.Eng)
 	for ti, inst := range insts {
 		inst := inst
@@ -126,11 +143,17 @@ func fig3Measure(cfg *soc.Config, insts []string, mode soc.Mode, bytes int64, op
 			defer wg.Done()
 			buf, err := s.Heap.Alloc(bytes)
 			if err != nil {
-				panic(err)
+				if procErr == nil {
+					procErr = fmt.Errorf("fig3 %s: %w", inst, err)
+				}
+				return
 			}
 			a, err := s.AccByName(inst)
 			if err != nil {
-				panic(err)
+				if procErr == nil {
+					procErr = err
+				}
+				return
 			}
 			rng := sim.NewRNG(opt.Seed + uint64(ti))
 			cpuTile := s.CPUs[ti%len(s.CPUs)]
@@ -147,14 +170,17 @@ func fig3Measure(cfg *soc.Config, insts []string, mode soc.Mode, bytes int64, op
 	}
 	s.Eng.Go("fig3:join", func(p *sim.Proc) { wg.Wait(p) })
 	if err := s.Eng.Run(); err != nil {
-		panic(err)
+		return nil, nil, err
+	}
+	if procErr != nil {
+		return nil, nil, procErr
 	}
 	releaseEngine(s.Eng)
 	for k := range execSum {
 		execSum[k] /= count[k]
 		memSum[k] /= count[k]
 	}
-	return execSum, memSum
+	return execSum, memSum, nil
 }
 
 // Slowdown returns the normalized execution time for a mode at a

@@ -76,14 +76,14 @@ func Figure6(opt Options) (*Fig6Result, error) {
 	// profiled inside its trial, each model trains its own agent with
 	// seeds fixed by index), so the whole batch fans out and the scatter
 	// is assembled from the indexed results in paper order.
-	baselineMakers := []func() esp.Policy{
-		func() esp.Policy { return policy.NewFixed(soc.NonCohDMA) },
-		func() esp.Policy { return policy.NewFixed(soc.LLCCohDMA) },
-		func() esp.Policy { return policy.NewFixed(soc.CohDMA) },
-		func() esp.Policy { return policy.NewFixed(soc.FullyCoh) },
-		func() esp.Policy { return policy.NewRandom(opt.Seed) },
-		func() esp.Policy { return profileHeterogeneous(cfg, opt) },
-		func() esp.Policy { return policy.NewManual() },
+	baselineMakers := []func() (esp.Policy, error){
+		func() (esp.Policy, error) { return policy.NewFixed(soc.NonCohDMA), nil },
+		func() (esp.Policy, error) { return policy.NewFixed(soc.LLCCohDMA), nil },
+		func() (esp.Policy, error) { return policy.NewFixed(soc.CohDMA), nil },
+		func() (esp.Policy, error) { return policy.NewFixed(soc.FullyCoh), nil },
+		func() (esp.Policy, error) { return policy.NewRandom(opt.Seed), nil },
+		func() (esp.Policy, error) { return profileHeterogeneous(cfg, opt) },
+		func() (esp.Policy, error) { return policy.NewManual(), nil },
 	}
 	weights := fig6Weights(opt.Fig6Models)
 	points := make([]Fig6Point, len(baselineMakers)+len(weights))
@@ -91,7 +91,11 @@ func Figure6(opt Options) (*Fig6Result, error) {
 		var pol esp.Policy
 		label, wlabel := "", ""
 		if i < len(baselineMakers) {
-			pol = baselineMakers[i]()
+			var err error
+			pol, err = baselineMakers[i]()
+			if err != nil {
+				return err
+			}
 			label = pol.Name()
 		} else {
 			w := weights[i-len(baselineMakers)]

@@ -34,19 +34,39 @@ func pooledEngine() *sim.Engine {
 // Run returned nil.
 func releaseEngine(e *sim.Engine) { enginePool.Put(e) }
 
-// mustBuild builds a fresh SoC (hardware state never survives between
+// build builds a fresh SoC (hardware state never survives between
 // measurements; policies may) on a pooled engine.
-func mustBuild(cfg *soc.Config) *soc.SoC {
+func build(cfg *soc.Config) (*soc.SoC, error) {
 	s, err := cfg.BuildOn(pooledEngine())
 	if err != nil {
-		panic(fmt.Sprintf("experiment: %v", err))
+		return nil, fmt.Errorf("experiment: %w", err)
 	}
-	return s
+	return s, nil
 }
 
-// runApp executes one application run of a policy on a fresh SoC.
+// runApp executes one application run of a policy — through the
+// content-keyed run cache when the policy is memoizable (see memo.go),
+// on a fresh SoC otherwise.
 func runApp(cfg *soc.Config, pol esp.Policy, app *workload.App, seed uint64) (*workload.AppResult, error) {
-	s := mustBuild(cfg)
+	appRunMemo.mu.Lock()
+	enabled := appRunMemo.enabled
+	appRunMemo.mu.Unlock()
+	if enabled {
+		if key, ok := runCacheKey(cfg, pol, app, seed); ok {
+			return appRunMemo.getOrRun(key, cfg, app, func() (*workload.AppResult, error) {
+				return simulateApp(cfg, pol, app, seed)
+			})
+		}
+	}
+	return simulateApp(cfg, pol, app, seed)
+}
+
+// simulateApp is the uncached run: one application on a fresh SoC.
+func simulateApp(cfg *soc.Config, pol esp.Policy, app *workload.App, seed uint64) (*workload.AppResult, error) {
+	s, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
 	res, err := workload.Run(esp.NewSystem(s, pol), app, seed)
 	if err == nil {
 		releaseEngine(s.Eng)
@@ -99,7 +119,7 @@ func testPolicy(cfg *soc.Config, pol esp.Policy, test *workload.App, seed uint64
 // with the best mean normalized execution time. The (spec, mode, size)
 // profiling trials are independent — each simulates one accelerator
 // alone on a fresh SoC — and fan out on the worker pool.
-func profileHeterogeneous(cfg *soc.Config, opt Options) *policy.FixedHeterogeneous {
+func profileHeterogeneous(cfg *soc.Config, opt Options) (*policy.FixedHeterogeneous, error) {
 	classes := []workload.SizeClass{workload.Small, workload.Medium, workload.Large, workload.ExtraLarge}
 	var specs, insts []string // one profiled instance per spec, in config order
 	seen := make(map[string]bool)
@@ -115,14 +135,17 @@ func profileHeterogeneous(cfg *soc.Config, opt Options) *policy.FixedHeterogeneo
 	nc := len(classes)
 	trials := len(specs) * int(soc.NumModes) * nc
 	results := make([]isolationMeasurement, trials)
-	_ = forEachOpt(opt, trials, func(i int) error {
+	if err := forEachOpt(opt, trials, func(i int) error {
 		si := i / (int(soc.NumModes) * nc)
 		mi := i / nc % int(soc.NumModes)
 		ci := i % nc
 		bytes := workload.ClassBytes(classes[ci], cfg)
-		results[i] = isolatedInvocation(cfg, insts[si], bytes, soc.AllModes[mi], 1, opt.Seed)
-		return nil
-	})
+		var err error
+		results[i], err = isolatedInvocation(cfg, insts[si], bytes, soc.AllModes[mi], 1, opt.Seed)
+		return err
+	}); err != nil {
+		return nil, err
+	}
 
 	assignment := make(map[string]soc.Mode)
 	for si, specName := range specs {
@@ -141,7 +164,7 @@ func profileHeterogeneous(cfg *soc.Config, opt Options) *policy.FixedHeterogeneo
 		}
 		assignment[specName] = soc.Mode(stats.ArgMin(scores))
 	}
-	return policy.NewFixedHeterogeneous(assignment, soc.CohDMA)
+	return policy.NewFixedHeterogeneous(assignment, soc.CohDMA), nil
 }
 
 // isolationMeasurement is one averaged isolation data point.
@@ -153,19 +176,27 @@ type isolationMeasurement struct {
 // isolatedInvocation measures one accelerator alone on a fresh SoC:
 // warm the dataset, then run `runs` invocations under the mode and
 // average. Matches the paper's Figure-2 methodology (measurements
-// include driver overhead and flushes).
-func isolatedInvocation(cfg *soc.Config, instName string, bytes int64, mode soc.Mode, runs int, seed uint64) isolationMeasurement {
-	s := mustBuild(cfg)
-	sys := esp.NewSystem(s, policy.NewFixed(mode))
+// include driver overhead and flushes). Setup failures inside the
+// simulation process (allocation, instance lookup) surface as errors
+// through the experiment result rather than tearing the process down.
+func isolatedInvocation(cfg *soc.Config, instName string, bytes int64, mode soc.Mode, runs int, seed uint64) (isolationMeasurement, error) {
 	var out isolationMeasurement
+	s, err := build(cfg)
+	if err != nil {
+		return out, err
+	}
+	sys := esp.NewSystem(s, policy.NewFixed(mode))
+	var procErr error
 	s.Eng.Go("isolation", func(p *sim.Proc) {
 		buf, err := s.Heap.Alloc(bytes)
 		if err != nil {
-			panic(err)
+			procErr = fmt.Errorf("isolation %s: %w", instName, err)
+			return
 		}
 		a, err := s.AccByName(instName)
 		if err != nil {
-			panic(err)
+			procErr = err
+			return
 		}
 		rng := sim.NewRNG(seed)
 		p.WaitUntil(s.CPUTouchRange(s.CPUs[0], buf, 0, buf.Lines(), true, p.Now(), &soc.Meter{}))
@@ -178,12 +209,15 @@ func isolatedInvocation(cfg *soc.Config, instName string, bytes int64, mode soc.
 		s.CPUPool.Release()
 	})
 	if err := s.Eng.Run(); err != nil {
-		panic(err)
+		return out, err
+	}
+	if procErr != nil {
+		return out, procErr
 	}
 	releaseEngine(s.Eng)
 	out.ExecCycles /= float64(runs)
 	out.OffChip /= float64(runs)
-	return out
+	return out, nil
 }
 
 // agentConfig is the shared agent setup: the paper's defaults scaled
@@ -223,8 +257,9 @@ func policySet(cfg *soc.Config, opt Options, weights core.RewardWeights) ([]esp.
 		if i == 0 {
 			return trainCohmeleon(cfg, agent, train, opt.TrainIterations, opt.Seed+7)
 		}
-		het = profileHeterogeneous(cfg, opt)
-		return nil
+		var err error
+		het, err = profileHeterogeneous(cfg, opt)
+		return err
 	}); err != nil {
 		return nil, err
 	}

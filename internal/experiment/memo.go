@@ -1,0 +1,386 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"cohmeleon/internal/esp"
+	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc"
+	"cohmeleon/internal/workload"
+)
+
+// Content-keyed memoization of application runs. A static (non-learning)
+// policy makes an app run a pure function of (SoC configuration, policy,
+// application, seed): the simulator is deterministic, a fresh SoC is
+// built per run, and the policy neither holds mutable state nor observes
+// anything it retains. runApp therefore consults a process-wide memo
+// keyed by a content hash of those four before simulating, and —
+// when a cache directory is configured — a persistent store, so
+// repeated artifact regeneration skips the simulation entirely.
+//
+// Policies opt in by implementing MemoKey (Fixed, Manual and
+// FixedHeterogeneous do). Learning policies and Random bypass the cache:
+// their runs mutate policy state (value tables, reward history, RNG
+// position), so replaying a stored result would diverge from a real run.
+// Byte-identity of every report — across worker counts and with the
+// cache cold, warm or disabled — follows from the memoized value being
+// exactly the value a fresh simulation would produce.
+
+// memoKeyed marks a policy whose app runs are pure functions of the run
+// inputs. The key must change whenever the policy's decisions could.
+type memoKeyed interface{ MemoKey() string }
+
+// runCacheVersion tags the content hash and the persisted-run format.
+// Bump it whenever the simulator's timing model or the persisted layout
+// changes: stale cache directories then miss cleanly instead of
+// resurrecting results from an older model.
+const runCacheVersion = 1
+
+type runKey [sha256.Size]byte
+
+// runCacheKey derives the content key, reporting ok=false when the
+// policy is not memoizable.
+func runCacheKey(cfg *soc.Config, pol esp.Policy, app *workload.App, seed uint64) (runKey, bool) {
+	mk, ok := pol.(memoKeyed)
+	if !ok {
+		return runKey{}, false
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "cohrun|v%d|seed%d|pol|%s|%s|ovh%d\n",
+		runCacheVersion, seed, pol.Name(), mk.MemoKey(), pol.OverheadCycles())
+	cfg.HashContent(h)
+	app.HashContent(h)
+	// Reuse functions are opaque, but a run only ever evaluates them at
+	// the app's thread footprints: probing those outputs pins their
+	// behavioral contribution exactly.
+	for _, fp := range app.Footprints() {
+		for i := range cfg.Accs {
+			spec := cfg.Accs[i].Spec
+			fmt.Fprintf(h, "reuse|%s|%d|%d\n", cfg.Accs[i].InstName, fp, spec.Reuse(fp, spec.PLMBytes))
+		}
+	}
+	var k runKey
+	h.Sum(k[:0])
+	return k, true
+}
+
+// RunCacheStats counts run-cache traffic since the last reset.
+type RunCacheStats struct {
+	// Hits served from the in-process memo (including callers that
+	// waited on a concurrent worker's in-flight simulation).
+	Hits int64
+	// DiskHits served from the persistent cache directory.
+	DiskHits int64
+	// Misses that had to simulate.
+	Misses int64
+	// Evictions of in-process entries past the capacity bound.
+	Evictions int64
+}
+
+// memoEntry is one in-flight or completed run. Waiters block on done;
+// res is the insulated master copy (callers get clones).
+type memoEntry struct {
+	done chan struct{}
+	res  *workload.AppResult
+	err  error
+}
+
+type runMemo struct {
+	mu      sync.Mutex
+	enabled bool
+	dir     string
+	cap     int
+	entries map[runKey]*memoEntry
+	order   []runKey // insertion order, for capacity eviction
+
+	hits, diskHits, misses, evictions atomic.Int64
+}
+
+// appRunMemo is the process-wide run cache. In-process memoization is
+// always on (results are byte-identical either way — see the file
+// comment); persistence activates when a directory is configured.
+var appRunMemo = &runMemo{
+	enabled: true,
+	cap:     1024,
+	entries: make(map[runKey]*memoEntry),
+}
+
+// SetRunCacheDir enables persistent run caching under dir (created if
+// missing); an empty dir disables persistence but keeps the in-process
+// memo.
+func SetRunCacheDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("experiment: run cache dir: %w", err)
+		}
+	}
+	appRunMemo.mu.Lock()
+	defer appRunMemo.mu.Unlock()
+	appRunMemo.dir = dir
+	return nil
+}
+
+// EnableRunCache turns the run cache on or off entirely (off: every
+// runApp simulates, nothing is stored). Reports are byte-identical
+// either way; the switch exists for benchmarking and identity tests.
+func EnableRunCache(on bool) {
+	appRunMemo.mu.Lock()
+	defer appRunMemo.mu.Unlock()
+	appRunMemo.enabled = on
+}
+
+// SetRunCacheCapacity bounds the in-process memo entry count (oldest
+// entries evict first). The persistent store is unbounded.
+func SetRunCacheCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	appRunMemo.mu.Lock()
+	defer appRunMemo.mu.Unlock()
+	appRunMemo.cap = n
+	appRunMemo.evictLocked()
+}
+
+// ResetRunCache drops every in-process entry and zeroes the statistics;
+// the cache directory setting (and its files) are untouched.
+func ResetRunCache() {
+	appRunMemo.mu.Lock()
+	defer appRunMemo.mu.Unlock()
+	appRunMemo.entries = make(map[runKey]*memoEntry)
+	appRunMemo.order = nil
+	appRunMemo.hits.Store(0)
+	appRunMemo.diskHits.Store(0)
+	appRunMemo.misses.Store(0)
+	appRunMemo.evictions.Store(0)
+}
+
+// GetRunCacheStats returns the counters since the last reset.
+func GetRunCacheStats() RunCacheStats {
+	return RunCacheStats{
+		Hits:      appRunMemo.hits.Load(),
+		DiskHits:  appRunMemo.diskHits.Load(),
+		Misses:    appRunMemo.misses.Load(),
+		Evictions: appRunMemo.evictions.Load(),
+	}
+}
+
+// getOrRun returns the memoized result for key, loading it from the
+// persistent store or simulating via run on a miss. Concurrent callers
+// of the same key share one simulation.
+func (m *runMemo) getOrRun(key runKey, cfg *soc.Config, app *workload.App, run func() (*workload.AppResult, error)) (*workload.AppResult, error) {
+	m.mu.Lock()
+	if e, ok := m.entries[key]; ok {
+		m.mu.Unlock()
+		<-e.done
+		if e.err != nil {
+			// The owning computation failed; recompute uncached so every
+			// caller surfaces the (deterministic) error independently.
+			return run()
+		}
+		m.hits.Add(1)
+		return cloneAppResult(e.res), nil
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	m.entries[key] = e
+	m.order = append(m.order, key)
+	m.evictLocked()
+	dir := m.dir
+	m.mu.Unlock()
+
+	if dir != "" {
+		if res, ok := loadPersistedRun(dir, key, cfg, app); ok {
+			m.diskHits.Add(1)
+			e.res = res
+			close(e.done)
+			return cloneAppResult(res), nil
+		}
+	}
+	res, err := run()
+	if err != nil {
+		e.err = err
+		close(e.done)
+		m.mu.Lock()
+		delete(m.entries, key)
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.misses.Add(1)
+	e.res = cloneAppResult(res) // insulate the master from caller mutation
+	close(e.done)
+	if dir != "" {
+		storePersistedRun(dir, key, e.res)
+	}
+	return res, nil
+}
+
+// evictLocked enforces the capacity bound (caller holds mu). Evicting
+// an in-flight entry is safe: its waiters hold the entry pointer and
+// still see the close; the map merely forgets the key.
+func (m *runMemo) evictLocked() {
+	for len(m.entries) > m.cap && len(m.order) > 0 {
+		k := m.order[0]
+		m.order = m.order[1:]
+		if _, ok := m.entries[k]; ok {
+			delete(m.entries, k)
+			m.evictions.Add(1)
+		}
+	}
+}
+
+// cloneAppResult deep-copies the phases and invocation results so no
+// two callers share mutable structure. The App and AccTile pointers are
+// shared: both are read-only descriptors for result consumers.
+func cloneAppResult(r *workload.AppResult) *workload.AppResult {
+	out := *r
+	out.Phases = make([]workload.PhaseResult, len(r.Phases))
+	for i := range r.Phases {
+		p := r.Phases[i]
+		invs := make([]*esp.Result, len(p.Invocations))
+		for j, inv := range p.Invocations {
+			c := *inv
+			invs[j] = &c
+		}
+		p.Invocations = invs
+		out.Phases[i] = p
+	}
+	return &out
+}
+
+// Persisted-run layout: a portable mirror of workload.AppResult. The
+// AccTile pointers inside esp.Result are simulation-instance identities
+// and cannot be stored; the instance name round-trips instead and is
+// re-resolved against the (content-identical) configuration on load.
+type persistedRun struct {
+	Version int
+	Policy  string
+	Cycles  sim.Cycles
+	OffChip int64
+	Phases  []persistedPhase
+}
+
+type persistedPhase struct {
+	Name        string
+	Cycles      sim.Cycles
+	OffChip     int64
+	Invocations []persistedInv
+}
+
+type persistedInv struct {
+	AccInst        string
+	Mode           soc.Mode
+	FootprintBytes int64
+	ExecCycles     sim.Cycles
+	ActiveCycles   sim.Cycles
+	CommCycles     sim.Cycles
+	OffChipApprox  float64
+	OffChipTrue    int64
+}
+
+// runCachePath names a key's file in the cache directory.
+func runCachePath(dir string, key runKey) string {
+	return filepath.Join(dir, fmt.Sprintf("run-v%d-%x.gob", runCacheVersion, key[:]))
+}
+
+// storePersistedRun writes the result for key atomically (temp file +
+// rename, so concurrent processes sharing a cache directory never read
+// a torn file). Failures are silent: persistence is an optimization.
+func storePersistedRun(dir string, key runKey, res *workload.AppResult) {
+	p := persistedRun{
+		Version: runCacheVersion,
+		Policy:  res.Policy,
+		Cycles:  res.Cycles,
+		OffChip: res.OffChip,
+	}
+	for i := range res.Phases {
+		ph := &res.Phases[i]
+		pp := persistedPhase{Name: ph.Name, Cycles: ph.Cycles, OffChip: ph.OffChip}
+		for _, inv := range ph.Invocations {
+			pp.Invocations = append(pp.Invocations, persistedInv{
+				AccInst:        inv.Acc.InstName,
+				Mode:           inv.Mode,
+				FootprintBytes: inv.FootprintBytes,
+				ExecCycles:     inv.ExecCycles,
+				ActiveCycles:   inv.ActiveCycles,
+				CommCycles:     inv.CommCycles,
+				OffChipApprox:  inv.OffChipApprox,
+				OffChipTrue:    inv.OffChipTrue,
+			})
+		}
+		p.Phases = append(p.Phases, pp)
+	}
+	f, err := os.CreateTemp(dir, "run-*.tmp")
+	if err != nil {
+		return
+	}
+	if err := gob.NewEncoder(f).Encode(&p); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return
+	}
+	if err := os.Rename(f.Name(), runCachePath(dir, key)); err != nil {
+		os.Remove(f.Name())
+	}
+}
+
+// loadPersistedRun reads and revives the result for key, reporting
+// ok=false when absent, unreadable, or from another format version.
+func loadPersistedRun(dir string, key runKey, cfg *soc.Config, app *workload.App) (*workload.AppResult, bool) {
+	f, err := os.Open(runCachePath(dir, key))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var p persistedRun
+	if err := gob.NewDecoder(f).Decode(&p); err != nil || p.Version != runCacheVersion {
+		return nil, false
+	}
+	// Revive the accelerator identities against the configuration: the
+	// content key guarantees cfg matches the one the run simulated, so a
+	// synthesized read-only tile per instance carries the same
+	// ID/InstName/Spec a fresh simulation's results would.
+	tiles := make(map[string]*soc.AccTile, len(cfg.Accs))
+	for i := range cfg.Accs {
+		tiles[cfg.Accs[i].InstName] = &soc.AccTile{
+			ID:       i,
+			InstName: cfg.Accs[i].InstName,
+			Spec:     cfg.Accs[i].Spec,
+		}
+	}
+	out := &workload.AppResult{
+		App:     app,
+		Policy:  p.Policy,
+		Cycles:  p.Cycles,
+		OffChip: p.OffChip,
+	}
+	for _, pp := range p.Phases {
+		ph := workload.PhaseResult{Name: pp.Name, Cycles: pp.Cycles, OffChip: pp.OffChip}
+		for _, pi := range pp.Invocations {
+			tile, ok := tiles[pi.AccInst]
+			if !ok {
+				return nil, false // foreign file: treat as a miss
+			}
+			ph.Invocations = append(ph.Invocations, &esp.Result{
+				Acc:            tile,
+				Mode:           pi.Mode,
+				FootprintBytes: pi.FootprintBytes,
+				ExecCycles:     pi.ExecCycles,
+				ActiveCycles:   pi.ActiveCycles,
+				CommCycles:     pi.CommCycles,
+				OffChipApprox:  pi.OffChipApprox,
+				OffChipTrue:    pi.OffChipTrue,
+			})
+		}
+		out.Phases = append(out.Phases, ph)
+	}
+	return out, true
+}

@@ -40,13 +40,18 @@ func Overhead(opt Options) (*OverheadResult, error) {
 			return err
 		}
 		agent.Freeze()
-		s := mustBuild(cfg)
+		s, err := build(cfg)
+		if err != nil {
+			return err
+		}
 		sys := esp.NewSystem(s, agent)
 		var exec float64
+		var procErr error
 		s.Eng.Go("overhead", func(p *sim.Proc) {
 			buf, err := s.Heap.Alloc(kb << 10)
 			if err != nil {
-				panic(err)
+				procErr = fmt.Errorf("overhead %dKB: %w", kb, err)
+				return
 			}
 			a := s.Accs[0]
 			p.WaitUntil(s.CPUTouchRange(s.CPUs[0], buf, 0, buf.Lines(), true, p.Now(), &soc.Meter{}))
@@ -57,6 +62,9 @@ func Overhead(opt Options) (*OverheadResult, error) {
 		})
 		if err := s.Eng.Run(); err != nil {
 			return err
+		}
+		if procErr != nil {
+			return procErr
 		}
 		releaseEngine(s.Eng)
 		points[i] = OverheadPoint{

@@ -220,11 +220,33 @@ func abs(x int) int {
 // A zero-hop transfer (src == dst, e.g. an accelerator talking to the
 // memory controller in its own tile) costs only serialization.
 //
-// Transfer resolves the route on every call; hot paths between fixed
-// tile pairs should hold a Path and Send on it instead.
+// Transfer resolves the route on every call and walks it by link index,
+// so it stays allocation-free; hot paths between fixed tile pairs should
+// hold a Path (whose route is resolved down to cursor pointers once) and
+// Send on it instead. The two walks apply the identical reservation
+// discipline; the noc property tests pin them against each other.
 func (m *Mesh) Transfer(plane Plane, src, dst Coord, bytes int, at sim.Cycles) sim.Cycles {
-	p := m.NewPath(plane, src, dst)
-	return p.Send(bytes, at)
+	if !m.InBounds(src) || !m.InBounds(dst) {
+		panic(fmt.Sprintf("noc: transfer %v -> %v out of bounds", src, dst))
+	}
+	service := sim.Cycles((bytes+FlitBytes-1)/FlitBytes + HeaderFlits)
+	ri := (src.Y*m.width+src.X)*m.width*m.height + dst.Y*m.width + dst.X
+	route := m.routeLinks[m.routeOff[ri]:m.routeOff[ri+1]]
+	if len(route) == 0 {
+		return at + service
+	}
+	links := m.links[int(plane)*m.linkCount:]
+	cur := at
+	for _, li := range route {
+		start := cur
+		if avail := links[li]; avail > start {
+			start = avail
+		}
+		links[li] = start + service
+		cur = start + HopCycles
+	}
+	m.planeBusy[plane] += service * sim.Cycles(len(route))
+	return cur + service
 }
 
 // Path is a precomputed unidirectional route on one plane, for callers
@@ -232,25 +254,31 @@ func (m *Mesh) Transfer(plane Plane, src, dst Coord, bytes int, at sim.Cycles) s
 // its home LLC slice, an accelerator and a memory controller). Send
 // applies exactly the reservation discipline of Transfer — byte-for-byte
 // identical timing — without re-resolving the route, plane offset, and
-// busy counter per message.
+// busy counter per message. Construction resolves every hop down to a
+// pointer at its link's availability cursor, so the Send walk carries no
+// index arithmetic or bounds checks — it is the single hottest loop of
+// the simulator.
 type Path struct {
-	route []int32      // link indices of the XY route (empty: src == dst)
-	links []sim.Cycles // the plane's link cursors
-	busy  *sim.Cycles  // the plane's busy total
+	route []*sim.Cycles // link cursors of the XY route (empty: src == dst)
+	busy  *sim.Cycles   // the plane's busy total
 }
 
-// NewPath resolves the XY route from src to dst on the given plane.
+// NewPath resolves the XY route from src to dst on the given plane. It
+// allocates the pointer route; callers cache Paths (the SoC resolves all
+// of its (agent, memory-tile) pairs once at build).
 func (m *Mesh) NewPath(plane Plane, src, dst Coord) Path {
 	if !m.InBounds(src) || !m.InBounds(dst) {
 		panic(fmt.Sprintf("noc: path %v -> %v out of bounds", src, dst))
 	}
 	ri := (src.Y*m.width+src.X)*m.width*m.height + dst.Y*m.width + dst.X
 	base := int(plane) * m.linkCount
-	return Path{
-		route: m.routeLinks[m.routeOff[ri]:m.routeOff[ri+1]],
-		links: m.links[base : base+m.linkCount],
-		busy:  &m.planeBusy[plane],
+	links := m.links[base : base+m.linkCount]
+	idx := m.routeLinks[m.routeOff[ri]:m.routeOff[ri+1]]
+	route := make([]*sim.Cycles, len(idx))
+	for i, li := range idx {
+		route[i] = &links[li]
 	}
+	return Path{route: route, busy: &m.planeBusy[plane]}
 }
 
 // Send transmits a message of size bytes along the path, starting no
@@ -262,16 +290,15 @@ func (p *Path) Send(bytes int, at sim.Cycles) sim.Cycles {
 	if len(route) == 0 {
 		return at + service
 	}
-	links := p.links
 	cur := at
-	for _, li := range route {
+	for _, lp := range route {
 		// Head moves one hop per cycle; the payload reserves service time
 		// on every link along the precomputed XY route.
 		start := cur
-		if avail := links[li]; avail > start {
+		if avail := *lp; avail > start {
 			start = avail
 		}
-		links[li] = start + service
+		*lp = start + service
 		cur = start + HopCycles
 	}
 	*p.busy += service * sim.Cycles(len(route))

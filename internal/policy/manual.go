@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"fmt"
+
 	"cohmeleon/internal/esp"
 	"cohmeleon/internal/sim"
 	"cohmeleon/internal/soc"
@@ -62,3 +64,9 @@ func (m *Manual) Observe(*esp.Result) {}
 // OverheadCycles implements esp.Policy: the decision tree is cheap but
 // still reads the tracker.
 func (m *Manual) OverheadCycles() sim.Cycles { return ManualOverheadCycles }
+
+// MemoKey marks Manual as memoizable (see Fixed.MemoKey): the decision
+// tree is stateless, parameterized only by its threshold constant.
+func (m *Manual) MemoKey() string {
+	return fmt.Sprintf("manual:xs=%d", ExtraSmallThreshold)
+}

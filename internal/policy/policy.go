@@ -7,6 +7,8 @@ package policy
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"cohmeleon/internal/esp"
 	"cohmeleon/internal/sim"
@@ -61,6 +63,14 @@ func (f *Fixed) Observe(*esp.Result) {}
 // OverheadCycles implements esp.Policy.
 func (f *Fixed) OverheadCycles() sim.Cycles { return FixedOverheadCycles }
 
+// MemoKey marks Fixed as memoizable: its decisions are a pure function
+// of the construction mode, and its Observe is stateless, so an app run
+// under it is a pure function of (SoC config, mode, app, seed). The
+// experiment run cache keys on this. Random deliberately lacks a
+// MemoKey — its RNG advances per decision, so a second run of the same
+// instance depends on the first having actually executed.
+func (f *Fixed) MemoKey() string { return "fixed:" + f.mode.String() }
+
 // FixedHeterogeneous assigns one design-time mode per accelerator type,
 // the per-accelerator static choice of prior work (Bhardwaj et al.).
 // The assignment comes from profiling each accelerator in isolation
@@ -105,4 +115,23 @@ func (f *FixedHeterogeneous) OverheadCycles() sim.Cycles { return HeteroOverhead
 // String describes the assignment (for reports).
 func (f *FixedHeterogeneous) String() string {
 	return fmt.Sprintf("fixed-hetero(%d accelerators profiled)", len(f.assignment))
+}
+
+// MemoKey marks FixedHeterogeneous as memoizable (see Fixed.MemoKey):
+// the key encodes the full profiling-derived assignment in sorted
+// order plus the fallback, so two policies behave identically exactly
+// when their keys match.
+func (f *FixedHeterogeneous) MemoKey() string {
+	specs := make([]string, 0, len(f.assignment))
+	for name := range f.assignment {
+		specs = append(specs, name)
+	}
+	sort.Strings(specs)
+	var b strings.Builder
+	b.WriteString("hetero:")
+	for _, name := range specs {
+		fmt.Fprintf(&b, "%s=%s;", name, f.assignment[name])
+	}
+	fmt.Fprintf(&b, "fallback=%s", f.fallback)
+	return b.String()
 }

@@ -56,12 +56,62 @@ func benchGroup(b *testing.B, mode Mode, write bool) {
 	}
 }
 
-func BenchmarkDMAGroupNonCohRead(b *testing.B)  { benchGroup(b, NonCohDMA, false) }
-func BenchmarkDMAGroupLLCRead(b *testing.B)     { benchGroup(b, LLCCohDMA, false) }
-func BenchmarkDMAGroupCohRead(b *testing.B)     { benchGroup(b, CohDMA, false) }
-func BenchmarkCachedGroupRead(b *testing.B)     { benchGroup(b, FullyCoh, false) }
-func BenchmarkDMAGroupLLCWrite(b *testing.B)    { benchGroup(b, LLCCohDMA, true) }
-func BenchmarkCachedGroupWrite(b *testing.B)    { benchGroup(b, FullyCoh, true) }
+func BenchmarkDMAGroupNonCohRead(b *testing.B) { benchGroup(b, NonCohDMA, false) }
+func BenchmarkDMAGroupLLCRead(b *testing.B)    { benchGroup(b, LLCCohDMA, false) }
+func BenchmarkDMAGroupCohRead(b *testing.B)    { benchGroup(b, CohDMA, false) }
+func BenchmarkCachedGroupRead(b *testing.B)    { benchGroup(b, FullyCoh, false) }
+func BenchmarkDMAGroupLLCWrite(b *testing.B)   { benchGroup(b, LLCCohDMA, true) }
+func BenchmarkCachedGroupWrite(b *testing.B)   { benchGroup(b, FullyCoh, true) }
+
+// BenchmarkCoherenceGroupAccess measures the run-batched
+// cachedGroupAccess flow in its uniform regimes — the fast paths the
+// batching exists for — against the retained per-line reference. "warm"
+// re-touches one resident group (the all-hit CPU path); "stream" walks
+// fresh groups (all-miss into clean sets).
+func BenchmarkCoherenceGroupAccess(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		ref  bool
+		warm bool
+	}{
+		{"warm", false, true},
+		{"warm-ref", true, true},
+		{"stream", false, false},
+		{"stream-ref", true, false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			s := benchSoC(b)
+			s.refCoherence = bc.ref
+			buf, err := s.Heap.Alloc(256 << 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			agent := s.Accs[0].Agent
+			group := int64(s.P.GroupLines)
+			lines := buf.Lines()
+			s.Eng.Go("bench", func(p *sim.Proc) {
+				meter := &Meter{}
+				t := p.Now()
+				start := buf.Extents[0].Start
+				if bc.warm {
+					t = s.cachedGroupAccess(agent, start, group, false, t, meter)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					off := int64(0)
+					if !bc.warm {
+						off = (int64(i) * group) % (lines - group)
+					}
+					t = s.cachedGroupAccess(agent, start+mem.LineAddr(off), group, false, t, meter)
+				}
+			})
+			if err := s.Eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 func BenchmarkInvocation16kBCohDMA(b *testing.B) {
 	s := benchSoC(b)
 	buf, err := s.Heap.Alloc(16 << 10)

@@ -14,6 +14,16 @@ import (
 // once per group and per-line costs (LLC pipeline, channel bandwidth)
 // per line. That models the MSHR-style pipelining of real controllers
 // while keeping the simulation at transaction granularity.
+//
+// The group flows are run-batched: one run-level cache/directory call
+// performs every line's state transition, and the per-line pipeline
+// occupancies of "plain" lines — hits needing no recalls, misses
+// filling clean sets — are fused into one reservation, which is
+// timing-identical because the port cursor accumulates durations
+// linearly and nothing yields mid-group. Only exceptional lines
+// (recalls, invalidations, victims carrying dirty data or private
+// copies) are handled individually, at exactly the cursor position the
+// per-line reference flow (coherence_ref.go) would handle them.
 
 // Meter accumulates the ground-truth off-chip accesses caused by one
 // activity (an invocation, a flush, a software touch). The paper's
@@ -56,9 +66,9 @@ func (s *SoC) recallFromOwner(mt *MemTile, e *cache.DirEntry, invalidate bool, a
 		_, t = mt.Port.Acquire(t, s.P.LLCFillCycles)
 		e.State = cache.DirDirty
 	}
-	e.Owner = cache.NoOwner
+	mt.LLC.SetOwner(e, cache.NoOwner)
 	if present && !invalidate {
-		e.AddSharer(ownerID)
+		mt.LLC.AddSharer(e, ownerID)
 	}
 	return t
 }
@@ -74,7 +84,7 @@ func (s *SoC) invalidateSharers(mt *MemTile, e *cache.DirEntry, at sim.Cycles) s
 		_, _ = ag.port.Acquire(arrive, s.P.L2HitCycles)
 		ag.cache.Invalidate(e.Line) // may be a stale sharer (silent eviction): harmless
 	})
-	e.Sharers = 0
+	mt.LLC.ClearSharers(e)
 	return t
 }
 
@@ -131,9 +141,18 @@ func (s *SoC) writebackToLLC(from *agent, fromID int, line mem.LineAddr, at sim.
 	}
 	e.State = cache.DirDirty
 	if e.Owner == fromID {
-		e.Owner = cache.NoOwner
+		mt.LLC.SetOwner(e, cache.NoOwner)
 	}
 	return t
+}
+
+// groupRunnable reports whether a group of n lines satisfies the
+// run-operation preconditions on the partition: the 64-bit outcome
+// masks, and pairwise-distinct LLC sets (contiguous lines collide only
+// when the group is longer than the set count). Violations fall back to
+// the per-line reference flows.
+func groupRunnable(llc *cache.Directory, n int64) bool {
+	return n <= 64 && n <= llc.Sets()
 }
 
 // cachedGroupAccess performs reads or full-line writes for n contiguous
@@ -142,65 +161,57 @@ func (s *SoC) writebackToLLC(from *agent, fromID int, line mem.LineAddr, at sim.
 // fetch: software initialization and accelerator stores write whole
 // lines. Returns the completion time.
 func (s *SoC) cachedGroupAccess(agentID int, start mem.LineAddr, n int64, write bool, at sim.Cycles, meter *Meter) sim.Cycles {
+	mt := s.homeTile(start)
+	if s.refCoherence || !groupRunnable(mt.LLC, n) {
+		return s.cachedGroupAccessRef(agentID, start, n, write, at, meter)
+	}
 	ag := &s.agents[agentID]
 	t := at
 	// Private-cache lookup occupancy for the whole group.
 	_, t = ag.port.Acquire(t, sim.Cycles(n)*s.P.L2HitCycles)
 
-	// Classify each line; collect the ones needing LLC service. The
-	// scratch buffer is safe to share: exactly one simulation goroutine
-	// runs at a time and this function never yields.
-	misses := s.missScratch[:0]
+	// Classify the whole run in one call; the missed (or upgrade-needing)
+	// subset proceeds to the LLC. The scratch buffer is safe to share:
+	// exactly one simulation goroutine runs at a time and this function
+	// never yields.
+	misses := ag.cache.AccessUpgradeRun(start, n, write, s.missScratch[:0])
 	defer func() { s.missScratch = misses[:0] }()
-	for i := int64(0); i < n; i++ {
-		line := start + mem.LineAddr(i)
-		st, hit := ag.cache.AccessUpgrade(line, write)
-		if hit && (!write || st == cache.Modified || st == cache.Exclusive) {
-			continue
-		}
-		// Miss, or write hit in Shared (needs ownership upgrade).
-		misses = append(misses, line)
-	}
 	if len(misses) == 0 {
 		return t
 	}
-	mt := s.homeTile(start)
 	cp := s.cohPathTo(agentID, mt.Part)
 	// One request header per group.
 	t = cp.req.Send(0, t)
 
+	// Every directory transition of the run happens here; recalls,
+	// invalidations and victims needing work come back for the timed
+	// per-line walk below.
+	run := &s.dirRun
+	mt.LLC.AccessOrInsertRun(misses, cache.DirClean,
+		cache.RunUpdate{Kind: cache.RunCached, Write: write, Self: agentID}, run)
+
 	var fillLines int64 // lines read from DRAM
-	for _, line := range misses {
-		_, t = mt.Port.Acquire(t, s.P.LLCLookupCycles)
-		e, v, hit := mt.LLC.AccessOrInsert(line, cache.DirClean)
-		if !hit {
-			if !write {
-				fillLines++
-			}
-			_, t = mt.Port.Acquire(t, s.P.LLCMissPerLine)
-			t = s.evictLLCVictim(mt, v, t, meter)
-		} else {
+	if !write {
+		fillLines = int64(run.Misses)
+	}
+	t = s.walkGroupTiming(mt, misses, run, s.P.LLCLookupCycles, t, meter,
+		func(e *cache.DirEntry, t sim.Cycles) sim.Cycles {
 			if e.Owner != cache.NoOwner && e.Owner != agentID {
 				t = s.recallFromOwner(mt, e, write, t, meter)
 			}
 			if write && e.HasSharers() {
 				t = s.invalidateSharers(mt, e, t)
 			}
-		}
-		if write {
-			e.Owner = agentID
-			e.RemoveSharer(agentID)
-			e.Sharers = 0
-		} else if e.Owner == cache.NoOwner && !e.HasSharers() {
-			e.Owner = agentID // exclusive grant
-		} else {
-			if e.Owner == agentID {
-				// Re-fetch after silent eviction: keep ownership.
-			} else {
-				e.AddSharer(agentID)
+			if write {
+				mt.LLC.SetOwner(e, agentID)
+				mt.LLC.ClearSharers(e)
+			} else if e.Owner == cache.NoOwner && !e.HasSharers() {
+				mt.LLC.SetOwner(e, agentID) // exclusive grant
+			} else if e.Owner != agentID {
+				mt.LLC.AddSharer(e, agentID)
 			}
-		}
-	}
+			return t
+		})
 	if fillLines > 0 {
 		// DRAM fills pay the burst latency once per group (MSHR overlap).
 		t = mt.DRAM.Access(t, fillLines, false)
@@ -209,28 +220,68 @@ func (s *SoC) cachedGroupAccess(agentID int, start mem.LineAddr, n int64, write 
 	// Data response for the whole group.
 	t = cp.rsp.Send(len(misses)*mem.LineBytes, t)
 	// Fill the private cache; dirty victims write back (posted).
-	for _, line := range misses {
+	if write {
+		// Uniform Modified fill: victims defer past the batch (their
+		// disposal never touches this cache).
+		victims := ag.cache.InsertRun(misses, cache.Modified, s.l2VictScratch[:0])
+		defer func() { s.l2VictScratch = victims[:0] }()
+		for _, v := range victims {
+			s.handleL2Victim(ag, agentID, v, t, meter)
+		}
+		return t
+	}
+	for i, line := range misses {
+		// The fill state depends on directory state that this loop's own
+		// victim disposal can move, so reads stay per line; the run's way
+		// indices make the probe O(1).
 		st := cache.Exclusive
-		if write {
-			st = cache.Modified
-		} else if e := mt.LLC.Probe(line); e != nil && (e.HasSharers() || e.Owner != agentID) {
+		if e := mt.LLC.ProbeAt(run.Ways[i], line); e != nil && (e.HasSharers() || e.Owner != agentID) {
 			st = cache.Shared
 		}
-		v := ag.cache.Insert(line, st)
-		if v.Valid {
-			if v.State.Dirty() {
-				s.writebackToLLC(ag, agentID, v.Line, t, meter)
-			} else {
-				// Silent clean eviction: directory state goes stale; recalls
-				// to absent lines are tolerated.
-				if e := s.homeTile(v.Line).LLC.Probe(v.Line); e != nil {
-					if e.Owner == agentID {
-						e.Owner = cache.NoOwner
-					}
-					e.RemoveSharer(agentID)
-				}
-			}
+		if v := ag.cache.Insert(line, st); v.Valid {
+			s.handleL2Victim(ag, agentID, v, t, meter)
 		}
+	}
+	return t
+}
+
+// walkGroupTiming replays the per-line timing of one directory run: it
+// fuses the pipeline occupancy of consecutive plain lines into single
+// port reservations and calls handle — at exactly the reference flow's
+// cursor position — for each line whose entry needs recalls or
+// invalidations, interleaving victim disposal in line order.
+func (s *SoC) walkGroupTiming(mt *MemTile, lines []mem.LineAddr, run *cache.DirRun, lookup sim.Cycles, t sim.Cycles, meter *Meter, handle func(e *cache.DirEntry, t sim.Cycles) sim.Cycles) sim.Cycles {
+	if len(run.Victims) == 0 && run.ComplexMask == 0 {
+		// The whole group is plain — the uniform case batching exists
+		// for: one reservation covers every line's pipeline occupancy.
+		_, t = mt.Port.Acquire(t,
+			sim.Cycles(len(lines))*lookup+sim.Cycles(run.Misses)*s.P.LLCMissPerLine)
+		return t
+	}
+	var pending sim.Cycles
+	vi := 0
+	for i := range lines {
+		bit := uint64(1) << uint(i)
+		pending += lookup
+		if run.HitMask&bit == 0 {
+			pending += s.P.LLCMissPerLine
+		}
+		hasVictim := vi < len(run.Victims) && int(run.Victims[vi].Idx) == i
+		if !hasVictim && run.ComplexMask&bit == 0 {
+			continue
+		}
+		_, t = mt.Port.Acquire(t, pending)
+		pending = 0
+		if hasVictim {
+			t = s.evictLLCVictim(mt, run.Victims[vi].V, t, meter)
+			vi++
+		}
+		if run.ComplexMask&bit != 0 {
+			t = handle(mt.LLC.EntryAt(run.Ways[i]), t)
+		}
+	}
+	if pending > 0 {
+		_, t = mt.Port.Acquire(t, pending)
 	}
 	return t
 }
@@ -241,6 +292,9 @@ func (s *SoC) cachedGroupAccess(agentID int, start mem.LineAddr, n int64, write 
 // bridge is coherent with the LLC only, as in LLCCohDMA, where software
 // flushed the private caches beforehand.
 func (s *SoC) dmaGroupLLC(mt *MemTile, a *AccTile, start mem.LineAddr, n int64, write, recallOwners bool, at sim.Cycles, meter *Meter) sim.Cycles {
+	if s.refCoherence || !groupRunnable(mt.LLC, n) {
+		return s.dmaGroupLLCRef(mt, a, start, n, write, recallOwners, at, meter)
+	}
 	dp := s.dmaPathTo(a.ID, mt.Part)
 	var t sim.Cycles
 	if write {
@@ -257,33 +311,37 @@ func (s *SoC) dmaGroupLLC(mt *MemTile, a *AccTile, start mem.LineAddr, n int64, 
 	if recallOwners {
 		lookup += s.P.CohDMACheckCycles
 	}
-	var fillLines int64
+	lines := s.groupScratch[:0]
 	for i := int64(0); i < n; i++ {
-		line := start + mem.LineAddr(i)
-		_, t = mt.Port.Acquire(t, lookup)
-		e, v, hit := mt.LLC.AccessOrInsert(line, missState)
-		if !hit {
-			if !write {
-				fillLines++
-			}
-			_, t = mt.Port.Acquire(t, s.P.LLCMissPerLine)
-			t = s.evictLLCVictim(mt, v, t, meter)
-			continue
-		}
-		if recallOwners && e.Owner != cache.NoOwner {
-			t = s.recallFromOwner(mt, e, write, t, meter)
-		}
-		if write {
-			if recallOwners && e.HasSharers() {
-				t = s.invalidateSharers(mt, e, t)
-			}
-			// The bridge claims the line: any remaining directory state is
-			// stale by construction (LLCCohDMA ran after a private flush).
-			e.Owner = cache.NoOwner
-			e.Sharers = 0
-			e.State = cache.DirDirty
-		}
+		lines = append(lines, start+mem.LineAddr(i))
 	}
+	defer func() { s.groupScratch = lines[:0] }()
+
+	run := &s.dirRun
+	mt.LLC.AccessOrInsertRun(lines, missState,
+		cache.RunUpdate{Kind: cache.RunDMA, Write: write, RecallOwners: recallOwners}, run)
+
+	var fillLines int64
+	if !write {
+		fillLines = int64(run.Misses)
+	}
+	t = s.walkGroupTiming(mt, lines, run, lookup, t, meter,
+		func(e *cache.DirEntry, t sim.Cycles) sim.Cycles {
+			if recallOwners && e.Owner != cache.NoOwner {
+				t = s.recallFromOwner(mt, e, write, t, meter)
+			}
+			if write {
+				if recallOwners && e.HasSharers() {
+					t = s.invalidateSharers(mt, e, t)
+				}
+				// The bridge claims the line: any remaining directory state
+				// is stale by construction.
+				mt.LLC.SetOwner(e, cache.NoOwner)
+				mt.LLC.ClearSharers(e)
+				e.State = cache.DirDirty
+			}
+			return t
+		})
 	if fillLines > 0 {
 		t = mt.DRAM.Access(t, fillLines, false)
 		meter.add(fillLines)
@@ -297,7 +355,13 @@ func (s *SoC) dmaGroupLLC(mt *MemTile, a *AccTile, start mem.LineAddr, n int64, 
 // dmaGroupNonCoh serves one DMA group straight from DRAM, bypassing the
 // hierarchy entirely (the NonCohDMA datapath).
 func (s *SoC) dmaGroupNonCoh(mt *MemTile, a *AccTile, start mem.LineAddr, n int64, write bool, at sim.Cycles, meter *Meter) sim.Cycles {
-	dp := s.dmaPathTo(a.ID, mt.Part)
+	return s.dmaRunNonCoh(s.dmaPathTo(a.ID, mt.Part), mt, start, n, write, at, meter)
+}
+
+// dmaRunNonCoh is dmaGroupNonCoh with the DMA routes pre-resolved:
+// strided and irregular plans issue one single-line run per access, so
+// doTransfers hoists the route lookup out of its range loop.
+func (s *SoC) dmaRunNonCoh(dp *dmaPath, mt *MemTile, start mem.LineAddr, n int64, write bool, at sim.Cycles, meter *Meter) sim.Cycles {
 	if write {
 		t := dp.up.Send(int(n)*mem.LineBytes, at)
 		t = mt.DRAM.Post(t, n, true)

@@ -2,8 +2,10 @@ package soc
 
 import (
 	"fmt"
+	"io"
 
 	"cohmeleon/internal/acc"
+	"cohmeleon/internal/mem"
 	"cohmeleon/internal/sim"
 )
 
@@ -67,6 +69,29 @@ func (c *Config) Validate() error {
 		seen[a.InstName] = true
 	}
 	return nil
+}
+
+// HashContent writes a canonical encoding of everything that
+// determines the configuration's simulated behavior — geometry, timing
+// parameters, and each accelerator instance's communication profile —
+// to w, for content-keyed memoization of simulation runs. The
+// accelerator Reuse functions are not encodable; see acc.Spec.
+func (c *Config) HashContent(w io.Writer) {
+	fmt.Fprintf(w, "soc|%s|%d|%d|%d|%d|%d|%d|line%d|page%d\n",
+		c.Name, c.MeshW, c.MeshH, c.CPUs, c.MemTiles, c.LLCSliceKB, c.L2KB,
+		mem.LineBytes, mem.PageBytes)
+	p := &c.Params
+	fmt.Fprintf(w, "params|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d\n",
+		p.L2HitCycles, p.LLCLookupCycles, p.LLCFillCycles, p.LLCMissPerLine,
+		p.DRAMLatencyCycles, p.DRAMPerLineCycles, p.GroupLines,
+		p.RecallHeaderCycles, p.CohDMACheckCycles, p.DriverCycles,
+		p.IRQCycles, p.TLBPerPageCycles, p.FlushWalkPerLine,
+		p.CPUTouchPerLine, p.DRAMPartitionMB)
+	for i := range c.Accs {
+		a := &c.Accs[i]
+		fmt.Fprintf(w, "acc|%s|%t\n", a.InstName, a.PrivateCache)
+		a.Spec.HashContent(w)
+	}
 }
 
 // TotalLLCBytes returns the aggregate LLC size.

@@ -58,11 +58,20 @@ func (s *SoC) flushAgentRange(agentID int, buf *mem.Buffer, at sim.Cycles, meter
 		if wasDirty {
 			p := s.Map.Home(line)
 			dirtyByPart[p] = append(dirtyByPart[p], line)
-		} else if e := s.homeTile(line).LLC.Probe(line); e != nil {
+			continue
+		}
+		// Clean invalidation: lazily clear the directory's owner/sharer
+		// listing. When the home partition's occupancy summary shows no
+		// private copies at all, the probe-and-clear is a proven no-op.
+		llc := s.homeTile(line).LLC
+		if !llc.HasPrivateCopies() {
+			continue
+		}
+		if e := llc.Probe(line); e != nil {
 			if e.Owner == agentID {
-				e.Owner = cache.NoOwner
+				llc.SetOwner(e, cache.NoOwner)
 			}
-			e.RemoveSharer(agentID)
+			llc.RemoveSharer(e, agentID)
 		}
 	}
 	group := s.P.GroupLines
@@ -91,9 +100,9 @@ func (s *SoC) flushAgentRange(agentID int, buf *mem.Buffer, at sim.Cycles, meter
 					e.State = cache.DirDirty
 				}
 				if e.Owner == agentID {
-					e.Owner = cache.NoOwner
+					mt.LLC.SetOwner(e, cache.NoOwner)
 				}
-				e.RemoveSharer(agentID)
+				mt.LLC.RemoveSharer(e, agentID)
 			}
 		}
 	}
@@ -128,6 +137,20 @@ func (s *SoC) flushLLCPartition(mt *MemTile, buf *mem.Buffer, at sim.Cycles, met
 	})
 	defer func() { s.flushScratch = matches[:0] }()
 	var dirty int64
+	if !mt.LLC.HasPrivateCopies() {
+		// No resident line lists an owner or sharer, so no invalidation
+		// can require a recall: the per-line walk collapses to one fused
+		// pipeline reservation and a run-level invalidate. Timing and
+		// state are exactly the per-line loop's (which would skip every
+		// recall branch).
+		_, t = mt.Port.Acquire(t, sim.Cycles(len(matches))*s.P.LLCLookupCycles)
+		dirty = mt.LLC.InvalidateRun(matches)
+		if dirty > 0 {
+			t = mt.DRAM.Post(t, dirty, true)
+			meter.add(dirty)
+		}
+		return t
+	}
 	for _, line := range matches {
 		_, t = mt.Port.Acquire(t, s.P.LLCLookupCycles)
 		v, ok := mt.LLC.Invalidate(line)

@@ -110,6 +110,17 @@ type SoC struct {
 	cohPaths    []cohPath
 	dmaPaths    []dmaPath
 	missScratch []mem.LineAddr // reused by cachedGroupAccess
+	// Run-batched flow scratch (one simulation goroutine at a time, and
+	// the group flows never yield, so sharing is safe): the directory
+	// run-outcome buffer, the materialized line list of a DMA group, and
+	// the deferred private-cache victims of a write fill.
+	dirRun        cache.DirRun
+	groupScratch  []mem.LineAddr
+	l2VictScratch []cache.Victim
+	// refCoherence forces the per-line reference flows (coherence_ref.go)
+	// everywhere; the property tests use it to pit the batched flows
+	// against the reference on otherwise-identical SoCs.
+	refCoherence bool
 	// Flush scratch, reused across flush calls (safe for the same reason
 	// as missScratch: one simulation goroutine runs at a time and the
 	// flush helpers never yield). flushDirty has one slice per partition.

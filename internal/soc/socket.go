@@ -90,19 +90,39 @@ func (s *SoC) doTransfers(a *AccTile, buf *mem.Buffer, ranges []acc.LineRange, m
 	if len(extents) == 1 {
 		// Single-extent buffer (any footprint up to one page): logical
 		// offsets map 1:1 onto the extent, no walk needed. This is the
-		// common case and skips all extent bookkeeping per range.
+		// common case; the mode dispatch and the (accelerator, memory
+		// tile) route resolution hoist out of the per-range loop —
+		// strided and irregular plans emit one range per line, so the
+		// loop body is the innermost code of the simulator.
 		e := &extents[0]
 		mt := s.homeTile(e.Start)
-		for _, lr := range ranges {
-			if lr.Start+lr.Lines > e.Lines {
-				panic(fmt.Sprintf("soc: logical range [%d,+%d) beyond buffer", lr.Start, lr.Lines))
+		switch mode {
+		case NonCohDMA:
+			dp := s.dmaPathTo(a.ID, mt.Part)
+			for _, lr := range ranges {
+				if lr.Start+lr.Lines > e.Lines {
+					panic(fmt.Sprintf("soc: logical range [%d,+%d) beyond buffer", lr.Start, lr.Lines))
+				}
+				t = s.dmaRunNonCoh(dp, mt, e.Start+mem.LineAddr(lr.Start), lr.Lines, write, t, meter)
 			}
-			t = s.dispatchRun(a, mt, e.Start+mem.LineAddr(lr.Start), lr.Lines, mode, write, t, meter)
+		default:
+			for _, lr := range ranges {
+				if lr.Start+lr.Lines > e.Lines {
+					panic(fmt.Sprintf("soc: logical range [%d,+%d) beyond buffer", lr.Start, lr.Lines))
+				}
+				t = s.dispatchRun(a, mt, e.Start+mem.LineAddr(lr.Start), lr.Lines, mode, write, t, meter)
+			}
 		}
 		return t
 	}
 	s.ensureRunTable(buf)
 	runExt, runPre, runHome := s.runExt, s.runPre, s.runHome
+	// The DMA routes of the extents' home tiles, resolved lazily once
+	// per (invocation, extent): strided and irregular plans emit one
+	// range per line, so the per-range body below must not re-derive
+	// the route. Index parallel to runHome; nil until first use.
+	var nonCohDP *dmaPath
+	nonCohEI := -1
 	for _, lr := range ranges {
 		logical := lr.Start
 		// O(1) lookup of the extent containing the range start.
@@ -114,7 +134,15 @@ func (s *SoC) doTransfers(a *AccTile, buf *mem.Buffer, ranges []acc.LineRange, m
 		if lr.Lines == 1 {
 			// Single-line range (strided and irregular accelerator
 			// patterns): no extent walk, the containing extent is final.
-			t = s.dispatchRun(a, runHome[ei], extents[ei].Start+mem.LineAddr(logical-runPre[ei]), 1, mode, write, t, meter)
+			start := extents[ei].Start + mem.LineAddr(logical-runPre[ei])
+			if mode == NonCohDMA {
+				if ei != nonCohEI {
+					nonCohDP, nonCohEI = s.dmaPathTo(a.ID, runHome[ei].Part), ei
+				}
+				t = s.dmaRunNonCoh(nonCohDP, runHome[ei], start, 1, write, t, meter)
+			} else {
+				t = s.dispatchRun(a, runHome[ei], start, 1, mode, write, t, meter)
+			}
 			continue
 		}
 		remaining := lr.Lines
@@ -197,7 +225,6 @@ func (s *SoC) ensureRunTable(buf *mem.Buffer) {
 	}
 	s.runBuf = buf
 }
-
 
 // RunAccelerator executes one invocation of the accelerator on the
 // dataset under the given coherence mode, with double-buffered chunk

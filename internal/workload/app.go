@@ -9,6 +9,8 @@ package workload
 
 import (
 	"fmt"
+	"io"
+	"sort"
 
 	"cohmeleon/internal/soc"
 )
@@ -150,6 +152,45 @@ func (a *App) Invocations() int {
 		n += a.Phases[i].Invocations()
 	}
 	return n
+}
+
+// Footprints returns the distinct thread footprints of the app in
+// ascending order — the inputs at which an accelerator's Reuse function
+// can be evaluated during a run (content-keyed memoization probes it
+// exactly there).
+func (a *App) Footprints() []int64 {
+	seen := make(map[int64]bool)
+	var out []int64
+	for pi := range a.Phases {
+		for ti := range a.Phases[pi].Threads {
+			fp := a.Phases[pi].Threads[ti].FootprintBytes
+			if !seen[fp] {
+				seen[fp] = true
+				out = append(out, fp)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HashContent writes a canonical encoding of the complete application
+// specification to w, for content-keyed memoization of simulation runs.
+func (a *App) HashContent(w io.Writer) {
+	fmt.Fprintf(w, "app|%s|%d\n", a.Name, len(a.Phases))
+	for pi := range a.Phases {
+		p := &a.Phases[pi]
+		fmt.Fprintf(w, "phase|%s|%d\n", p.Name, len(p.Threads))
+		for ti := range p.Threads {
+			t := &p.Threads[ti]
+			fmt.Fprintf(w, "thread|%s|%d|%d|%g|%g|%d\n",
+				t.Name, t.FootprintBytes, t.Loops,
+				t.RewriteFraction, t.ReadbackFraction, len(t.Chain))
+			for _, inst := range t.Chain {
+				fmt.Fprintf(w, "inv|%s\n", inst)
+			}
+		}
+	}
 }
 
 // Validate checks every thread against the SoC configuration.

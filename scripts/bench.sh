@@ -58,10 +58,13 @@ run_bench_mem() { # pkg regex benchtime workers label — also records allocs/op
 # Single-thread simulator speed: the hot-path reference number.
 run_bench . 'BenchmarkAppRun$' 3x "${COHMELEON_WORKERS:-1}" "simulator app run"
 
-# Hot-path micro-benchmarks.
+# Hot-path micro-benchmarks. The coherence-group and DMA-group series
+# carry allocs/op: the run-batched group flows must stay 0 allocs/op on
+# every steady-state path.
 run_bench ./internal/cache '.' 1000000x 1 "cache micro"
 run_bench ./internal/noc 'Transfer' 1000000x 1 "noc micro"
-run_bench ./internal/soc 'BenchmarkDMAGroup|BenchmarkCachedGroup|BenchmarkInvocation' 100000x 1 "soc micro"
+run_bench_mem ./internal/soc 'BenchmarkCoherenceGroupAccess|BenchmarkDMAGroup|BenchmarkCachedGroup' 100000x 1 "coherence group micro"
+run_bench ./internal/soc 'BenchmarkInvocation' 100000x 1 "soc invocation micro"
 
 # Simulation-kernel micro-benchmarks, with allocs/op: the alloc columns
 # are the regression guard for the zero-allocation scheduler (0 expected
@@ -76,7 +79,11 @@ run_bench_mem ./internal/learn 'BenchmarkLearnerDecide|BenchmarkFeaturize' 10000
 
 # Randomized scenario sweep (fixed 8 scenarios inside the benchmark):
 # tracks the per-scenario cost of the sweep subsystem across PRs.
-run_bench . 'BenchmarkSweep$' 1x "${COHMELEON_WORKERS:-1}" "scenario sweep"
+# BenchmarkSweep regenerates cold each iteration; BenchmarkSweepCached
+# regenerates warm through the content-keyed run cache — the gap is the
+# duplicate-run elimination on repeated artifact regeneration.
+run_bench . 'BenchmarkSweep$' 1x "${COHMELEON_WORKERS:-1}" "scenario sweep (cold)"
+run_bench . 'BenchmarkSweepCached$' 1x "${COHMELEON_WORKERS:-1}" "scenario sweep (warm run cache)"
 
 # Learner grid (fixed 4 scenarios × 8 stacks inside the benchmark):
 # tracks the cost of the pluggable-learner comparison across PRs.
