@@ -6,6 +6,7 @@
 //	cohmeleon run [-profile quick|full|tiny] [-seed N] [-workers N]
 //	              [-scenarios N] [-qtable-save FILE] [-qtable-load FILE]
 //	              [-learner NAME] [-schedule NAME] [-cache-dir DIR]
+//	              [-resume] [-cache-verify]
 //	              [-cpuprofile FILE] [-memprofile FILE]
 //	              [-out FILE] <id>... | all
 //
@@ -14,13 +15,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"cohmeleon/internal/experiment"
@@ -67,6 +72,8 @@ func runExperiments(args []string) error {
 	learner := fs.String("learner", "", "agent algorithm for training experiments (omit for the paper's \"q\")")
 	schedule := fs.String("schedule", "", "agent ε/α schedule for training experiments (omit for the paper's \"linear\")")
 	cacheDir := fs.String("cache-dir", "", "persist content-keyed static-policy run results under this directory (reports are byte-identical with or without it)")
+	resume := fs.Bool("resume", false, "sweep/learners: replay cells checkpointed under -cache-dir by an interrupted identical run")
+	cacheVerify := fs.Bool("cache-verify", false, "fsck -cache-dir before running: re-hash every entry, quarantine corrupt ones")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file on clean exit (forces -workers 1)")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on clean exit (forces -workers 1)")
 	outPath := fs.String("out", "", "also append rendered reports to this file")
@@ -108,8 +115,21 @@ func runExperiments(args []string) error {
 		}
 		*workers = 1
 	}
+	// Crash-safety flags depend on a cache directory; reject the
+	// combination upfront rather than running without the persistence the
+	// user asked for.
+	if *resume && *cacheDir == "" {
+		return fmt.Errorf("run: -resume needs -cache-dir (checkpoints live under it)")
+	}
+	if *cacheVerify && *cacheDir == "" {
+		return fmt.Errorf("run: -cache-verify needs -cache-dir")
+	}
 	ids := fs.Args()
 	if len(ids) == 0 {
+		// A bare fsck run is a legitimate zero-experiment invocation.
+		if *cacheVerify {
+			return verifyCache(*cacheDir)
+		}
 		return fmt.Errorf("run: no experiment IDs (valid: %s, or 'all')", strings.Join(experiment.IDs(), ", "))
 	}
 	if len(ids) == 1 && ids[0] == "all" {
@@ -118,7 +138,7 @@ func runExperiments(args []string) error {
 	// Resolve every ID before running anything: a typo at the end of the
 	// list must not surface only after the preceding experiments ran.
 	entries := make([]experiment.Entry, len(ids))
-	hasSweep, trainsAgent := false, false
+	hasSweep, trainsAgent, checkpoints := false, false, false
 	for i, id := range ids {
 		entry, err := experiment.Lookup(id)
 		if err != nil {
@@ -127,6 +147,13 @@ func runExperiments(args []string) error {
 		entries[i] = entry
 		hasSweep = hasSweep || id == "sweep"
 		trainsAgent = trainsAgent || trainingExperiments[id]
+		checkpoints = checkpoints || checkpointedExperiments[id]
+	}
+	// -resume on a run with no checkpointed experiment would be a silent
+	// no-op; fail loudly like the other ineffective-flag cases.
+	if *resume && !checkpoints {
+		return fmt.Errorf("run: -resume only applies to checkpointed experiments (%s); ids: %s",
+			strings.Join(checkpointedIDs(), ", "), strings.Join(ids, ", "))
 	}
 	// Sweep-only flags on a sweep-less run would be silently ignored —
 	// in the save case leaving the user without the table they asked
@@ -172,12 +199,42 @@ func runExperiments(args []string) error {
 	opt.QTableLoad = *qtableLoad
 	opt.Learner = *learner
 	opt.Schedule = *schedule
+	opt.Resume = *resume
 	if err := opt.Validate(); err != nil {
 		return err
 	}
 	if err := experiment.SetRunCacheDir(*cacheDir); err != nil {
 		return err
 	}
+	if *cacheVerify {
+		if err := verifyCache(*cacheDir); err != nil {
+			return err
+		}
+	}
+
+	// First SIGINT/SIGTERM cancels the experiment context: dispatch stops,
+	// in-flight app runs complete, checkpoints and the run store stay
+	// sound, and the process exits through the normal error path with a
+	// resume hint. A second signal exits hard for when graceful isn't
+	// happening fast enough.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		select {
+		case sig := <-sigs:
+			fmt.Fprintf(os.Stderr, "cohmeleon: %v: finishing in-flight runs, checkpointing (again to exit now)\n", sig)
+			cancel()
+		case <-ctx.Done():
+			return
+		}
+		<-sigs
+		fmt.Fprintln(os.Stderr, "cohmeleon: second signal, exiting immediately")
+		os.Exit(130)
+	}()
+	opt.Ctx = ctx
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
@@ -204,24 +261,40 @@ func runExperiments(args []string) error {
 	}
 
 	prevCache := experiment.GetRunCacheStats()
+	prevCkpt := experiment.GetCheckpointStats()
 	for _, entry := range entries {
 		fmt.Fprintf(out, "### %s — %s (profile=%s, seed=%d)\n\n", entry.ID, entry.Title, *profile, opt.Seed)
 		start := time.Now()
 		rep, err := entry.Run(opt)
 		if err != nil {
+			if errors.Is(err, context.Canceled) && *cacheDir != "" && checkpointedExperiments[entry.ID] {
+				fmt.Fprintf(os.Stderr, "cohmeleon: %s: interrupted; completed cells are checkpointed — rerun with -resume and the same flags to continue\n", entry.ID)
+			}
 			return fmt.Errorf("%s: %w", entry.ID, err)
 		}
 		fmt.Fprintln(out, rep.Render())
 		fmt.Fprintf(out, "(%s completed in %s)\n\n", entry.ID, time.Since(start).Round(time.Millisecond))
-		// Duplicate-run elimination is reported on stderr so the rendered
-		// artifact stays byte-identical whether the cache is cold, warm,
-		// or disabled.
+		// Duplicate-run elimination and checkpoint traffic are reported on
+		// stderr so the rendered artifact stays byte-identical whether the
+		// cache is cold, warm, resumed, or disabled.
 		cur := experiment.GetRunCacheStats()
 		if cur != prevCache {
 			fmt.Fprintf(os.Stderr, "cohmeleon: %s: run cache: %d memo hits, %d disk hits, %d simulated\n",
 				entry.ID, cur.Hits-prevCache.Hits, cur.DiskHits-prevCache.DiskHits, cur.Misses-prevCache.Misses)
 		}
 		prevCache = cur
+		ck := experiment.GetCheckpointStats()
+		if ck != prevCkpt {
+			fmt.Fprintf(os.Stderr, "cohmeleon: %s: checkpoints: %d cells replayed, %d cells saved\n",
+				entry.ID, ck.Replayed-prevCkpt.Replayed, ck.Saved-prevCkpt.Saved)
+		}
+		prevCkpt = ck
+	}
+	// Degraded-store traffic (counted in memo.go, warned once there) gets
+	// a final tally so a run that limped through write failures says so.
+	if st := experiment.GetRunCacheStats(); st.WriteFailures+st.ReadFailures+st.Quarantined > 0 {
+		fmt.Fprintf(os.Stderr, "cohmeleon: run store degraded: %d write failures, %d read failures, %d quarantined\n",
+			st.WriteFailures, st.ReadFailures, st.Quarantined)
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -235,6 +308,42 @@ func runExperiments(args []string) error {
 		}
 	}
 	return nil
+}
+
+// verifyCache fscks the run store: every entry and checkpoint cell is
+// re-read, re-hashed, and fully decoded; failures are quarantined. A
+// pass that had to quarantine is an error — the store healed, but the
+// user asked to know.
+func verifyCache(dir string) error {
+	if err := experiment.SetRunCacheDir(dir); err != nil {
+		return err
+	}
+	res, err := experiment.VerifyRunCache(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "cohmeleon: cache-verify:", res)
+	if !res.Clean() {
+		return fmt.Errorf("cache-verify: %d corrupt entries quarantined (renamed *.corrupt; they will be recomputed)", res.Quarantined)
+	}
+	return nil
+}
+
+// checkpointedExperiments lists the experiments that persist per-cell
+// checkpoints under -cache-dir and therefore support -resume.
+var checkpointedExperiments = map[string]bool{
+	"sweep": true, "learners": true,
+}
+
+// checkpointedIDs returns the checkpointed experiments in registry order.
+func checkpointedIDs() []string {
+	var out []string
+	for _, id := range experiment.IDs() {
+		if checkpointedExperiments[id] {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // trainingExperiments lists the experiments whose Cohmeleon agent is
@@ -277,6 +386,13 @@ run flags:
   -cache-dir DIR            persist static-policy run results (content-keyed);
                             repeated regeneration skips those simulations, and
                             reports stay byte-identical either way
+  -resume                   sweep/learners: replay cells checkpointed by an
+                            interrupted identical run (needs -cache-dir); the
+                            resumed report is byte-identical to an
+                            uninterrupted one
+  -cache-verify             fsck -cache-dir first: re-hash every entry and
+                            checkpoint cell, quarantine corrupt ones as
+                            *.corrupt (usable with no experiment IDs)
   -cpuprofile FILE          write a pprof CPU profile on clean exit
   -memprofile FILE          write a pprof heap profile on clean exit
                             (profiling forces -workers 1; explicit -workers > 1
@@ -290,5 +406,10 @@ Q-table transfer workflow (train on A, test on disjoint B):
 Learner comparison (algorithm × schedule grid over random scenarios):
   cohmeleon run learners
   cohmeleon run -learner double-q -schedule exp fig9
+
+Interrupted runs (Ctrl-C once = graceful: in-flight runs finish and
+checkpoint; twice = exit now):
+  cohmeleon run -cache-dir cache sweep         # interrupted at cell k
+  cohmeleon run -cache-dir cache -resume sweep # replays cells, identical report
 `)
 }

@@ -146,6 +146,106 @@ func TestRunProfilesWrittenOnCleanExit(t *testing.T) {
 	}
 }
 
+func TestRunRejectsResumeWithoutCacheDir(t *testing.T) {
+	msg := errFrom(t, "run", "-resume", "sweep")
+	if !strings.Contains(msg, "-cache-dir") {
+		t.Fatalf("error %q should require -cache-dir", msg)
+	}
+}
+
+func TestRunRejectsResumeOnNonCheckpointedExperiments(t *testing.T) {
+	msg := errFrom(t, "run", "-resume", "-cache-dir", t.TempDir(), "table4")
+	if !strings.Contains(msg, "checkpointed") || !strings.Contains(msg, "sweep") {
+		t.Fatalf("error %q should list the checkpointed experiments", msg)
+	}
+}
+
+func TestRunRejectsCacheVerifyWithoutCacheDir(t *testing.T) {
+	msg := errFrom(t, "run", "-cache-verify", "table4")
+	if !strings.Contains(msg, "-cache-dir") {
+		t.Fatalf("error %q should require -cache-dir", msg)
+	}
+}
+
+func TestRunCacheVerifyWithoutIDsIsAnFsckOnlyRun(t *testing.T) {
+	if err := run([]string{"run", "-cache-verify", "-cache-dir", t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCacheVerifyQuarantinesCorruptEntries(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"run", "-profile", "tiny", "-scenarios", "2", "-cache-dir", dir, "sweep"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "run-v*.gob"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no persisted runs to corrupt (%v, err %v)", files, err)
+	}
+	if err := os.WriteFile(files[0], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	experiment.ResetRunCache()
+	msg := errFrom(t, "run", "-cache-verify", "-cache-dir", dir)
+	if !strings.Contains(msg, "quarantined") {
+		t.Fatalf("fsck over a corrupted store returned %q, want a quarantine report", msg)
+	}
+	if _, err := os.Stat(files[0] + ".corrupt"); err != nil {
+		t.Fatalf("corrupt entry not renamed: %v", err)
+	}
+	// The store healed: a second pass is clean.
+	experiment.ResetRunCache()
+	if err := run([]string{"run", "-cache-verify", "-cache-dir", dir}); err != nil {
+		t.Fatalf("second fsck after quarantine: %v", err)
+	}
+}
+
+func TestRunResumeReplaysCheckpointedCells(t *testing.T) {
+	dir := t.TempDir()
+	out1 := filepath.Join(t.TempDir(), "first.txt")
+	out2 := filepath.Join(t.TempDir(), "second.txt")
+	base := []string{"run", "-profile", "tiny", "-scenarios", "2", "-cache-dir", dir}
+	if err := run(append(base, "-out", out1, "sweep")); err != nil {
+		t.Fatal(err)
+	}
+	if st := experiment.GetCheckpointStats(); st.Saved == 0 {
+		t.Fatalf("first run saved no checkpoint cells: %+v", st)
+	}
+	experiment.ResetRunCache()
+	experiment.ResetCheckpointStats()
+	if err := run(append(base, "-resume", "-out", out2, "sweep")); err != nil {
+		t.Fatal(err)
+	}
+	if st := experiment.GetCheckpointStats(); st.Replayed == 0 {
+		t.Fatalf("resumed run replayed no cells: %+v", st)
+	}
+	first, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stripTimings(string(second)), stripTimings(string(first)); got != want {
+		t.Fatalf("resumed report differs from original:\n--- original ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+}
+
+// stripTimings drops the wall-clock completion lines, the only
+// legitimately nondeterministic part of a rendered report.
+func stripTimings(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "completed in") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
 func TestRunCacheDirPersistsAcrossInvocations(t *testing.T) {
 	dir := t.TempDir()
 	args := []string{"run", "-profile", "tiny", "-scenarios", "2", "-cache-dir", dir, "sweep"}

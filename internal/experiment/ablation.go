@@ -34,7 +34,8 @@ func Ablation(opt Options) (*AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	baseline, err := runApp(cfg, policy.NewFixed(soc.NonCohDMA), test, opt.Seed+3)
+	ctx := opt.ctx()
+	baseline, err := runApp(ctx, cfg, policy.NewFixed(soc.NonCohDMA), test, opt.Seed+3)
 	if err != nil {
 		return nil, err
 	}
@@ -74,10 +75,10 @@ func Ablation(opt Options) (*AblationResult, error) {
 		if err != nil {
 			return err
 		}
-		if err := trainCohmeleon(cfg, agent, train, opt.TrainIterations, opt.Seed+7); err != nil {
+		if err := trainCohmeleon(ctx, cfg, agent, train, opt.TrainIterations, opt.Seed+7); err != nil {
 			return err
 		}
-		res, err := testPolicy(cfg, agent, test, opt.Seed+3)
+		res, err := testPolicy(ctx, cfg, agent, test, opt.Seed+3)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"cohmeleon/internal/faultinject"
+)
+
+// Durable-file plumbing shared by the run store and the experiment
+// checkpoints. Every persisted blob is a gob envelope carrying a format
+// version and the sha256 of its payload, so a reader can tell a valid
+// entry from a truncated, bit-rotted, or foreign file before decoding
+// anything — and the -cache-verify fsck can re-hash every entry without
+// knowing its payload type. Writes go through a temp file and an atomic
+// rename; the real-world failure modes of that path (create, write,
+// rename) are instrumented as failpoints so the crash-safety tests can
+// prove no fault leaves a half-written file behind.
+
+// blobEnvelope is the on-disk frame around every persisted payload.
+type blobEnvelope struct {
+	Version int
+	Sum     [sha256.Size]byte // sha256 of Payload
+	Payload []byte            // gob-encoded payload value
+}
+
+// sealBlob gob-encodes v and frames it in a checksummed envelope.
+func sealBlob(version int, v interface{}) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return nil, fmt.Errorf("experiment: encoding blob payload: %w", err)
+	}
+	env := blobEnvelope{
+		Version: version,
+		Sum:     sha256.Sum256(payload.Bytes()),
+		Payload: payload.Bytes(),
+	}
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(&env); err != nil {
+		return nil, fmt.Errorf("experiment: encoding blob envelope: %w", err)
+	}
+	return out.Bytes(), nil
+}
+
+// openEnvelope verifies a blob's frame — decodable, right version,
+// checksum matches — and returns the payload bytes. Any error means the
+// file is corrupt (not merely absent).
+func openEnvelope(data []byte, version int) ([]byte, error) {
+	var env blobEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("experiment: undecodable blob envelope: %w", err)
+	}
+	if env.Version != version {
+		return nil, fmt.Errorf("experiment: blob version %d, want %d", env.Version, version)
+	}
+	if sha256.Sum256(env.Payload) != env.Sum {
+		return nil, fmt.Errorf("experiment: blob checksum mismatch")
+	}
+	return env.Payload, nil
+}
+
+// openBlob verifies the frame and decodes the payload into v.
+func openBlob(data []byte, version int, v interface{}) error {
+	payload, err := openEnvelope(data, version)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("experiment: undecodable blob payload: %w", err)
+	}
+	return nil
+}
+
+// writeBlobAtomic publishes data at path via temp file + rename, so
+// concurrent processes sharing the directory never read a torn file and
+// a crash mid-write leaves only an unreferenced temp file. On any
+// failure the temp file is removed and the target is untouched.
+func writeBlobAtomic(dir, path string, data []byte, createPt, writePt, renamePt faultinject.Point) error {
+	if err := faultinject.Check(createPt); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".blob-*.tmp")
+	if err != nil {
+		return err
+	}
+	if err := faultinject.Check(writePt); err == nil {
+		_, err = f.Write(data)
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := faultinject.Check(renamePt); err == nil {
+		err = os.Rename(f.Name(), path)
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}
+
+// quarantinePath names a corrupt entry's resting place.
+func quarantinePath(path string) string { return path + ".corrupt" }
+
+// quarantineBlob moves a corrupt entry aside so it is never re-read (a
+// later load sees the key as absent and regenerates it) while the bytes
+// stay available for diagnosis. Exactly-once follows from the rename:
+// once moved, the entry no longer exists to be quarantined again.
+func quarantineBlob(path string) error {
+	return os.Rename(path, quarantinePath(path))
+}

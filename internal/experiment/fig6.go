@@ -66,7 +66,8 @@ func Figure6(opt Options) (*Fig6Result, error) {
 		return nil, err
 	}
 
-	baseline, err := runApp(cfg, policy.NewFixed(soc.NonCohDMA), test, opt.Seed+3)
+	ctx := opt.ctx()
+	baseline, err := runApp(ctx, cfg, policy.NewFixed(soc.NonCohDMA), test, opt.Seed+3)
 	if err != nil {
 		return nil, err
 	}
@@ -108,12 +109,12 @@ func Figure6(opt Options) (*Fig6Result, error) {
 			if err != nil {
 				return err
 			}
-			if err := trainCohmeleon(cfg, agent, train, opt.Fig6TrainIterations, opt.Seed+uint64(100*mi)); err != nil {
+			if err := trainCohmeleon(ctx, cfg, agent, train, opt.Fig6TrainIterations, opt.Seed+uint64(100*mi)); err != nil {
 				return err
 			}
 			pol, label, wlabel = agent, "cohmeleon", w.String()
 		}
-		res, err := testPolicy(cfg, pol, test, opt.Seed+3)
+		res, err := testPolicy(ctx, cfg, pol, test, opt.Seed+3)
 		if err != nil {
 			return err
 		}

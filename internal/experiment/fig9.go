@@ -84,9 +84,10 @@ func Figure9(opt Options) (*Fig9Result, error) {
 
 	perSoC := len(policies[0])
 	results := make([]*workload.AppResult, len(cfgs)*perSoC)
+	ctx := opt.ctx()
 	if err := forEachOpt(opt, len(results), func(i int) error {
 		ci, pi := i/perSoC, i%perSoC
-		res, err := testPolicy(cfgs[ci], policies[ci][pi], tests[ci], opt.Seed+3)
+		res, err := testPolicy(ctx, cfgs[ci], policies[ci][pi], tests[ci], opt.Seed+3)
 		results[i] = res
 		return err
 	}); err != nil {

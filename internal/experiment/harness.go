@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -46,8 +47,13 @@ func build(cfg *soc.Config) (*soc.SoC, error) {
 
 // runApp executes one application run of a policy — through the
 // content-keyed run cache when the policy is memoizable (see memo.go),
-// on a fresh SoC otherwise.
-func runApp(cfg *soc.Config, pol esp.Policy, app *workload.App, seed uint64) (*workload.AppResult, error) {
+// on a fresh SoC otherwise. The context is observed only here, at the
+// run boundary: a cancelled experiment cuts out between app runs, never
+// mid-simulation, so every result that exists is a complete one.
+func runApp(ctx context.Context, cfg *soc.Config, pol esp.Policy, app *workload.App, seed uint64) (*workload.AppResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiment: run aborted: %w", err)
+	}
 	appRunMemo.mu.Lock()
 	enabled := appRunMemo.enabled
 	appRunMemo.mu.Unlock()
@@ -77,10 +83,10 @@ func simulateApp(cfg *soc.Config, pol esp.Policy, app *workload.App, seed uint64
 // trainCohmeleon runs the agent through iters training iterations of the
 // training application (fresh SoC each iteration, as each FPGA run
 // reboots the platform but the learned table persists).
-func trainCohmeleon(cfg *soc.Config, agent *core.Cohmeleon, train *workload.App, iters int, seed uint64) error {
+func trainCohmeleon(ctx context.Context, cfg *soc.Config, agent *core.Cohmeleon, train *workload.App, iters int, seed uint64) error {
 	agent.Unfreeze()
 	for i := 0; i < iters; i++ {
-		if _, err := runApp(cfg, agent, train, seed+uint64(i)); err != nil {
+		if _, err := runApp(ctx, cfg, agent, train, seed+uint64(i)); err != nil {
 			return err
 		}
 		agent.EndIteration()
@@ -100,7 +106,7 @@ type freezer interface {
 
 // testPolicy evaluates a policy on the test application; learning
 // policies are frozen for the measurement and restored afterwards.
-func testPolicy(cfg *soc.Config, pol esp.Policy, test *workload.App, seed uint64) (*workload.AppResult, error) {
+func testPolicy(ctx context.Context, cfg *soc.Config, pol esp.Policy, test *workload.App, seed uint64) (*workload.AppResult, error) {
 	if agent, ok := pol.(freezer); ok {
 		wasFrozen := agent.Frozen()
 		agent.Freeze()
@@ -110,7 +116,7 @@ func testPolicy(cfg *soc.Config, pol esp.Policy, test *workload.App, seed uint64
 			}
 		}()
 	}
-	return runApp(cfg, pol, test, seed)
+	return runApp(ctx, cfg, pol, test, seed)
 }
 
 // profileHeterogeneous derives the fixed-heterogeneous assignment the
@@ -255,7 +261,7 @@ func policySet(cfg *soc.Config, opt Options, weights core.RewardWeights) ([]esp.
 	var het *policy.FixedHeterogeneous
 	if err := forEachOpt(opt, 2, func(i int) error {
 		if i == 0 {
-			return trainCohmeleon(cfg, agent, train, opt.TrainIterations, opt.Seed+7)
+			return trainCohmeleon(opt.ctx(), cfg, agent, train, opt.TrainIterations, opt.Seed+7)
 		}
 		var err error
 		het, err = profileHeterogeneous(cfg, opt)

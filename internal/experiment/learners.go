@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"crypto/sha256"
 	"fmt"
 
 	"cohmeleon/internal/core"
@@ -99,15 +100,44 @@ type learnerCell struct {
 	decisions [soc.NumModes]int64
 }
 
+// learnerCellImage is the persisted (exported-field) form of one cell.
+type learnerCellImage struct {
+	Exec      float64
+	Mem       float64
+	Decisions [soc.NumModes]int64
+}
+
+// learnersParamHash fingerprints every input that determines a grid
+// cell's value, including the resolved stack list (a -learner/-schedule
+// narrowing changes cell indices, so it changes the hash and therefore
+// the checkpoint identity).
+func learnersParamHash(opt Options, stacks []LearnerStack) runKey {
+	h := sha256.New()
+	fmt.Fprintf(h, "learners|ckpt%d|rc%d|seed%d|train%d|inv%d|scen%d\n",
+		checkpointVersion, runCacheVersion, opt.Seed, opt.TrainIterations,
+		opt.MinInvocations, opt.LearnerScenarios)
+	for _, st := range stacks {
+		fmt.Fprintf(h, "stack|%s\n", st.Label())
+	}
+	var k runKey
+	h.Sum(k[:0])
+	return k
+}
+
 // Learners runs the (learner stack × scenario) grid. Baselines fan out
 // per scenario, then every (scenario, stack) trial fans out
 // independently — each owns its agent and seeds derived from the
 // scenario, so results collected by index aggregate byte-identically
-// for any worker count.
+// for any worker count. Grid cells checkpoint like the sweep's; the
+// stage-1 preparations (app generation and the per-scenario baseline)
+// are not checkpointed, because on resume the apps regenerate
+// deterministically and the static-policy baseline run is served by the
+// content-keyed run store from the same cache directory.
 func Learners(opt Options) (*LearnersResult, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
+	ctx := opt.ctx()
 	spec := scenario.DefaultSpec()
 	spec.MinInvocations = opt.MinInvocations
 	scens, err := scenario.Sample(spec, opt.LearnerScenarios, opt.Seed)
@@ -115,6 +145,10 @@ func Learners(opt Options) (*LearnersResult, error) {
 		return nil, err
 	}
 	stacks := stacksFor(opt)
+	ck, err := openCheckpoint("learners", learnersParamHash(opt, stacks), opt.Resume)
+	if err != nil {
+		return nil, err
+	}
 
 	// Stage 1: per scenario, generate the (deterministic) training and
 	// test applications once — every stack reuses them read-only, like
@@ -135,7 +169,7 @@ func Learners(opt Options) (*LearnersResult, error) {
 		if err != nil {
 			return err
 		}
-		baseline, err := runApp(sc.Cfg, policy.NewFixed(soc.NonCohDMA), test, sc.Seed+3)
+		baseline, err := runApp(ctx, sc.Cfg, policy.NewFixed(soc.NonCohDMA), test, sc.Seed+3)
 		preps[i] = prep{train: train, test: test, baseline: baseline}
 		return err
 	}); err != nil {
@@ -147,6 +181,11 @@ func Learners(opt Options) (*LearnersResult, error) {
 	// sweep's "cohmeleon" measurement on the same scenario.
 	cells := make([]learnerCell, len(scens)*len(stacks))
 	if err := forEachOpt(opt, len(cells), func(i int) error {
+		var img learnerCellImage
+		if ck.load(i, &img) {
+			cells[i] = learnerCell{exec: img.Exec, mem: img.Mem, decisions: img.Decisions}
+			return nil
+		}
 		si, ki := i/len(stacks), i%len(stacks)
 		sc, st := scens[si], stacks[ki]
 		train, test := preps[si].train, preps[si].test
@@ -158,16 +197,17 @@ func Learners(opt Options) (*LearnersResult, error) {
 		if err != nil {
 			return err
 		}
-		if err := trainCohmeleon(sc.Cfg, agent, train, opt.TrainIterations, sc.Seed+7); err != nil {
+		if err := trainCohmeleon(ctx, sc.Cfg, agent, train, opt.TrainIterations, sc.Seed+7); err != nil {
 			return fmt.Errorf("%s: %s: training: %w", sc.Cfg.Name, st.Label(), err)
 		}
 		agent.ResetDecisions()
-		res, err := testPolicy(sc.Cfg, agent, test, sc.Seed+3)
+		res, err := testPolicy(ctx, sc.Cfg, agent, test, sc.Seed+3)
 		if err != nil {
 			return fmt.Errorf("%s: %s: %w", sc.Cfg.Name, st.Label(), err)
 		}
 		exec, mem := geoNormalized(res, preps[si].baseline)
 		cells[i] = learnerCell{exec: exec, mem: mem, decisions: agent.Decisions()}
+		ck.save(i, &learnerCellImage{Exec: exec, Mem: mem, Decisions: cells[i].decisions})
 		return nil
 	}); err != nil {
 		return nil, err

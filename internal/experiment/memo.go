@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"crypto/sha256"
-	"encoding/gob"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"cohmeleon/internal/esp"
+	"cohmeleon/internal/faultinject"
 	"cohmeleon/internal/sim"
 	"cohmeleon/internal/soc"
 	"cohmeleon/internal/workload"
@@ -39,8 +39,10 @@ type memoKeyed interface{ MemoKey() string }
 // runCacheVersion tags the content hash and the persisted-run format.
 // Bump it whenever the simulator's timing model or the persisted layout
 // changes: stale cache directories then miss cleanly instead of
-// resurrecting results from an older model.
-const runCacheVersion = 1
+// resurrecting results from an older model. Version 2 framed every
+// entry in the checksummed blob envelope (blob.go), so corruption is
+// detected by re-hashing rather than by hoping gob notices.
+const runCacheVersion = 2
 
 type runKey [sha256.Size]byte
 
@@ -81,6 +83,18 @@ type RunCacheStats struct {
 	Misses int64
 	// Evictions of in-process entries past the capacity bound.
 	Evictions int64
+	// WriteFailures counts store or checkpoint writes that failed
+	// (persistence is an optimization, but the failures are reported —
+	// once loudly on stderr, then through this counter — instead of
+	// being dropped on the floor).
+	WriteFailures int64
+	// ReadFailures counts entries that could not be read for reasons
+	// other than absence (permissions, I/O errors); each was treated as
+	// a miss.
+	ReadFailures int64
+	// Quarantined counts corrupt entries renamed to *.corrupt so they
+	// are regenerated instead of being re-read (and re-failing) forever.
+	Quarantined int64
 }
 
 // memoEntry is one in-flight or completed run. Waiters block on done;
@@ -99,7 +113,35 @@ type runMemo struct {
 	entries map[runKey]*memoEntry
 	order   []runKey // insertion order, for capacity eviction
 
-	hits, diskHits, misses, evictions atomic.Int64
+	hits, diskHits, misses, evictions          atomic.Int64
+	writeFailures, readFailures, quarantined   atomic.Int64
+	warnedWrite, warnedCorrupt, warnedReadFail atomic.Bool
+}
+
+// noteWriteFailure records a failed store/checkpoint write: counted
+// always, warned once per process (the first failure names its cause;
+// repeats would only scroll).
+func (m *runMemo) noteWriteFailure(what string, err error) {
+	m.writeFailures.Add(1)
+	if m.warnedWrite.CompareAndSwap(false, true) {
+		fmt.Fprintf(os.Stderr, "cohmeleon: %s write failed (results still computed, just not persisted; further failures counted silently): %v\n", what, err)
+	}
+}
+
+// noteQuarantine records a corrupt entry being moved aside.
+func (m *runMemo) noteQuarantine(path string, cause error) {
+	m.quarantined.Add(1)
+	if m.warnedCorrupt.CompareAndSwap(false, true) {
+		fmt.Fprintf(os.Stderr, "cohmeleon: corrupt cache entry quarantined as %s (%v); it will be regenerated\n", quarantinePath(path), cause)
+	}
+}
+
+// noteReadFailure records an entry that exists but could not be read.
+func (m *runMemo) noteReadFailure(path string, err error) {
+	m.readFailures.Add(1)
+	if m.warnedReadFail.CompareAndSwap(false, true) {
+		fmt.Fprintf(os.Stderr, "cohmeleon: cache entry %s unreadable, treating as a miss: %v\n", path, err)
+	}
 }
 
 // appRunMemo is the process-wide run cache. In-process memoization is
@@ -113,17 +155,33 @@ var appRunMemo = &runMemo{
 
 // SetRunCacheDir enables persistent run caching under dir (created if
 // missing); an empty dir disables persistence but keeps the in-process
-// memo.
+// memo. The directory is probed for writability up front, so a bad
+// -cache-dir fails once with a clear error instead of silently dropping
+// every write for the whole run.
 func SetRunCacheDir(dir string) error {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return fmt.Errorf("experiment: run cache dir: %w", err)
 		}
+		probe, err := os.CreateTemp(dir, ".probe-*.tmp")
+		if err != nil {
+			return fmt.Errorf("experiment: run cache dir %s is not writable: %w", dir, err)
+		}
+		probe.Close()
+		os.Remove(probe.Name())
 	}
 	appRunMemo.mu.Lock()
 	defer appRunMemo.mu.Unlock()
 	appRunMemo.dir = dir
 	return nil
+}
+
+// runCacheDirectory returns the configured persistent cache directory
+// ("" when persistence is off).
+func runCacheDirectory() string {
+	appRunMemo.mu.Lock()
+	defer appRunMemo.mu.Unlock()
+	return appRunMemo.dir
 }
 
 // EnableRunCache turns the run cache on or off entirely (off: every
@@ -158,15 +216,24 @@ func ResetRunCache() {
 	appRunMemo.diskHits.Store(0)
 	appRunMemo.misses.Store(0)
 	appRunMemo.evictions.Store(0)
+	appRunMemo.writeFailures.Store(0)
+	appRunMemo.readFailures.Store(0)
+	appRunMemo.quarantined.Store(0)
+	appRunMemo.warnedWrite.Store(false)
+	appRunMemo.warnedCorrupt.Store(false)
+	appRunMemo.warnedReadFail.Store(false)
 }
 
 // GetRunCacheStats returns the counters since the last reset.
 func GetRunCacheStats() RunCacheStats {
 	return RunCacheStats{
-		Hits:      appRunMemo.hits.Load(),
-		DiskHits:  appRunMemo.diskHits.Load(),
-		Misses:    appRunMemo.misses.Load(),
-		Evictions: appRunMemo.evictions.Load(),
+		Hits:          appRunMemo.hits.Load(),
+		DiskHits:      appRunMemo.diskHits.Load(),
+		Misses:        appRunMemo.misses.Load(),
+		Evictions:     appRunMemo.evictions.Load(),
+		WriteFailures: appRunMemo.writeFailures.Load(),
+		ReadFailures:  appRunMemo.readFailures.Load(),
+		Quarantined:   appRunMemo.quarantined.Load(),
 	}
 }
 
@@ -194,7 +261,9 @@ func (m *runMemo) getOrRun(key runKey, cfg *soc.Config, app *workload.App, run f
 	m.mu.Unlock()
 
 	if dir != "" {
-		if res, ok := loadPersistedRun(dir, key, cfg, app); ok {
+		// Absent, corrupt (now quarantined), and unreadable entries all
+		// fall through to simulation; only a verified entry is served.
+		if res, st := loadPersistedRun(dir, key, cfg, app); st == loadHit {
 			m.diskHits.Add(1)
 			e.res = res
 			close(e.done)
@@ -252,10 +321,11 @@ func cloneAppResult(r *workload.AppResult) *workload.AppResult {
 	return &out
 }
 
-// Persisted-run layout: a portable mirror of workload.AppResult. The
-// AccTile pointers inside esp.Result are simulation-instance identities
-// and cannot be stored; the instance name round-trips instead and is
-// re-resolved against the (content-identical) configuration on load.
+// Persisted-run layout: a portable mirror of workload.AppResult, framed
+// in the checksummed blob envelope on disk. The AccTile pointers inside
+// esp.Result are simulation-instance identities and cannot be stored;
+// the instance name round-trips instead and is re-resolved against the
+// (content-identical) configuration on load.
 type persistedRun struct {
 	Version int
 	Policy  string
@@ -289,7 +359,9 @@ func runCachePath(dir string, key runKey) string {
 
 // storePersistedRun writes the result for key atomically (temp file +
 // rename, so concurrent processes sharing a cache directory never read
-// a torn file). Failures are silent: persistence is an optimization.
+// a torn file). Persistence is an optimization — the computed result is
+// still returned on failure — but failures are counted and the first
+// one is reported, not dropped on the floor.
 func storePersistedRun(dir string, key runKey, res *workload.AppResult) {
 	p := persistedRun{
 		Version: runCacheVersion,
@@ -314,35 +386,66 @@ func storePersistedRun(dir string, key runKey, res *workload.AppResult) {
 		}
 		p.Phases = append(p.Phases, pp)
 	}
-	f, err := os.CreateTemp(dir, "run-*.tmp")
+	data, err := sealBlob(runCacheVersion, &p)
+	if err == nil {
+		err = writeBlobAtomic(dir, runCachePath(dir, key), data,
+			faultinject.StoreCreate, faultinject.StoreWrite, faultinject.StoreRename)
+	}
 	if err != nil {
-		return
-	}
-	if err := gob.NewEncoder(f).Encode(&p); err != nil {
-		f.Close()
-		os.Remove(f.Name())
-		return
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(f.Name())
-		return
-	}
-	if err := os.Rename(f.Name(), runCachePath(dir, key)); err != nil {
-		os.Remove(f.Name())
+		appRunMemo.noteWriteFailure("run store", err)
 	}
 }
 
-// loadPersistedRun reads and revives the result for key, reporting
-// ok=false when absent, unreadable, or from another format version.
-func loadPersistedRun(dir string, key runKey, cfg *soc.Config, app *workload.App) (*workload.AppResult, bool) {
-	f, err := os.Open(runCachePath(dir, key))
-	if err != nil {
-		return nil, false
+// loadStatus distinguishes why a persisted entry did not load.
+type loadStatus int
+
+const (
+	loadHit      loadStatus = iota
+	loadAbsent              // no entry for this key (the common miss)
+	loadCorrupt             // entry existed but failed verification; quarantined
+	loadReadFail            // entry exists but could not be read (I/O, permissions)
+)
+
+// loadPersistedRun reads, verifies, and revives the result for key.
+// Absence is the one benign outcome; a corrupt entry — undecodable,
+// checksum mismatch, wrong embedded version, or foreign content — is
+// quarantined (renamed *.corrupt) so it is regenerated exactly once
+// instead of being re-read and re-failing on every run.
+func loadPersistedRun(dir string, key runKey, cfg *soc.Config, app *workload.App) (*workload.AppResult, loadStatus) {
+	path := runCachePath(dir, key)
+	var data []byte
+	err := faultinject.Check(faultinject.StoreOpen)
+	if err == nil {
+		data, err = os.ReadFile(path)
 	}
-	defer f.Close()
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, loadAbsent
+		}
+		appRunMemo.noteReadFailure(path, err)
+		return nil, loadReadFail
+	}
+	res, err := revivePersistedRun(data, cfg, app)
+	if err != nil {
+		if qerr := quarantineBlob(path); qerr == nil {
+			appRunMemo.noteQuarantine(path, err)
+		} else {
+			appRunMemo.noteReadFailure(path, err)
+		}
+		return nil, loadCorrupt
+	}
+	return res, loadHit
+}
+
+// revivePersistedRun verifies an entry's bytes and rebuilds the result.
+// Any error means the entry is corrupt.
+func revivePersistedRun(data []byte, cfg *soc.Config, app *workload.App) (*workload.AppResult, error) {
 	var p persistedRun
-	if err := gob.NewDecoder(f).Decode(&p); err != nil || p.Version != runCacheVersion {
-		return nil, false
+	if err := openBlob(data, runCacheVersion, &p); err != nil {
+		return nil, err
+	}
+	if p.Version != runCacheVersion {
+		return nil, fmt.Errorf("experiment: run entry payload version %d, want %d", p.Version, runCacheVersion)
 	}
 	// Revive the accelerator identities against the configuration: the
 	// content key guarantees cfg matches the one the run simulated, so a
@@ -367,7 +470,7 @@ func loadPersistedRun(dir string, key runKey, cfg *soc.Config, app *workload.App
 		for _, pi := range pp.Invocations {
 			tile, ok := tiles[pi.AccInst]
 			if !ok {
-				return nil, false // foreign file: treat as a miss
+				return nil, fmt.Errorf("experiment: run entry names unknown accelerator %q", pi.AccInst)
 			}
 			ph.Invocations = append(ph.Invocations, &esp.Result{
 				Acc:            tile,
@@ -382,5 +485,5 @@ func loadPersistedRun(dir string, key runKey, cfg *soc.Config, app *workload.App
 		}
 		out.Phases = append(out.Phases, ph)
 	}
-	return out, true
+	return out, nil
 }

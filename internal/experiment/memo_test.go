@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -12,6 +13,112 @@ import (
 	"cohmeleon/internal/soc"
 	"cohmeleon/internal/workload"
 )
+
+// TestCorruptRunEntriesQuarantinedExactlyOnce is the self-healing
+// matrix: a truncated entry, a version-mismatched envelope, and plain
+// garbage must each load as a clean miss (identical recomputed result),
+// be renamed *.corrupt exactly once, and leave the store healthy — the
+// recomputed entry persists at the original path and serves the next
+// load from disk with nothing further quarantined.
+func TestCorruptRunEntriesQuarantinedExactlyOnce(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"version-mismatched", func(t *testing.T, path string) {
+			data, err := sealBlob(runCacheVersion+1, &persistedRun{Version: runCacheVersion + 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"garbage", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("not a gob stream"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			memoTestSetup(t)
+			dir := t.TempDir()
+			if err := SetRunCacheDir(dir); err != nil {
+				t.Fatal(err)
+			}
+			cfg, app := memoTestInputs(t)
+			first, err := runApp(context.Background(), cfg, policy.NewFixed(soc.LLCCohDMA), app, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			files, err := filepath.Glob(filepath.Join(dir, "run-v*.gob"))
+			if err != nil || len(files) != 1 {
+				t.Fatalf("persisted %v (err %v), want exactly one entry", files, err)
+			}
+			tc.corrupt(t, files[0])
+
+			ResetRunCache() // drop the in-memory memo so the disk entry is consulted
+			if err := SetRunCacheDir(dir); err != nil {
+				t.Fatal(err)
+			}
+			again, err := runApp(context.Background(), cfg, policy.NewFixed(soc.LLCCohDMA), app, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameMeasurements(again, first) {
+				t.Error("recomputed result after quarantine differs from the original")
+			}
+			st := GetRunCacheStats()
+			if st.Quarantined != 1 {
+				t.Fatalf("quarantined %d entries, want exactly 1", st.Quarantined)
+			}
+			if st.DiskHits != 0 || st.Misses != 1 {
+				t.Fatalf("corrupt entry load counted %d disk hits, %d misses; want a clean miss", st.DiskHits, st.Misses)
+			}
+			if _, err := os.Stat(files[0] + ".corrupt"); err != nil {
+				t.Fatalf("corrupt entry not renamed: %v", err)
+			}
+
+			// The store healed: the recompute re-persisted, and a fresh
+			// process serves it from disk without touching quarantine again.
+			ResetRunCache()
+			if err := SetRunCacheDir(dir); err != nil {
+				t.Fatal(err)
+			}
+			third, err := runApp(context.Background(), cfg, policy.NewFixed(soc.LLCCohDMA), app, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameMeasurements(third, first) {
+				t.Error("post-heal disk hit differs from the original result")
+			}
+			st = GetRunCacheStats()
+			if st.DiskHits != 1 || st.Quarantined != 0 {
+				t.Fatalf("post-heal load counted %d disk hits, %d quarantines; want 1 and 0", st.DiskHits, st.Quarantined)
+			}
+		})
+	}
+}
+
+// sameMeasurements compares two app results by everything a report
+// consumes (totals and the per-phase series); revived results re-resolve
+// accelerator identities against the config, so pointer-deep equality is
+// deliberately not required.
+func sameMeasurements(a, b *workload.AppResult) bool {
+	return a.Cycles == b.Cycles && a.OffChip == b.OffChip && a.Policy == b.Policy &&
+		reflect.DeepEqual(a.ExecSeries(), b.ExecSeries()) &&
+		reflect.DeepEqual(a.MemSeries(), b.MemSeries())
+}
 
 // memoTestSetup resets the run cache around a test and restores the
 // package defaults afterwards (the cache is process-global).
@@ -83,7 +190,7 @@ func TestRunCacheHitReturnsIdenticalInsulatedResult(t *testing.T) {
 	memoTestSetup(t)
 	cfg, app := memoTestInputs(t)
 
-	first, err := runApp(cfg, policy.NewFixed(soc.LLCCohDMA), app, 7)
+	first, err := runApp(context.Background(), cfg, policy.NewFixed(soc.LLCCohDMA), app, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +198,7 @@ func TestRunCacheHitReturnsIdenticalInsulatedResult(t *testing.T) {
 	if st.Misses != 1 || st.Hits != 0 {
 		t.Fatalf("after cold run: %+v, want 1 miss", st)
 	}
-	second, err := runApp(cfg, policy.NewFixed(soc.LLCCohDMA), app, 7)
+	second, err := runApp(context.Background(), cfg, policy.NewFixed(soc.LLCCohDMA), app, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +213,7 @@ func TestRunCacheHitReturnsIdenticalInsulatedResult(t *testing.T) {
 	// into the next hit.
 	second.Phases[0].Cycles = 12345
 	second.Phases[0].Invocations[0].ExecCycles = 999
-	third, err := runApp(cfg, policy.NewFixed(soc.LLCCohDMA), app, 7)
+	third, err := runApp(context.Background(), cfg, policy.NewFixed(soc.LLCCohDMA), app, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,10 +227,10 @@ func TestRunCacheCapacityEviction(t *testing.T) {
 	SetRunCacheCapacity(1)
 	cfg, app := memoTestInputs(t)
 
-	if _, err := runApp(cfg, policy.NewFixed(soc.NonCohDMA), app, 7); err != nil {
+	if _, err := runApp(context.Background(), cfg, policy.NewFixed(soc.NonCohDMA), app, 7); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := runApp(cfg, policy.NewFixed(soc.LLCCohDMA), app, 7); err != nil {
+	if _, err := runApp(context.Background(), cfg, policy.NewFixed(soc.LLCCohDMA), app, 7); err != nil {
 		t.Fatal(err)
 	}
 	st := GetRunCacheStats()
@@ -131,7 +238,7 @@ func TestRunCacheCapacityEviction(t *testing.T) {
 		t.Fatalf("capacity 1 after two distinct runs: %+v, want an eviction", st)
 	}
 	// The evicted first key must miss (and resimulate) again.
-	if _, err := runApp(cfg, policy.NewFixed(soc.NonCohDMA), app, 7); err != nil {
+	if _, err := runApp(context.Background(), cfg, policy.NewFixed(soc.NonCohDMA), app, 7); err != nil {
 		t.Fatal(err)
 	}
 	if st = GetRunCacheStats(); st.Misses != 3 || st.Hits != 0 {
@@ -147,7 +254,7 @@ func TestRunCachePersistenceRoundTrip(t *testing.T) {
 	}
 	cfg, app := memoTestInputs(t)
 
-	fresh, err := runApp(cfg, policy.NewManual(), app, 7)
+	fresh, err := runApp(context.Background(), cfg, policy.NewManual(), app, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +267,7 @@ func TestRunCachePersistenceRoundTrip(t *testing.T) {
 	// disk copy must serve the rerun and revive identical results,
 	// including the re-resolved accelerator identities.
 	ResetRunCache()
-	revived, err := runApp(cfg, policy.NewManual(), app, 7)
+	revived, err := runApp(context.Background(), cfg, policy.NewManual(), app, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +304,7 @@ func TestRunCachePersistenceRoundTrip(t *testing.T) {
 	if err := os.WriteFile(files[0], []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := runApp(cfg, policy.NewManual(), app, 7); err != nil {
+	if _, err := runApp(context.Background(), cfg, policy.NewManual(), app, 7); err != nil {
 		t.Fatal(err)
 	}
 	if st := GetRunCacheStats(); st.Misses != 1 {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"cohmeleon/internal/learn"
@@ -58,6 +59,27 @@ type Options struct {
 	// LearnerScenarios is the number of randomized scenarios the
 	// learners experiment runs its (algorithm × schedule) grid over.
 	LearnerScenarios int
+	// Ctx, when non-nil, cancels experiments cooperatively: the worker
+	// pool stops dispatching new trials and in-flight work cuts out at
+	// its next app-run boundary, returning an error that wraps
+	// ctx.Err(). Checks sit at trial and run boundaries only, so an
+	// uncancelled run is byte-identical to one with a nil Ctx.
+	Ctx context.Context
+	// Resume replays completed cells from the checkpoint a previous
+	// (typically interrupted) sweep or learners run left under the run
+	// cache directory, re-running only the missing cells; the resumed
+	// report is byte-identical to an uninterrupted run. Without a cache
+	// directory there is no checkpoint and Resume is inert. Experiments
+	// that don't checkpoint ignore it (the CLI rejects the flag there).
+	Resume bool
+}
+
+// ctx resolves the experiment context (nil means never cancelled).
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // Validate reports option errors before any experiment spends cycles

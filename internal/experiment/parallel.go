@@ -1,11 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"cohmeleon/internal/faultinject"
 )
 
 // This file implements the worker pool the experiments fan out on.
@@ -19,6 +22,15 @@ import (
 // loop of a single agent is inherently sequential (iteration i+1 learns
 // from iteration i); independent (SoC, policy, seed, reward-weight)
 // combinations fan out.
+//
+// The pool is also where cancellation and fail-fast live: dispatch stops
+// handing out new indices once the context is cancelled or any trial has
+// failed. Trials already in flight either run to completion (and their
+// results still checkpoint) or cut out early at their own app-run
+// boundaries, which observe the same context. Cancellation is checked
+// only at those boundaries — never inside the simulator — so an
+// uncancelled run pays one ctx.Err() load per trial and stays
+// byte-identical.
 
 // workers resolves the configured worker count.
 func (o Options) workers() int {
@@ -28,21 +40,39 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// taskPanic carries a recovered panic from a worker to the caller.
-type taskPanic struct {
-	index int
-	value interface{}
-	stack []byte
+// TrialPanic is the value forEach re-panics with when a worker trial
+// panicked: the original panic value survives in Value (a recovering
+// caller can inspect or re-raise it), with the trial index and worker
+// stack alongside for diagnosis.
+type TrialPanic struct {
+	Index int
+	Value interface{}
+	Stack []byte
+}
+
+func (p *TrialPanic) String() string {
+	return fmt.Sprintf("experiment: trial %d panicked: %v\n%s", p.Index, p.Value, p.Stack)
+}
+
+// interruptedErr marks a fan-out cut short by context cancellation;
+// errors.Is sees through it to context.Canceled / DeadlineExceeded.
+func interruptedErr(ctx context.Context, done, n int) error {
+	return fmt.Errorf("experiment: interrupted after %d/%d trials: %w", done, n, ctx.Err())
 }
 
 // forEach runs fn(i) for every i in [0, n) on up to `workers` goroutines
-// and waits for all of them. Errors are collected per index and the
+// and waits for the ones it started. Dispatch is fail-fast: once any
+// trial errors or panics, or ctx is cancelled, no new index is handed
+// out; in-flight trials finish. Errors are collected per index and the
 // lowest-index one is returned, matching what a sequential loop that
-// stopped at the first failure would have reported. A panicking task
-// does not tear down the process from a bare goroutine: the panic is
-// captured and re-raised on the calling goroutine (lowest index first).
-// With workers == 1 (or n == 1) fn runs inline in index order.
-func forEach(workers, n int, fn func(i int) error) error {
+// stopped at the first failure would have reported; a cancellation with
+// no trial error returns an error wrapping ctx.Err() — unless every
+// trial already completed, in which case the fan-out (and its results)
+// are whole and the cancellation is moot. A panicking task does not tear
+// down the process from a bare goroutine: the panic is captured and
+// re-raised on the calling goroutine as a *TrialPanic (lowest index
+// first). With workers == 1 (or n == 1) fn runs inline in index order.
+func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -51,32 +81,45 @@ func forEach(workers, n int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if ctx.Err() != nil {
+				return interruptedErr(ctx, i, n)
+			}
+			if err := runTrial(i, fn); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	errs := make([]error, n)
-	panics := make([]*taskPanic, n)
+	panics := make([]*TrialPanic, n)
 	var next int64 = -1
+	var failed atomic.Bool
+	var started int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
 				}
+				atomic.AddInt64(&started, 1)
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
-							panics[i] = &taskPanic{index: i, value: r, stack: debug.Stack()}
+							panics[i] = &TrialPanic{Index: i, Value: r, Stack: debug.Stack()}
+							failed.Store(true)
 						}
 					}()
-					errs[i] = fn(i)
+					if err := runTrial(i, fn); err != nil {
+						errs[i] = err
+						failed.Store(true)
+					}
 				}()
 			}
 		}()
@@ -84,7 +127,7 @@ func forEach(workers, n int, fn func(i int) error) error {
 	wg.Wait()
 	for _, p := range panics {
 		if p != nil {
-			panic(fmt.Sprintf("experiment: trial %d panicked: %v\n%s", p.index, p.value, p.stack))
+			panic(p)
 		}
 	}
 	for _, err := range errs {
@@ -92,10 +135,24 @@ func forEach(workers, n int, fn func(i int) error) error {
 			return err
 		}
 	}
+	if ctx.Err() != nil && int(started) < n {
+		return interruptedErr(ctx, int(started), n)
+	}
 	return nil
 }
 
-// forEachOpt is forEach with the worker count taken from the options.
+// runTrial executes one trial behind its failpoint: an armed fault
+// script can fail, panic, or cancel at an exact trial index, which is
+// how the crash-safety tests interrupt a fan-out deterministically.
+func runTrial(i int, fn func(i int) error) error {
+	if err := faultinject.CheckIndex(faultinject.Trial, i); err != nil {
+		return err
+	}
+	return fn(i)
+}
+
+// forEachOpt is forEach with the worker count and context taken from the
+// options.
 func forEachOpt(opt Options, n int, fn func(i int) error) error {
-	return forEach(opt.workers(), n, fn)
+	return forEach(opt.ctx(), opt.workers(), n, fn)
 }

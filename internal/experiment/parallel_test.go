@@ -1,17 +1,20 @@
 package experiment
 
 import (
+	"context"
 	"errors"
-	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"cohmeleon/internal/faultinject"
 )
 
 func TestForEachRunsEveryIndexOnce(t *testing.T) {
 	for _, workers := range []int{1, 3, 8} {
 		n := 23
 		counts := make([]int64, n)
-		if err := forEach(workers, n, func(i int) error {
+		if err := forEach(context.Background(), workers, n, func(i int) error {
 			atomic.AddInt64(&counts[i], 1)
 			return nil
 		}); err != nil {
@@ -28,7 +31,7 @@ func TestForEachRunsEveryIndexOnce(t *testing.T) {
 func TestForEachReturnsLowestIndexError(t *testing.T) {
 	errA := errors.New("a")
 	errB := errors.New("b")
-	err := forEach(4, 10, func(i int) error {
+	err := forEach(context.Background(), 4, 10, func(i int) error {
 		switch i {
 		case 3:
 			return errB
@@ -42,22 +45,193 @@ func TestForEachReturnsLowestIndexError(t *testing.T) {
 	}
 }
 
-func TestForEachPropagatesPanics(t *testing.T) {
+// TestForEachFailFast proves an errored fan-out stops handing out new
+// indices: with one worker the sequential order makes the cut exact —
+// nothing after the failing index may run.
+func TestForEachFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int64
+	err := forEach(context.Background(), 1, 100, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 4 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if ran != 5 {
+		t.Fatalf("sequential fail-fast ran %d trials, want 5", ran)
+	}
+}
+
+// TestForEachFailFastParallel bounds the over-dispatch after a failure:
+// trial 0 errors immediately while every other trial takes ~1ms, so by
+// the time any worker finishes its first trial the failure flag is set
+// and only the handful of trials dispatched before it may still run.
+func TestForEachFailFastParallel(t *testing.T) {
+	boom := errors.New("boom")
+	const n, workers = 1000, 4
+	var ran int64
+	err := forEach(context.Background(), workers, n, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 0 {
+			return boom
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	// Without fail-fast all 1000 trials run; with it, only the in-flight
+	// ones (bounded by the worker count, with slack for dispatch races).
+	if got := atomic.LoadInt64(&ran); got >= 50 {
+		t.Fatalf("fail-fast still dispatched %d of %d trials", got, n)
+	}
+}
+
+// TestForEachCancellation checks the cooperative-cancel contract: after
+// ctx is cancelled no new index is dispatched, in-flight trials finish,
+// and the returned error wraps context.Canceled.
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran int64
+	err := forEach(ctx, 2, 100, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 1 {
+			cancel()
+			return nil
+		}
+		// Every other trial takes ~1ms, so the cancel from trial 1 lands
+		// while the fan-out has barely started.
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want a context.Canceled wrap", err)
+	}
+	if got := atomic.LoadInt64(&ran); got >= 50 {
+		t.Fatalf("cancellation still dispatched %d trials", got)
+	}
+}
+
+// TestForEachCancelledBeforeStart dispatches nothing on a dead context.
+func TestForEachCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran int64
+		err := forEach(ctx, workers, 10, func(i int) error {
+			atomic.AddInt64(&ran, 1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if ran != 0 {
+			t.Fatalf("workers=%d: dead context still ran %d trials", workers, ran)
+		}
+	}
+}
+
+// TestForEachCancelAfterCompletionIsMoot: a cancellation that lands when
+// every trial already completed must not fail the (whole) fan-out.
+func TestForEachCancelAfterCompletionIsMoot(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 8
+	var ran int64
+	err := forEach(ctx, 4, n, func(i int) error {
+		if atomic.AddInt64(&ran, 1) == int64(n) {
+			cancel() // last trial: results are whole
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("complete fan-out reported %v", err)
+	}
+}
+
+// TestForEachErrorBeatsCancellation: when a trial failed and the context
+// was also cancelled, the trial error wins (it is the actionable one).
+func TestForEachErrorBeatsCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := forEach(ctx, 3, 50, func(i int) error {
+		if i == 2 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("got %v, want the trial error %v", err, boom)
+	}
+}
+
+func TestForEachPropagatesPanicValue(t *testing.T) {
+	type payload struct{ code int }
 	defer func() {
 		r := recover()
 		if r == nil {
 			t.Fatal("expected the worker panic to reach the caller")
 		}
-		if !strings.Contains(r.(string), "boom") {
-			t.Fatalf("panic lost its payload: %v", r)
+		tp, ok := r.(*TrialPanic)
+		if !ok {
+			t.Fatalf("panic re-raised as %T, want *TrialPanic", r)
+		}
+		if tp.Index != 5 {
+			t.Fatalf("panic reports trial %d, want 5", tp.Index)
+		}
+		// The original panic value survives untouched, not a formatted
+		// string of it.
+		if v, ok := tp.Value.(payload); !ok || v.code != 42 {
+			t.Fatalf("panic lost its payload: %#v", tp.Value)
+		}
+		if len(tp.Stack) == 0 {
+			t.Fatal("panic lost the worker stack")
 		}
 	}()
-	_ = forEach(4, 8, func(i int) error {
+	_ = forEach(context.Background(), 4, 8, func(i int) error {
 		if i == 5 {
-			panic("boom")
+			panic(payload{code: 42})
 		}
 		return nil
 	})
+}
+
+// TestForEachInjectedTrialFaults drives the pool through the faultinject
+// trial point: an injected error fails fast, an injected panic re-raises
+// with the injected value.
+func TestForEachInjectedTrialFaults(t *testing.T) {
+	faultinject.Enable(faultinject.NewScript(faultinject.Fail(faultinject.Trial, 3)))
+	var ran int64
+	err := forEach(context.Background(), 1, 10, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		return nil
+	})
+	faultinject.Disable()
+	if err == nil {
+		t.Fatal("injected trial fault did not surface")
+	}
+	if ran != 3 {
+		t.Fatalf("injection at index 3 let %d trials run, want 3 (0..2)", ran)
+	}
+
+	faultinject.Enable(faultinject.NewScript(
+		faultinject.Rule{Point: faultinject.Trial, N: 1, Action: faultinject.Action{Panic: "injected-panic"}}))
+	defer faultinject.Disable()
+	defer func() {
+		r := recover()
+		tp, ok := r.(*TrialPanic)
+		if !ok || tp.Value != "injected-panic" {
+			t.Fatalf("injected panic surfaced as %#v", r)
+		}
+	}()
+	_ = forEach(context.Background(), 2, 4, func(i int) error { return nil })
 }
 
 // TestWorkersReportByteIdenticalFig5 proves the fan-out is inert for

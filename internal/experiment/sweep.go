@@ -1,7 +1,11 @@
 package experiment
 
 import (
+	"bytes"
+	"context"
+	"crypto/sha256"
 	"fmt"
+	"os"
 
 	"cohmeleon/internal/core"
 	"cohmeleon/internal/esp"
@@ -139,7 +143,7 @@ func sweepPolicies(sc scenario.Scenario, opt Options, loaded *learn.TabularState
 // the scenario's training application, then every policy runs the test
 // application on a fresh SoC. All seeds derive from the scenario, so
 // the outcome is independent of which worker runs it.
-func sweepScenario(sc scenario.Scenario, opt Options, loaded *learn.TabularState) (sweepPerScenario, error) {
+func sweepScenario(ctx context.Context, sc scenario.Scenario, opt Options, loaded *learn.TabularState) (sweepPerScenario, error) {
 	out := sweepPerScenario{}
 	train, err := sc.App(1000)
 	if err != nil {
@@ -153,12 +157,12 @@ func sweepScenario(sc scenario.Scenario, opt Options, loaded *learn.TabularState
 	if err != nil {
 		return out, err
 	}
-	if err := trainCohmeleon(sc.Cfg, agent, train, opt.TrainIterations, sc.Seed+7); err != nil {
+	if err := trainCohmeleon(ctx, sc.Cfg, agent, train, opt.TrainIterations, sc.Seed+7); err != nil {
 		return out, fmt.Errorf("%s: training: %w", sc.Cfg.Name, err)
 	}
 	results := make([]*workload.AppResult, len(pols))
 	for i, pol := range pols {
-		res, err := testPolicy(sc.Cfg, pol, test, sc.Seed+3)
+		res, err := testPolicy(ctx, sc.Cfg, pol, test, sc.Seed+3)
 		if err != nil {
 			return out, fmt.Errorf("%s: %s: %w", sc.Cfg.Name, pol.Name(), err)
 		}
@@ -183,21 +187,89 @@ func sweepScenario(sc scenario.Scenario, opt Options, loaded *learn.TabularState
 	return out, nil
 }
 
+// sweepParamHash fingerprints every input that determines a sweep
+// cell's value: the option fields the cells observe, the content of any
+// loaded learner state (it adds the transfer row), and the format
+// versions (runCacheVersion is the simulator timing model's proxy — a
+// model change invalidates checkpoints exactly like it invalidates the
+// run store). QTableSave is deliberately absent: it only affects the
+// post-aggregation merge, so a run interrupted without it can resume
+// with it.
+func sweepParamHash(opt Options, loadedRaw []byte) runKey {
+	h := sha256.New()
+	fmt.Fprintf(h, "sweep|ckpt%d|rc%d|seed%d|train%d|inv%d|scen%d|learner=%s|sched=%s|load=%d\n",
+		checkpointVersion, runCacheVersion, opt.Seed, opt.TrainIterations,
+		opt.MinInvocations, opt.SweepScenarios, opt.Learner, opt.Schedule, len(loadedRaw))
+	h.Write(loadedRaw)
+	var k runKey
+	h.Sum(k[:0])
+	return k
+}
+
+// sweepCellImage is the persisted (exported-field) form of one
+// scenario's measurements; the learner state rides along as its own
+// versioned encoding so the checkpoint inherits learn's integrity
+// checks.
+type sweepCellImage struct {
+	Info  SweepScenarioInfo
+	Names []string
+	Execs []float64
+	Mems  []float64
+	State []byte
+}
+
+// image converts a completed cell for persistence.
+func (s *sweepPerScenario) image() (*sweepCellImage, error) {
+	img := &sweepCellImage{Info: s.info, Names: s.names, Execs: s.execs, Mems: s.mems}
+	if s.state != nil {
+		var buf bytes.Buffer
+		if err := learn.EncodeState(&buf, s.state); err != nil {
+			return nil, err
+		}
+		img.State = buf.Bytes()
+	}
+	return img, nil
+}
+
+// sweepCellFromImage revives a replayed cell, re-validating the
+// embedded learner state.
+func sweepCellFromImage(img *sweepCellImage) (sweepPerScenario, error) {
+	out := sweepPerScenario{info: img.Info, names: img.Names, execs: img.Execs, mems: img.Mems}
+	if len(img.State) > 0 {
+		st, err := learn.DecodeState(bytes.NewReader(img.State))
+		if err != nil {
+			return out, err
+		}
+		out.state = st
+	}
+	return out, nil
+}
+
 // Sweep runs the randomized scenario grid. Scenarios fan out on the
 // worker pool; each is self-contained (own SoC, policies, seeds) and
 // results are collected by index, then aggregated in index order, so
-// the report is byte-identical for any worker count.
+// the report is byte-identical for any worker count. With a cache
+// directory configured every completed scenario checkpoints, and with
+// Options.Resume the checkpointed cells replay instead of re-running —
+// interrupt, resume, and uninterrupted runs all render byte-identical
+// reports.
 func Sweep(opt Options) (*SweepResult, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
+	ctx := opt.ctx()
 	var loaded *learn.TabularState
+	var loadedRaw []byte
 	if opt.QTableLoad != "" {
-		st, err := learn.LoadStateFile(opt.QTableLoad)
+		raw, err := os.ReadFile(opt.QTableLoad)
 		if err != nil {
 			return nil, fmt.Errorf("sweep: loading learner state: %w", err)
 		}
-		loaded = st
+		st, err := learn.DecodeState(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("sweep: loading learner state: %w", err)
+		}
+		loaded, loadedRaw = st, raw
 	}
 
 	spec := scenario.DefaultSpec()
@@ -206,11 +278,30 @@ func Sweep(opt Options) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	ck, err := openCheckpoint("sweep", sweepParamHash(opt, loadedRaw), opt.Resume)
+	if err != nil {
+		return nil, err
+	}
 
 	perScenario := make([]sweepPerScenario, len(scens))
 	if err := forEachOpt(opt, len(scens), func(i int) error {
-		res, err := sweepScenario(scens[i], opt, loaded)
+		var img sweepCellImage
+		if ck.load(i, &img) {
+			cell, err := sweepCellFromImage(&img)
+			if err == nil {
+				perScenario[i] = cell
+				return nil
+			}
+			ckptReplayed.Add(-1) // envelope verified but the payload didn't revive
+			ck.invalidate(i, err)
+		}
+		res, err := sweepScenario(ctx, scens[i], opt, loaded)
 		perScenario[i] = res
+		if err == nil {
+			if img, ierr := res.image(); ierr == nil {
+				ck.save(i, img)
+			}
+		}
 		return err
 	}); err != nil {
 		return nil, err

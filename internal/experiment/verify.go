@@ -1,0 +1,128 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// VerifyResult summarizes a run-store fsck (-cache-verify).
+type VerifyResult struct {
+	// Runs is the number of current-version run entries examined; OK of
+	// them re-hashed and decoded cleanly.
+	Runs int
+	OK   int
+	// Quarantined counts entries that failed verification and were
+	// renamed *.corrupt during this pass (runs and checkpoint cells).
+	Quarantined int
+	// Stale counts run entries from other format versions; they are
+	// never read by this binary and are left in place.
+	Stale int
+	// PriorQuarantine counts *.corrupt files from earlier quarantines.
+	PriorQuarantine int
+	// Cells is the number of checkpoint cells examined; CellsOK of them
+	// verified cleanly.
+	Cells   int
+	CellsOK int
+}
+
+// String renders the fsck summary.
+func (v VerifyResult) String() string {
+	return fmt.Sprintf("run store: %d/%d entries ok, %d checkpoint cells ok of %d, %d quarantined this pass, %d stale-version, %d previously quarantined",
+		v.OK, v.Runs, v.CellsOK, v.Cells, v.Quarantined, v.Stale, v.PriorQuarantine)
+}
+
+// Clean reports whether every examined entry verified.
+func (v VerifyResult) Clean() bool { return v.Quarantined == 0 }
+
+// VerifyRunCache fscks a cache directory: every current-version run
+// entry is re-read, re-hashed against its embedded checksum, and fully
+// decoded; every checkpoint cell is re-read and re-hashed. Entries that
+// fail are quarantined exactly as a regular load would have done —
+// verification is the same code path, run eagerly — so after a clean
+// pass no future run can trip over a corrupt entry. The error is non-nil
+// only when the directory itself cannot be walked; individual bad
+// entries are a result, not an error.
+func VerifyRunCache(dir string) (VerifyResult, error) {
+	var out VerifyResult
+	if dir == "" {
+		return out, fmt.Errorf("experiment: no cache directory to verify")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return out, fmt.Errorf("experiment: verifying cache: %w", err)
+	}
+	curPrefix := fmt.Sprintf("run-v%d-", runCacheVersion)
+	for _, ent := range entries {
+		name := ent.Name()
+		switch {
+		case ent.IsDir():
+			continue
+		case strings.HasSuffix(name, ".corrupt"):
+			out.PriorQuarantine++
+		case strings.HasPrefix(name, curPrefix) && strings.HasSuffix(name, ".gob"):
+			out.Runs++
+			if verifyRunEntry(filepath.Join(dir, name)) {
+				out.OK++
+			} else {
+				out.Quarantined++
+			}
+		case strings.HasPrefix(name, "run-v") && strings.HasSuffix(name, ".gob"):
+			out.Stale++
+		}
+	}
+	// Checkpoint cells: same envelope discipline, own format version.
+	cellGlob := filepath.Join(checkpointRoot(dir), "*", "cell-*.gob")
+	cells, err := filepath.Glob(cellGlob)
+	if err != nil {
+		return out, fmt.Errorf("experiment: verifying checkpoints: %w", err)
+	}
+	for _, path := range cells {
+		if strings.HasSuffix(path, ".corrupt") {
+			continue
+		}
+		out.Cells++
+		if verifyEnvelopeFile(path, checkpointVersion) {
+			out.CellsOK++
+		} else {
+			out.Quarantined++
+		}
+	}
+	return out, nil
+}
+
+// verifyRunEntry re-hashes and fully decodes one run entry, putting a
+// failing file in quarantine. Reports whether the entry is sound.
+func verifyRunEntry(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		appRunMemo.noteReadFailure(path, err)
+		return false
+	}
+	var p persistedRun
+	if err := openBlob(data, runCacheVersion, &p); err == nil && p.Version == runCacheVersion {
+		return true
+	}
+	if err := quarantineBlob(path); err == nil {
+		appRunMemo.noteQuarantine(path, fmt.Errorf("fsck: entry failed verification"))
+	}
+	return false
+}
+
+// verifyEnvelopeFile re-hashes one enveloped file (payload schema not
+// interpreted), quarantining on failure.
+func verifyEnvelopeFile(path string, version int) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		appRunMemo.noteReadFailure(path, err)
+		return false
+	}
+	if _, err := openEnvelope(data, version); err == nil {
+		return true
+	}
+	if err := quarantineBlob(path); err == nil {
+		appRunMemo.noteQuarantine(path, fmt.Errorf("fsck: cell failed verification"))
+	}
+	return false
+}
