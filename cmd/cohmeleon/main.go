@@ -324,7 +324,7 @@ func verifyCache(dir string) error {
 	}
 	fmt.Fprintln(os.Stderr, "cohmeleon: cache-verify:", res)
 	if !res.Clean() {
-		return fmt.Errorf("cache-verify: %d corrupt entries quarantined (renamed *.corrupt; they will be recomputed)", res.Quarantined)
+		return fmt.Errorf("cache-verify: %d corrupt entries quarantined (renamed *.corrupt; they will be recomputed), %d corrupt but not quarantined (still in place)", res.Quarantined, res.Failed)
 	}
 	return nil
 }

@@ -86,7 +86,9 @@ func writeBlobAtomic(dir, path string, data []byte, createPt, writePt, renamePt 
 	if err != nil {
 		return err
 	}
-	if err := faultinject.Check(writePt); err == nil {
+	if ferr := faultinject.Check(writePt); ferr != nil {
+		err = ferr
+	} else {
 		_, err = f.Write(data)
 	}
 	if err != nil {
@@ -98,7 +100,9 @@ func writeBlobAtomic(dir, path string, data []byte, createPt, writePt, renamePt 
 		os.Remove(f.Name())
 		return err
 	}
-	if err := faultinject.Check(renamePt); err == nil {
+	if ferr := faultinject.Check(renamePt); ferr != nil {
+		err = ferr
+	} else {
 		err = os.Rename(f.Name(), path)
 	}
 	if err != nil {

@@ -1,0 +1,79 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cohmeleon/internal/faultinject"
+)
+
+// TestWriteBlobAtomicFaultsLeaveNoFile pins writeBlobAtomic's contract
+// under injected faults at each of its three failpoints: the error is
+// returned to the caller, the target path is never published (not even
+// as an empty or torn file), and no temp file leaks in the directory.
+// Regression: a shadowed err once swallowed write and rename faults,
+// publishing an empty envelope (write) or reporting success with no
+// file on disk (rename).
+func TestWriteBlobAtomicFaultsLeaveNoFile(t *testing.T) {
+	data, err := sealBlob(1, "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range []faultinject.Point{faultinject.StoreCreate, faultinject.StoreWrite, faultinject.StoreRename} {
+		t.Run(string(pt), func(t *testing.T) {
+			dir := t.TempDir()
+			target := filepath.Join(dir, "entry.gob")
+			faultinject.Enable(faultinject.NewScript(faultinject.Fail(pt, 1)))
+			defer faultinject.Disable()
+			err := writeBlobAtomic(dir, target, data,
+				faultinject.StoreCreate, faultinject.StoreWrite, faultinject.StoreRename)
+			if err == nil {
+				t.Fatalf("fault at %s: writeBlobAtomic reported success", pt)
+			}
+			if _, serr := os.Stat(target); !os.IsNotExist(serr) {
+				t.Errorf("fault at %s: target was published (stat: %v)", pt, serr)
+			}
+			left, gerr := filepath.Glob(filepath.Join(dir, "*"))
+			if gerr != nil {
+				t.Fatal(gerr)
+			}
+			if len(left) != 0 {
+				t.Errorf("fault at %s: directory not empty after failed write: %v", pt, left)
+			}
+		})
+	}
+}
+
+// TestWriteBlobAtomicRoundTrip pins the success path: the published file
+// opens as a valid envelope holding the original payload.
+func TestWriteBlobAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "entry.gob")
+	data, err := sealBlob(7, "round-trip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBlobAtomic(dir, target, data,
+		faultinject.StoreCreate, faultinject.StoreWrite, faultinject.StoreRename); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s string
+	if err := openBlob(got, 7, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s != "round-trip" {
+		t.Fatalf("round-tripped payload = %q", s)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, ".blob-*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("temp files leaked: %v", left)
+	}
+}

@@ -94,7 +94,7 @@ func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	panics := make([]*TrialPanic, n)
 	var next int64 = -1
 	var failed atomic.Bool
-	var started int64
+	var completed int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -108,7 +108,6 @@ func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				atomic.AddInt64(&started, 1)
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
@@ -119,6 +118,8 @@ func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 					if err := runTrial(i, fn); err != nil {
 						errs[i] = err
 						failed.Store(true)
+					} else {
+						atomic.AddInt64(&completed, 1)
 					}
 				}()
 			}
@@ -135,8 +136,8 @@ func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	if ctx.Err() != nil && int(started) < n {
-		return interruptedErr(ctx, int(started), n)
+	if ctx.Err() != nil && int(completed) < n {
+		return interruptedErr(ctx, int(completed), n)
 	}
 	return nil
 }

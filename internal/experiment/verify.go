@@ -16,6 +16,10 @@ type VerifyResult struct {
 	// Quarantined counts entries that failed verification and were
 	// renamed *.corrupt during this pass (runs and checkpoint cells).
 	Quarantined int
+	// Failed counts entries that failed verification but could not be
+	// read or quarantined; they remain in place and will fail again on
+	// the next run.
+	Failed int
 	// Stale counts run entries from other format versions; they are
 	// never read by this binary and are left in place.
 	Stale int
@@ -29,12 +33,12 @@ type VerifyResult struct {
 
 // String renders the fsck summary.
 func (v VerifyResult) String() string {
-	return fmt.Sprintf("run store: %d/%d entries ok, %d checkpoint cells ok of %d, %d quarantined this pass, %d stale-version, %d previously quarantined",
-		v.OK, v.Runs, v.CellsOK, v.Cells, v.Quarantined, v.Stale, v.PriorQuarantine)
+	return fmt.Sprintf("run store: %d/%d entries ok, %d checkpoint cells ok of %d, %d quarantined this pass, %d corrupt but not quarantined, %d stale-version, %d previously quarantined",
+		v.OK, v.Runs, v.CellsOK, v.Cells, v.Quarantined, v.Failed, v.Stale, v.PriorQuarantine)
 }
 
 // Clean reports whether every examined entry verified.
-func (v VerifyResult) Clean() bool { return v.Quarantined == 0 }
+func (v VerifyResult) Clean() bool { return v.Quarantined == 0 && v.Failed == 0 }
 
 // VerifyRunCache fscks a cache directory: every current-version run
 // entry is re-read, re-hashed against its embedded checksum, and fully
@@ -63,10 +67,13 @@ func VerifyRunCache(dir string) (VerifyResult, error) {
 			out.PriorQuarantine++
 		case strings.HasPrefix(name, curPrefix) && strings.HasSuffix(name, ".gob"):
 			out.Runs++
-			if verifyRunEntry(filepath.Join(dir, name)) {
+			switch verifyRunEntry(filepath.Join(dir, name)) {
+			case verifyOK:
 				out.OK++
-			} else {
+			case verifyQuarantined:
 				out.Quarantined++
+			case verifyFailed:
+				out.Failed++
 			}
 		case strings.HasPrefix(name, "run-v") && strings.HasSuffix(name, ".gob"):
 			out.Stale++
@@ -83,46 +90,62 @@ func VerifyRunCache(dir string) (VerifyResult, error) {
 			continue
 		}
 		out.Cells++
-		if verifyEnvelopeFile(path, checkpointVersion) {
+		switch verifyEnvelopeFile(path, checkpointVersion) {
+		case verifyOK:
 			out.CellsOK++
-		} else {
+		case verifyQuarantined:
 			out.Quarantined++
+		case verifyFailed:
+			out.Failed++
 		}
 	}
 	return out, nil
 }
 
+// verifyOutcome classifies one fsck'd entry.
+type verifyOutcome int
+
+const (
+	verifyOK          verifyOutcome = iota // entry verified cleanly
+	verifyQuarantined                      // entry was corrupt and is now *.corrupt
+	verifyFailed                           // entry is bad but still in place (read or rename failed)
+)
+
 // verifyRunEntry re-hashes and fully decodes one run entry, putting a
-// failing file in quarantine. Reports whether the entry is sound.
-func verifyRunEntry(path string) bool {
+// failing file in quarantine.
+func verifyRunEntry(path string) verifyOutcome {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		appRunMemo.noteReadFailure(path, err)
-		return false
+		return verifyFailed
 	}
 	var p persistedRun
 	if err := openBlob(data, runCacheVersion, &p); err == nil && p.Version == runCacheVersion {
-		return true
+		return verifyOK
 	}
-	if err := quarantineBlob(path); err == nil {
-		appRunMemo.noteQuarantine(path, fmt.Errorf("fsck: entry failed verification"))
+	if err := quarantineBlob(path); err != nil {
+		appRunMemo.noteReadFailure(path, fmt.Errorf("fsck: quarantining failed entry: %w", err))
+		return verifyFailed
 	}
-	return false
+	appRunMemo.noteQuarantine(path, fmt.Errorf("fsck: entry failed verification"))
+	return verifyQuarantined
 }
 
 // verifyEnvelopeFile re-hashes one enveloped file (payload schema not
 // interpreted), quarantining on failure.
-func verifyEnvelopeFile(path string, version int) bool {
+func verifyEnvelopeFile(path string, version int) verifyOutcome {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		appRunMemo.noteReadFailure(path, err)
-		return false
+		return verifyFailed
 	}
 	if _, err := openEnvelope(data, version); err == nil {
-		return true
+		return verifyOK
 	}
-	if err := quarantineBlob(path); err == nil {
-		appRunMemo.noteQuarantine(path, fmt.Errorf("fsck: cell failed verification"))
+	if err := quarantineBlob(path); err != nil {
+		appRunMemo.noteReadFailure(path, fmt.Errorf("fsck: quarantining failed cell: %w", err))
+		return verifyFailed
 	}
-	return false
+	appRunMemo.noteQuarantine(path, fmt.Errorf("fsck: cell failed verification"))
+	return verifyQuarantined
 }

@@ -100,14 +100,31 @@ func NewScript(rules ...Rule) *Script {
 }
 
 // RandomFaults derives a deterministic fault schedule from a seed: count
-// error-rules spread over the given points at occurrences in [1, maxOcc].
-// The same seed always yields the same schedule.
+// distinct error-rules spread over the given points at occurrences in
+// [1, maxOcc]. Duplicate (point, occurrence) draws are redrawn — only the
+// first rule matching an occurrence ever fires, so a duplicate would
+// silently shrink the campaign below count. count is capped at the
+// points×maxOcc distinct pairs available. The same seed always yields
+// the same schedule.
 func RandomFaults(seed int64, points []Point, maxOcc, count int) *Script {
 	rng := rand.New(rand.NewSource(seed))
+	if max := len(points) * maxOcc; count > max {
+		count = max
+	}
+	type pair struct {
+		p Point
+		n int
+	}
+	drawn := make(map[pair]bool, count)
 	var rules []Rule
-	for i := 0; i < count; i++ {
+	for len(rules) < count {
 		p := points[rng.Intn(len(points))]
-		rules = append(rules, Fail(p, 1+rng.Intn(maxOcc)))
+		n := 1 + rng.Intn(maxOcc)
+		if drawn[pair{p, n}] {
+			continue
+		}
+		drawn[pair{p, n}] = true
+		rules = append(rules, Fail(p, n))
 	}
 	// Stable rule order for reproducible trigger logs.
 	sort.Slice(rules, func(i, j int) bool {

@@ -99,6 +99,46 @@ func TestRandomFaultsDeterministic(t *testing.T) {
 	}
 }
 
+// TestRandomFaultsInjectsExactlyCount pins that a campaign asking for
+// count faults injects exactly count: duplicate (point, occurrence)
+// draws are redrawn, since only the first rule matching an occurrence
+// ever fires. Exhausting every occurrence of every point must trigger
+// count distinct rules.
+func TestRandomFaultsInjectsExactlyCount(t *testing.T) {
+	points := []Point{StoreCreate, StoreWrite}
+	const maxOcc, count = 3, 5 // 6 distinct pairs: duplicates near-certain across seeds without dedup
+	for seed := int64(0); seed < 20; seed++ {
+		s := RandomFaults(seed, points, maxOcc, count)
+		fired := 0
+		for occ := 0; occ < maxOcc; occ++ {
+			for _, p := range points {
+				if s.check(p) != nil {
+					fired++
+				}
+			}
+		}
+		if fired != count {
+			t.Errorf("seed %d: %d faults fired over the full occurrence range, want %d", seed, fired, count)
+		}
+	}
+}
+
+// TestRandomFaultsCapsAtDistinctPairs pins that count is capped at the
+// points×maxOcc distinct pairs available instead of looping forever.
+func TestRandomFaultsCapsAtDistinctPairs(t *testing.T) {
+	points := []Point{StoreRename}
+	s := RandomFaults(3, points, 2, 100)
+	fired := 0
+	for occ := 0; occ < 4; occ++ {
+		if s.check(StoreRename) != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("%d faults fired, want the 2 distinct pairs available", fired)
+	}
+}
+
 func TestConcurrentChecksAreSafe(t *testing.T) {
 	s := NewScript(Fail(StoreOpen, 50))
 	Enable(s)
