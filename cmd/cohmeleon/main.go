@@ -9,6 +9,9 @@
 //	              [-resume] [-cache-verify]
 //	              [-cpuprofile FILE] [-memprofile FILE]
 //	              [-out FILE] <id>... | all
+//	cohmeleon serve -cache-dir DIR [-addr HOST:PORT] [-queue N] [-jobs N]
+//	              [-cells N] [-workers N] [-cell-retries N]
+//	              [-job-timeout D]
 //
 // Experiment IDs: table4, fig2, fig3, fig5, fig6, fig7, fig8, fig9,
 // headline, overhead, ablation, sweep, learners.
@@ -21,11 +24,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
-	"syscall"
 	"time"
 
 	"cohmeleon/internal/experiment"
@@ -52,6 +53,8 @@ func run(args []string) error {
 		return nil
 	case "run":
 		return runExperiments(args[1:])
+	case "serve":
+		return serveExperiments(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -219,21 +222,11 @@ func runExperiments(args []string) error {
 	// happening fast enough.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	sigs := make(chan os.Signal, 2)
-	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(sigs)
-	go func() {
-		select {
-		case sig := <-sigs:
-			fmt.Fprintf(os.Stderr, "cohmeleon: %v: finishing in-flight runs, checkpointing (again to exit now)\n", sig)
-			cancel()
-		case <-ctx.Done():
-			return
-		}
-		<-sigs
-		fmt.Fprintln(os.Stderr, "cohmeleon: second signal, exiting immediately")
-		os.Exit(130)
-	}()
+	stop := watchSignals(ctx, func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "cohmeleon: %v: finishing in-flight runs, checkpointing (again to exit now)\n", sig)
+		cancel()
+	})
+	defer stop()
 	opt.Ctx = ctx
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -373,6 +366,7 @@ func usage() {
 commands:
   list                      list the reproducible tables and figures
   run [flags] <id>...|all   regenerate artifacts
+  serve [flags]             HTTP job server for sweep/learners runs
 
 run flags:
   -profile quick|full|tiny  protocol scale (default quick)
@@ -411,5 +405,22 @@ Interrupted runs (Ctrl-C once = graceful: in-flight runs finish and
 checkpoint; twice = exit now):
   cohmeleon run -cache-dir cache sweep         # interrupted at cell k
   cohmeleon run -cache-dir cache -resume sweep # replays cells, identical report
+
+Serve mode (HTTP job server; jobs are sweep/learners specs and their
+reports are byte-identical to the equivalent 'run' invocation):
+  cohmeleon serve -cache-dir cache -addr 127.0.0.1:8344
+  curl -X POST localhost:8344/jobs -d '{"experiment":"sweep","profile":"tiny"}'
+
+serve flags:
+  -addr HOST:PORT           listen address (default 127.0.0.1:8344)
+  -cache-dir DIR            required: cross-job dedup, checkpoints, and
+                            crash-resumable job manifests live under it
+  -queue N                  queued-job bound before 429 (default 16)
+  -jobs N                   concurrent jobs (default 2)
+  -cells N                  in-flight cell budget across all jobs
+                            (default GOMAXPROCS)
+  -workers N                per-job fan-out width (default GOMAXPROCS)
+  -cell-retries N           attempts per transiently-failing cell (default 3)
+  -job-timeout D            default per-job deadline, e.g. 30m (default none)
 `)
 }

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"cohmeleon/internal/experiment"
+	"cohmeleon/internal/server"
+)
+
+// batchOnlyServeFlags are `run` flags a serve invocation must reject
+// with an explanation, not a bare "flag provided but not defined":
+// each maps to why it has no serve equivalent (or where the equivalent
+// lives).
+var batchOnlyServeFlags = map[string]string{
+	"resume":      "serve jobs always resume from the cells checkpointed under -cache-dir",
+	"qtable-save": "Q-table transfer is a batch 'run' workflow",
+	"qtable-load": "Q-table transfer is a batch 'run' workflow",
+	"profile":     "the job spec's \"profile\" field scales each job",
+	"seed":        "the job spec's \"seed\" field sets each job's seed",
+	"scenarios":   "the job spec's \"scenarios\" field sizes each sweep job",
+	"learner":     "the job spec's \"learner\" field picks each job's algorithm",
+	"schedule":    "the job spec's \"schedule\" field picks each job's schedule",
+	"cpuprofile":  "profiling a multi-job server confounds unrelated timelines; profile a batch run instead",
+	"memprofile":  "profiling a multi-job server confounds unrelated timelines; profile a batch run instead",
+	"out":         "reports are served per job at GET /jobs/{id}/report",
+}
+
+// rejectBatchOnlyFlags scans raw args (before flag parsing) for batch
+// flags so the error can explain the serve-mode alternative.
+func rejectBatchOnlyFlags(args []string) error {
+	for _, a := range args {
+		if !strings.HasPrefix(a, "-") {
+			continue
+		}
+		name := strings.TrimLeft(a, "-")
+		if i := strings.IndexByte(name, '='); i >= 0 {
+			name = name[:i]
+		}
+		if why, ok := batchOnlyServeFlags[name]; ok {
+			return fmt.Errorf("serve: -%s is a batch 'run' flag: %s", name, why)
+		}
+	}
+	return nil
+}
+
+// serveExperiments runs the HTTP job server until SIGINT/SIGTERM
+// drains it (second signal exits immediately, like batch runs).
+func serveExperiments(args []string) error {
+	if err := rejectBatchOnlyFlags(args); err != nil {
+		return err
+	}
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8344", "listen address")
+	cacheDir := fs.String("cache-dir", "", "run-store directory jobs share (required: dedup, checkpoints, and job manifests live under it)")
+	queueCap := fs.Int("queue", 16, "max queued jobs before submissions get 429")
+	jobWorkers := fs.Int("jobs", 2, "jobs running concurrently")
+	cellBudget := fs.Int("cells", 0, "grid cells in flight across all jobs (0 = GOMAXPROCS)")
+	cellWorkers := fs.Int("workers", 0, "per-job concurrent trials (0 = GOMAXPROCS; still capped by -cells)")
+	cellRetries := fs.Int("cell-retries", 3, "max attempts per cell on transient failures (1 = no retry)")
+	jobTimeout := fs.Duration("job-timeout", 0, "default per-job deadline (0 = none; job specs may set their own)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("serve: unexpected arguments %v (jobs are submitted over HTTP, not the command line)", fs.Args())
+	}
+	if *cacheDir == "" {
+		return fmt.Errorf("serve: -cache-dir required (cross-job dedup, cell checkpoints, and crash-resumable job manifests all live under it)")
+	}
+	switch {
+	case *queueCap < 1:
+		return fmt.Errorf("serve: -queue %d invalid: need ≥ 1", *queueCap)
+	case *jobWorkers < 1:
+		return fmt.Errorf("serve: -jobs %d invalid: need ≥ 1", *jobWorkers)
+	case *cellBudget < 0:
+		return fmt.Errorf("serve: -cells %d invalid: need ≥ 0 (0 = GOMAXPROCS)", *cellBudget)
+	case *cellWorkers < 0:
+		return fmt.Errorf("serve: -workers %d invalid: need ≥ 0 (0 = GOMAXPROCS)", *cellWorkers)
+	case *cellRetries < 1:
+		return fmt.Errorf("serve: -cell-retries %d invalid: need ≥ 1 (1 = no retry)", *cellRetries)
+	case *jobTimeout < 0:
+		return fmt.Errorf("serve: -job-timeout %v invalid: need ≥ 0 (0 = none)", *jobTimeout)
+	}
+
+	retry := experiment.DefaultRetryPolicy()
+	retry.MaxAttempts = *cellRetries
+	srv, err := server.New(server.Config{
+		CacheDir:    *cacheDir,
+		QueueCap:    *queueCap,
+		JobWorkers:  *jobWorkers,
+		CellBudget:  *cellBudget,
+		CellWorkers: *cellWorkers,
+		Retry:       retry,
+		JobTimeout:  *jobTimeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	srv.Start()
+	fmt.Fprintf(os.Stderr, "cohmeleon: serving on http://%s (cache %s)\n", ln.Addr(), *cacheDir)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	drained := make(chan struct{})
+	stop := watchSignals(ctx, func(sig os.Signal) {
+		fmt.Fprintf(os.Stderr, "cohmeleon: %v: draining — finishing in-flight cells, checkpointing, persisting jobs (again to exit now)\n", sig)
+		srv.Drain()
+		shutdownCtx, done := context.WithTimeout(context.Background(), 10*time.Second)
+		defer done()
+		_ = hs.Shutdown(shutdownCtx)
+		close(drained)
+	})
+	defer stop()
+
+	if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return fmt.Errorf("serve: %w", err)
+	}
+	<-drained
+	fmt.Fprintln(os.Stderr, "cohmeleon: drained; queued and interrupted jobs resume on restart with the same -cache-dir")
+	return nil
+}

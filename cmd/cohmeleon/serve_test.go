@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServeFlagValidation walks the serve flag surface: the required
+// cache dir, the batch-only flags (each rejection must explain the
+// serve-mode alternative), out-of-range limits (each must list the
+// valid range), and positional arguments.
+func TestServeFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want []string // all substrings must appear in the error
+	}{
+		{"missing cache dir", []string{}, []string{"-cache-dir required", "dedup", "manifests"}},
+		{"positional args", []string{"-cache-dir", "d", "sweep"}, []string{"unexpected arguments", "HTTP"}},
+		{"batch resume flag", []string{"-resume", "-cache-dir", "d"}, []string{"-resume", "batch 'run' flag", "always resume"}},
+		{"batch profile flag", []string{"-profile=tiny"}, []string{"-profile", "batch 'run' flag", "job spec"}},
+		{"batch seed flag", []string{"--seed", "7"}, []string{"-seed", "job spec"}},
+		{"batch scenarios flag", []string{"-scenarios=4"}, []string{"-scenarios", "job spec"}},
+		{"batch learner flag", []string{"-learner", "q"}, []string{"-learner", "job spec"}},
+		{"batch schedule flag", []string{"-schedule", "s"}, []string{"-schedule", "job spec"}},
+		{"batch out flag", []string{"-out", "r.md"}, []string{"-out", "/jobs/{id}/report"}},
+		{"batch cpuprofile flag", []string{"-cpuprofile", "p"}, []string{"-cpuprofile", "batch run"}},
+		{"batch qtable flag", []string{"-qtable-save", "q.gob"}, []string{"-qtable-save", "batch 'run' workflow"}},
+		{"zero queue", []string{"-cache-dir", "d", "-queue", "0"}, []string{"-queue 0", "need ≥ 1"}},
+		{"zero jobs", []string{"-cache-dir", "d", "-jobs", "0"}, []string{"-jobs 0", "need ≥ 1"}},
+		{"negative cells", []string{"-cache-dir", "d", "-cells", "-1"}, []string{"-cells -1", "need ≥ 0", "GOMAXPROCS"}},
+		{"negative workers", []string{"-cache-dir", "d", "-workers", "-1"}, []string{"-workers -1", "need ≥ 0"}},
+		{"zero cell retries", []string{"-cache-dir", "d", "-cell-retries", "0"}, []string{"-cell-retries 0", "need ≥ 1", "no retry"}},
+		{"negative job timeout", []string{"-cache-dir", "d", "-job-timeout", "-1s"}, []string{"-job-timeout", "need ≥ 0"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			msg := errFrom(t, append([]string{"serve"}, c.args...)...)
+			for _, w := range c.want {
+				if !strings.Contains(msg, w) {
+					t.Errorf("error %q missing %q", msg, w)
+				}
+			}
+		})
+	}
+}
+
+// TestServeBatchFlagRejectionBeatsParsing pins that the batch-only
+// check runs before flag parsing, so the user gets the explanation
+// rather than flag's "provided but not defined".
+func TestServeBatchFlagRejectionBeatsParsing(t *testing.T) {
+	msg := errFrom(t, "serve", "-resume")
+	if strings.Contains(msg, "not defined") {
+		t.Fatalf("got the bare flag-package error %q, want the explanatory rejection", msg)
+	}
+}

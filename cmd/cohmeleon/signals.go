@@ -1,0 +1,48 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Two-stage shutdown, shared by batch runs and the serve drain: the
+// first SIGINT/SIGTERM starts a graceful wind-down (cancel the
+// experiment context, or drain the job server), a second signal exits
+// hard with status 130 for when graceful isn't happening fast enough.
+//
+// onFirst runs on its own goroutine — a drain that blocks on in-flight
+// cells must never delay the second-signal escape hatch — and the
+// watcher keeps listening the whole time, so the second signal is
+// honored even while onFirst is still winding down.
+
+// watchSignals installs the shutdown protocol on the real process
+// signals. ctx scopes the watcher: when it is cancelled before any
+// signal arrived (the run completed), the watcher goroutine exits. The
+// returned stop function unregisters the signal handler.
+func watchSignals(ctx context.Context, onFirst func(os.Signal)) func() {
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	watchSignalChan(ctx, sigs, os.Exit, onFirst)
+	return func() { signal.Stop(sigs) }
+}
+
+// watchSignalChan is the testable core: the signal source and the exit
+// function are injected, so a test can feed synthetic signals and
+// assert the hard-exit path fires promptly while onFirst is blocked.
+func watchSignalChan(ctx context.Context, sigs <-chan os.Signal, exit func(int), onFirst func(os.Signal)) {
+	go func() {
+		var sig os.Signal
+		select {
+		case sig = <-sigs:
+		case <-ctx.Done():
+			return
+		}
+		go onFirst(sig)
+		<-sigs
+		fmt.Fprintln(os.Stderr, "cohmeleon: second signal, exiting immediately")
+		exit(130)
+	}()
+}

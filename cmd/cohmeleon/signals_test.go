@@ -1,0 +1,80 @@
+package main
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSecondSignalDuringDrainExitsPromptly pins the escape hatch: with
+// the first-signal handler deliberately stuck (a drain blocked on
+// in-flight cells), a second signal must still exit 130 immediately.
+func TestSecondSignalDuringDrainExitsPromptly(t *testing.T) {
+	sigs := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	drainStarted := make(chan struct{})
+	watchSignalChan(context.Background(), sigs, func(code int) { exited <- code }, func(os.Signal) {
+		close(drainStarted)
+		select {} // drain that never finishes
+	})
+
+	sigs <- syscall.SIGTERM
+	select {
+	case <-drainStarted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("first signal did not start the drain")
+	}
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exited:
+		if code != 130 {
+			t.Fatalf("exit code = %d, want 130", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not exit while the drain was blocked")
+	}
+}
+
+// TestSignalWatcherExitsWhenRunCompletes: cancelling the scope before
+// any signal arrives releases the watcher without calling exit.
+func TestSignalWatcherExitsWhenRunCompletes(t *testing.T) {
+	sigs := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	watchSignalChan(ctx, sigs, func(code int) { exited <- code }, func(os.Signal) {
+		t.Error("onFirst ran without a signal")
+	})
+	cancel()
+	select {
+	case code := <-exited:
+		t.Fatalf("watcher exited (%d) without any signal", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestFirstSignalRunsHandlerOnce: one signal triggers exactly one
+// graceful handler invocation and no hard exit.
+func TestFirstSignalRunsHandlerOnce(t *testing.T) {
+	sigs := make(chan os.Signal, 2)
+	exited := make(chan int, 1)
+	ran := make(chan os.Signal, 2)
+	watchSignalChan(context.Background(), sigs, func(code int) { exited <- code }, func(s os.Signal) {
+		ran <- s
+	})
+	sigs <- os.Interrupt
+	select {
+	case s := <-ran:
+		if s != os.Interrupt {
+			t.Fatalf("handler saw %v, want interrupt", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never ran")
+	}
+	select {
+	case code := <-exited:
+		t.Fatalf("hard exit (%d) after a single signal", code)
+	case <-time.After(50 * time.Millisecond):
+	}
+}

@@ -112,6 +112,57 @@ func writeBlobAtomic(dir, path string, data []byte, createPt, writePt, renamePt 
 	return nil
 }
 
+// Job manifests: the serve layer persists per-job manifests under the
+// cache directory in the same checksummed-envelope + atomic-rename
+// discipline as every other durable file, through the two exported
+// helpers below, so manifest corruption and write failures share the
+// store's quarantine and accounting story.
+
+// WriteManifestBlob seals v in a versioned checksummed envelope and
+// publishes it atomically at path (inside dir). Failures are counted
+// and reported like any other store write failure, then returned so the
+// caller can decide whether losing durability matters.
+func WriteManifestBlob(dir, path string, version int, v interface{}) error {
+	data, err := sealBlob(version, v)
+	if err == nil {
+		err = writeBlobAtomic(dir, path, data,
+			faultinject.ManifestCreate, faultinject.ManifestWrite, faultinject.ManifestRename)
+	}
+	if err != nil {
+		appRunMemo.noteWriteFailure("job manifest", err)
+		return err
+	}
+	return nil
+}
+
+// ReadManifestBlob reads, verifies, and decodes a manifest into v.
+// Absent manifests report (false, nil); corrupt ones are quarantined
+// (renamed *.corrupt) and reported absent, exactly like a corrupt run
+// entry; unreadable ones return the read error.
+func ReadManifestBlob(path string, version int, v interface{}) (bool, error) {
+	var data []byte
+	err := faultinject.Check(faultinject.ManifestOpen)
+	if err == nil {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		appRunMemo.noteReadFailure(path, err)
+		return false, err
+	}
+	if err := openBlob(data, version, v); err != nil {
+		if qerr := quarantineBlob(path); qerr == nil {
+			appRunMemo.noteQuarantine(path, err)
+		} else {
+			appRunMemo.noteReadFailure(path, err)
+		}
+		return false, nil
+	}
+	return true, nil
+}
+
 // quarantinePath names a corrupt entry's resting place.
 func quarantinePath(path string) string { return path + ".corrupt" }
 

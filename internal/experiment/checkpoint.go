@@ -115,6 +115,7 @@ func (c *checkpoint) load(i int, v interface{}) bool {
 		return false
 	}
 	ckptReplayed.Add(1)
+	emitDiag(DiagEvent{Kind: DiagCellReplayed, Path: path})
 	return true
 }
 
@@ -150,4 +151,5 @@ func (c *checkpoint) save(i int, v interface{}) {
 		return
 	}
 	ckptSaved.Add(1)
+	emitDiag(DiagEvent{Kind: DiagCellSaved, Path: c.cellPath(i)})
 }

@@ -59,7 +59,7 @@ func runApp(ctx context.Context, cfg *soc.Config, pol esp.Policy, app *workload.
 	appRunMemo.mu.Unlock()
 	if enabled {
 		if key, ok := runCacheKey(cfg, pol, app, seed); ok {
-			return appRunMemo.getOrRun(key, cfg, app, func() (*workload.AppResult, error) {
+			return appRunMemo.getOrRun(ctx, key, cfg, app, func() (*workload.AppResult, error) {
 				return simulateApp(cfg, pol, app, seed)
 			})
 		}

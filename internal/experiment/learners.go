@@ -184,6 +184,7 @@ func Learners(opt Options) (*LearnersResult, error) {
 		var img learnerCellImage
 		if ck.load(i, &img) {
 			cells[i] = learnerCell{exec: img.Exec, mem: img.Mem, decisions: img.Decisions}
+			opt.cellDone(CellEvent{Experiment: "learners", Index: i, Total: len(cells), Replayed: true})
 			return nil
 		}
 		si, ki := i/len(stacks), i%len(stacks)
@@ -208,6 +209,7 @@ func Learners(opt Options) (*LearnersResult, error) {
 		exec, mem := geoNormalized(res, preps[si].baseline)
 		cells[i] = learnerCell{exec: exec, mem: mem, decisions: agent.Decisions()}
 		ck.save(i, &learnerCellImage{Exec: exec, Mem: mem, Decisions: cells[i].decisions})
+		opt.cellDone(CellEvent{Experiment: "learners", Index: i, Total: len(cells)})
 		return nil
 	}); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"os"
@@ -113,35 +114,28 @@ type runMemo struct {
 	entries map[runKey]*memoEntry
 	order   []runKey // insertion order, for capacity eviction
 
-	hits, diskHits, misses, evictions          atomic.Int64
-	writeFailures, readFailures, quarantined   atomic.Int64
-	warnedWrite, warnedCorrupt, warnedReadFail atomic.Bool
+	hits, diskHits, misses, evictions        atomic.Int64
+	writeFailures, readFailures, quarantined atomic.Int64
 }
 
-// noteWriteFailure records a failed store/checkpoint write: counted
-// always, warned once per process (the first failure names its cause;
-// repeats would only scroll).
+// noteWriteFailure records a failed store/checkpoint/manifest write:
+// counted always, reported through the diagnostics sink (the default
+// sink warns once per process; the first failure names its cause).
 func (m *runMemo) noteWriteFailure(what string, err error) {
 	m.writeFailures.Add(1)
-	if m.warnedWrite.CompareAndSwap(false, true) {
-		fmt.Fprintf(os.Stderr, "cohmeleon: %s write failed (results still computed, just not persisted; further failures counted silently): %v\n", what, err)
-	}
+	emitDiag(DiagEvent{Kind: DiagWriteFailure, What: what, Err: err})
 }
 
 // noteQuarantine records a corrupt entry being moved aside.
 func (m *runMemo) noteQuarantine(path string, cause error) {
 	m.quarantined.Add(1)
-	if m.warnedCorrupt.CompareAndSwap(false, true) {
-		fmt.Fprintf(os.Stderr, "cohmeleon: corrupt cache entry quarantined as %s (%v); it will be regenerated\n", quarantinePath(path), cause)
-	}
+	emitDiag(DiagEvent{Kind: DiagQuarantine, Path: path, Err: cause})
 }
 
 // noteReadFailure records an entry that exists but could not be read.
 func (m *runMemo) noteReadFailure(path string, err error) {
 	m.readFailures.Add(1)
-	if m.warnedReadFail.CompareAndSwap(false, true) {
-		fmt.Fprintf(os.Stderr, "cohmeleon: cache entry %s unreadable, treating as a miss: %v\n", path, err)
-	}
+	emitDiag(DiagEvent{Kind: DiagReadFailure, Path: path, Err: err})
 }
 
 // appRunMemo is the process-wide run cache. In-process memoization is
@@ -219,9 +213,8 @@ func ResetRunCache() {
 	appRunMemo.writeFailures.Store(0)
 	appRunMemo.readFailures.Store(0)
 	appRunMemo.quarantined.Store(0)
-	appRunMemo.warnedWrite.Store(false)
-	appRunMemo.warnedCorrupt.Store(false)
-	appRunMemo.warnedReadFail.Store(false)
+	ResetRetryStats()
+	defaultDiagSink.reset()
 }
 
 // GetRunCacheStats returns the counters since the last reset.
@@ -239,8 +232,11 @@ func GetRunCacheStats() RunCacheStats {
 
 // getOrRun returns the memoized result for key, loading it from the
 // persistent store or simulating via run on a miss. Concurrent callers
-// of the same key share one simulation.
-func (m *runMemo) getOrRun(key runKey, cfg *soc.Config, app *workload.App, run func() (*workload.AppResult, error)) (*workload.AppResult, error) {
+// of the same key share one simulation — including callers from
+// different serve-mode jobs, whose contexts carry their own counters so
+// each job sees its share of the dedup.
+func (m *runMemo) getOrRun(ctx context.Context, key runKey, cfg *soc.Config, app *workload.App, run func() (*workload.AppResult, error)) (*workload.AppResult, error) {
+	jc := jobCountersFrom(ctx)
 	m.mu.Lock()
 	if e, ok := m.entries[key]; ok {
 		m.mu.Unlock()
@@ -251,6 +247,9 @@ func (m *runMemo) getOrRun(key runKey, cfg *soc.Config, app *workload.App, run f
 			return run()
 		}
 		m.hits.Add(1)
+		if jc != nil {
+			jc.MemoHits.Add(1)
+		}
 		return cloneAppResult(e.res), nil
 	}
 	e := &memoEntry{done: make(chan struct{})}
@@ -265,6 +264,9 @@ func (m *runMemo) getOrRun(key runKey, cfg *soc.Config, app *workload.App, run f
 		// fall through to simulation; only a verified entry is served.
 		if res, st := loadPersistedRun(dir, key, cfg, app); st == loadHit {
 			m.diskHits.Add(1)
+			if jc != nil {
+				jc.DiskHits.Add(1)
+			}
 			e.res = res
 			close(e.done)
 			return cloneAppResult(res), nil
@@ -280,6 +282,9 @@ func (m *runMemo) getOrRun(key runKey, cfg *soc.Config, app *workload.App, run f
 		return nil, err
 	}
 	m.misses.Add(1)
+	if jc != nil {
+		jc.Misses.Add(1)
+	}
 	e.res = cloneAppResult(res) // insulate the master from caller mutation
 	close(e.done)
 	if dir != "" {

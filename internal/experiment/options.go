@@ -72,6 +72,39 @@ type Options struct {
 	// directory there is no checkpoint and Resume is inert. Experiments
 	// that don't checkpoint ignore it (the CLI rejects the flag there).
 	Resume bool
+	// Retry, when non-nil, retries transient cell failures (IsTransient)
+	// with capped exponential backoff at the grid-cell boundary.
+	// Deterministic trial errors are never retried. Cells are pure
+	// functions of their inputs, so retry cannot change report bytes.
+	Retry *RetryPolicy
+	// Gate, when non-nil, bounds the cells in flight across every
+	// fan-out sharing it — the serve layer's cross-job cell budget.
+	Gate Gate
+	// CellDone, when non-nil, is invoked after every completed grid cell
+	// of a checkpointed experiment (sweep, learners), possibly from
+	// concurrent workers. It must be cheap and must not mutate
+	// experiment state; the serve layer uses it to stream progress.
+	CellDone func(CellEvent)
+}
+
+// CellEvent describes one completed grid cell of a checkpointed
+// experiment.
+type CellEvent struct {
+	// Experiment is the grid's ID ("sweep", "learners").
+	Experiment string
+	// Index and Total locate the cell in the grid.
+	Index int
+	Total int
+	// Replayed reports whether the cell was served from a checkpoint
+	// rather than computed.
+	Replayed bool
+}
+
+// cellDone delivers a cell event when a listener is configured.
+func (o Options) cellDone(e CellEvent) {
+	if o.CellDone != nil {
+		o.CellDone(e)
+	}
 }
 
 // ctx resolves the experiment context (nil means never cancelled).
@@ -100,6 +133,11 @@ func (o Options) Validate() error {
 		return fmt.Errorf("experiment: sweep scenarios %d must be ≥ 1", o.SweepScenarios)
 	case o.LearnerScenarios < 1:
 		return fmt.Errorf("experiment: learner scenarios %d must be ≥ 1", o.LearnerScenarios)
+	}
+	if o.Retry != nil {
+		if err := o.Retry.Validate(); err != nil {
+			return err
+		}
 	}
 	if _, err := learn.NewAlgorithm(o.Learner); err != nil {
 		return err

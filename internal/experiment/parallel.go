@@ -60,6 +60,48 @@ func interruptedErr(ctx context.Context, done, n int) error {
 	return fmt.Errorf("experiment: interrupted after %d/%d trials: %w", done, n, ctx.Err())
 }
 
+// Gate bounds the cells in flight across every fan-out sharing it —
+// the serve layer's cross-job cell budget. A nil Gate admits
+// everything. Gates must not be held across nested fan-outs (an outer
+// trial waiting on inner trials of the same gate can deadlock); the
+// experiments that accept one (sweep, learners) run flat cell loops.
+type Gate chan struct{}
+
+// NewGate returns a gate admitting up to n concurrent cells.
+func NewGate(n int) Gate { return make(Gate, n) }
+
+// acquire blocks until a slot frees or the context is cancelled.
+func (g Gate) acquire(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	select {
+	case g <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("experiment: cell aborted waiting for admission: %w", ctx.Err())
+	}
+}
+
+// release frees a slot.
+func (g Gate) release() {
+	if g != nil {
+		<-g
+	}
+}
+
+// InFlight reports the cells currently holding the gate.
+func (g Gate) InFlight() int { return len(g) }
+
+// fanout bundles the dispatch controls forEach threads to every trial:
+// context, worker budget, admission gate, and cell retry policy.
+type fanout struct {
+	ctx     context.Context
+	workers int
+	retry   *RetryPolicy
+	gate    Gate
+}
+
 // forEach runs fn(i) for every i in [0, n) on up to `workers` goroutines
 // and waits for the ones it started. Dispatch is fail-fast: once any
 // trial errors or panics, or ctx is cancelled, no new index is handed
@@ -73,6 +115,11 @@ func interruptedErr(ctx context.Context, done, n int) error {
 // re-raised on the calling goroutine as a *TrialPanic (lowest index
 // first). With workers == 1 (or n == 1) fn runs inline in index order.
 func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return fanout{ctx: ctx, workers: workers}.run(n, fn)
+}
+
+func (f fanout) run(n int, fn func(i int) error) error {
+	ctx, workers := f.ctx, f.workers
 	if n <= 0 {
 		return nil
 	}
@@ -84,7 +131,7 @@ func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 			if ctx.Err() != nil {
 				return interruptedErr(ctx, i, n)
 			}
-			if err := runTrial(i, fn); err != nil {
+			if err := f.cell(i, fn); err != nil {
 				return err
 			}
 		}
@@ -115,7 +162,7 @@ func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 							failed.Store(true)
 						}
 					}()
-					if err := runTrial(i, fn); err != nil {
+					if err := f.cell(i, fn); err != nil {
 						errs[i] = err
 						failed.Store(true)
 					} else {
@@ -142,6 +189,50 @@ func forEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	return nil
 }
 
+// cell runs one trial under the retry policy: transient failures back
+// off and retry up to MaxAttempts; deterministic errors (and every
+// error with no policy armed) return on the first attempt. The retried
+// value is identical to what the failed attempt would have produced —
+// cells are pure functions of their inputs — so retry can never change
+// a report, only rescue one.
+func (f fanout) cell(i int, fn func(i int) error) error {
+	for attempt := 1; ; attempt++ {
+		err := f.attempt(i, fn)
+		if err == nil || f.retry == nil {
+			return err
+		}
+		if !f.retry.retryable(err) || attempt >= f.retry.MaxAttempts || f.ctx.Err() != nil {
+			return err
+		}
+		retryCells.Add(1)
+		if c := jobCountersFrom(f.ctx); c != nil {
+			c.CellRetries.Add(1)
+		}
+		emitDiag(DiagEvent{Kind: DiagCellRetry, Err: err})
+		if serr := f.retry.sleep(f.ctx, f.retry.delay(i, attempt)); serr != nil {
+			// Cancelled mid-backoff: surface the cancellation chain so a
+			// draining caller classifies this as an interrupt, with the
+			// transient cause alongside for diagnosis.
+			return fmt.Errorf("experiment: cell %d retry abandoned (last failure: %v): %w", i, err, serr)
+		}
+	}
+}
+
+// attempt is one gated execution of a trial. The gate is held only
+// while the cell actually runs — backoff sleeps do not occupy a slot.
+func (f fanout) attempt(i int, fn func(i int) error) error {
+	if err := f.gate.acquire(f.ctx); err != nil {
+		return err
+	}
+	defer f.gate.release()
+	if f.retry != nil {
+		if err := faultinject.Check(faultinject.CellAttempt); err != nil {
+			return err
+		}
+	}
+	return runTrial(i, fn)
+}
+
 // runTrial executes one trial behind its failpoint: an armed fault
 // script can fail, panic, or cancel at an exact trial index, which is
 // how the crash-safety tests interrupt a fan-out deterministically.
@@ -152,8 +243,8 @@ func runTrial(i int, fn func(i int) error) error {
 	return fn(i)
 }
 
-// forEachOpt is forEach with the worker count and context taken from the
-// options.
+// forEachOpt is forEach with the worker count, context, gate, and retry
+// policy taken from the options.
 func forEachOpt(opt Options, n int, fn func(i int) error) error {
-	return forEach(opt.ctx(), opt.workers(), n, fn)
+	return fanout{ctx: opt.ctx(), workers: opt.workers(), retry: opt.Retry, gate: opt.Gate}.run(n, fn)
 }

@@ -1,0 +1,291 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cohmeleon/internal/faultinject"
+)
+
+// noSleep is a retry policy sleep stub: no real timer, still honors
+// cancellation.
+func noSleep(ctx context.Context, _ time.Duration) error { return ctx.Err() }
+
+// retryOptions builds options with an armed retry policy for fanout
+// tests.
+func retryOptions(attempts int) Options {
+	opt := Tiny()
+	opt.Workers = 1
+	opt.Retry = &RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Sleep: noSleep}
+	return opt
+}
+
+func TestRetryRescuesTransientCellFailure(t *testing.T) {
+	ResetRetryStats()
+	defer ResetRetryStats()
+	attempts := 0
+	err := forEachOpt(retryOptions(3), 1, func(i int) error {
+		attempts++
+		if attempts == 1 {
+			return fmt.Errorf("flaky infrastructure: %w", faultinject.ErrTransient)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("transient failure not rescued: %v", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	if st := GetRetryStats(); st.CellRetries != 1 {
+		t.Fatalf("CellRetries = %d, want 1", st.CellRetries)
+	}
+}
+
+func TestRetryFailsFastOnDeterministicError(t *testing.T) {
+	boom := errors.New("bad geometry")
+	attempts := 0
+	err := forEachOpt(retryOptions(5), 1, func(i int) error {
+		attempts++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if attempts != 1 {
+		t.Fatalf("deterministic error retried: %d attempts, want 1", attempts)
+	}
+}
+
+func TestRetryExhaustsAttemptsAndReturnsLastError(t *testing.T) {
+	attempts := 0
+	err := forEachOpt(retryOptions(3), 1, func(i int) error {
+		attempts++
+		return fmt.Errorf("still down: %w", faultinject.ErrTransient)
+	})
+	if err == nil || !errors.Is(err, faultinject.ErrTransient) {
+		t.Fatalf("err = %v, want transient", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (MaxAttempts)", attempts)
+	}
+}
+
+func TestRetryAbandonedOnCancellationWrapsContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	opt := retryOptions(5)
+	opt.Ctx = ctx
+	opt.Retry.Sleep = func(ctx context.Context, _ time.Duration) error {
+		cancel() // cancelled mid-backoff
+		return ctx.Err()
+	}
+	err := forEachOpt(opt, 1, func(i int) error {
+		return fmt.Errorf("flaky: %w", faultinject.ErrTransient)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want to wrap context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "retry abandoned") {
+		t.Fatalf("err = %v, want the abandoned-retry chain with the transient cause", err)
+	}
+}
+
+func TestRetryRescuesInjectedCellAttemptFault(t *testing.T) {
+	// The CellAttempt failpoint is occurrence-counted and only checked
+	// with a retry policy armed, so batch runs (no policy) never see it.
+	faultinject.Enable(faultinject.NewScript(faultinject.FailTransient(faultinject.CellAttempt, 2)))
+	defer faultinject.Disable()
+	var runs int
+	err := forEachOpt(retryOptions(3), 3, func(i int) error {
+		runs++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("injected transient fault not rescued: %v", err)
+	}
+	if runs != 3 {
+		t.Fatalf("runs = %d, want 3", runs)
+	}
+}
+
+func TestRetryDelayIsDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	for index := 0; index < 4; index++ {
+		for attempt := 1; attempt < 5; attempt++ {
+			d1 := p.delay(index, attempt)
+			d2 := p.delay(index, attempt)
+			if d1 != d2 {
+				t.Fatalf("delay(%d,%d) nondeterministic: %v vs %v", index, attempt, d1, d2)
+			}
+			pre := p.BaseDelay << (attempt - 1)
+			if pre > p.MaxDelay {
+				pre = p.MaxDelay
+			}
+			if d1 < pre/2 || d1 > pre {
+				t.Fatalf("delay(%d,%d) = %v outside [%v, %v]", index, attempt, d1, pre/2, pre)
+			}
+		}
+	}
+}
+
+func TestRetryPolicyValidate(t *testing.T) {
+	bad := []RetryPolicy{
+		{MaxAttempts: 0},
+		{MaxAttempts: 1, BaseDelay: -time.Second},
+		{MaxAttempts: 1, MaxDelay: -time.Second},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) passed, want error", p)
+		}
+	}
+	good := DefaultRetryPolicy()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("DefaultRetryPolicy invalid: %v", err)
+	}
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	if IsTransient(errors.New("plain")) {
+		t.Fatal("plain error classified transient")
+	}
+	if !IsTransient(fmt.Errorf("wrap: %w", faultinject.ErrTransient)) {
+		t.Fatal("wrapped ErrTransient not classified transient")
+	}
+}
+
+func TestGateBoundsCellsInFlightAcrossFanOuts(t *testing.T) {
+	gate := NewGate(2)
+	opt := Tiny()
+	opt.Workers = 8
+	opt.Gate = gate
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	err := forEachOpt(opt, 16, func(i int) error {
+		n := inFlight.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak in-flight cells = %d, want ≤ 2 (gate bound)", p)
+	}
+	if g := gate.InFlight(); g != 0 {
+		t.Fatalf("gate not drained: %d slots held", g)
+	}
+}
+
+func TestGateCancelledWhileWaitingForAdmission(t *testing.T) {
+	gate := NewGate(1)
+	gate <- struct{}{} // hold the only slot
+	defer func() { <-gate }()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := gate.acquire(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("acquire on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestDefaultDiagSinkStderrBytes pins the default sink's output to the
+// exact pre-refactor stderr text, including the once-per-process
+// gating: moving the warnings behind the sink seam must not change a
+// byte of what the CLI prints.
+func TestDefaultDiagSinkStderrBytes(t *testing.T) {
+	var buf bytes.Buffer
+	s := &stderrDiagSink{w: &buf}
+	werr := errors.New("disk full")
+	qerr := errors.New("checksum mismatch")
+	rerr := errors.New("permission denied")
+	events := []DiagEvent{
+		{Kind: DiagWriteFailure, What: "run store", Err: werr},
+		{Kind: DiagWriteFailure, What: "checkpoint", Err: werr}, // gated: silent
+		{Kind: DiagQuarantine, Path: "/c/entry.gob", Err: qerr},
+		{Kind: DiagQuarantine, Path: "/c/other.gob", Err: qerr}, // gated: silent
+		{Kind: DiagReadFailure, Path: "/c/entry.gob", Err: rerr},
+		{Kind: DiagReadFailure, Path: "/c/other.gob", Err: rerr}, // gated: silent
+		{Kind: DiagCellSaved, Path: "/c/cell.gob"},              // counter-only, never printed
+		{Kind: DiagCellReplayed, Path: "/c/cell.gob"},
+		{Kind: DiagCellRetry, Err: werr},
+	}
+	for _, e := range events {
+		s.Diag(e)
+	}
+	want := "cohmeleon: run store write failed (results still computed, just not persisted; further failures counted silently): disk full\n" +
+		"cohmeleon: corrupt cache entry quarantined as /c/entry.gob.corrupt (checksum mismatch); it will be regenerated\n" +
+		"cohmeleon: cache entry /c/entry.gob unreadable, treating as a miss: permission denied\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("default sink output differs:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// reset re-arms the one-shot gating.
+	s.reset()
+	buf.Reset()
+	s.Diag(DiagEvent{Kind: DiagWriteFailure, What: "run store", Err: werr})
+	if !strings.Contains(buf.String(), "run store write failed") {
+		t.Fatal("reset did not re-arm the write-failure warning")
+	}
+}
+
+// recordingSink collects every event for assertions.
+type recordingSink struct {
+	mu     sync.Mutex
+	events []DiagEvent
+}
+
+func (r *recordingSink) Diag(e DiagEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+func (r *recordingSink) kinds() map[DiagKind]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[DiagKind]int{}
+	for _, e := range r.events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+func TestSetDiagSinkRoutesEventsAndRestores(t *testing.T) {
+	rec := &recordingSink{}
+	prev := SetDiagSink(rec)
+	emitDiag(DiagEvent{Kind: DiagCellRetry, Err: errors.New("x")})
+	emitDiag(DiagEvent{Kind: DiagCellSaved, Path: "p"})
+	SetDiagSink(nil) // restore default
+	if got := SetDiagSink(prev); got != defaultDiagSink {
+		t.Fatalf("SetDiagSink(nil) installed %T, want the default sink", got)
+	}
+	SetDiagSink(nil)
+	k := rec.kinds()
+	if k[DiagCellRetry] != 1 || k[DiagCellSaved] != 1 {
+		t.Fatalf("sink saw %v, want one retry and one save", k)
+	}
+}
+
+func TestJobCountersFlowThroughContext(t *testing.T) {
+	var c JobCounters
+	ctx := WithJobCounters(context.Background(), &c)
+	if got := jobCountersFrom(ctx); got != &c {
+		t.Fatal("jobCountersFrom lost the attached counters")
+	}
+	if got := jobCountersFrom(context.Background()); got != nil {
+		t.Fatal("jobCountersFrom invented counters on a bare context")
+	}
+}

@@ -290,6 +290,7 @@ func Sweep(opt Options) (*SweepResult, error) {
 			cell, err := sweepCellFromImage(&img)
 			if err == nil {
 				perScenario[i] = cell
+				opt.cellDone(CellEvent{Experiment: "sweep", Index: i, Total: len(scens), Replayed: true})
 				return nil
 			}
 			ckptReplayed.Add(-1) // envelope verified but the payload didn't revive
@@ -301,6 +302,7 @@ func Sweep(opt Options) (*SweepResult, error) {
 			if img, ierr := res.image(); ierr == nil {
 				ck.save(i, img)
 			}
+			opt.cellDone(CellEvent{Experiment: "sweep", Index: i, Total: len(scens)})
 		}
 		return err
 	}); err != nil {

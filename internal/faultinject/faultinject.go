@@ -15,6 +15,7 @@
 package faultinject
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -47,7 +48,30 @@ const (
 	// Trial fires at the dispatch of every worker-pool trial, keyed by
 	// the trial index (CheckIndex), not by occurrence order.
 	Trial Point = "trial"
+	// CellAttempt fires at every attempt of a grid cell running under a
+	// retry policy. It is occurrence-counted, so a rule can fail attempt
+	// k of a cell and let the retried attempt through — the shape real
+	// transient infrastructure failures have.
+	CellAttempt Point = "cell.attempt"
+	// ServeAdmit guards job admission in the HTTP job server (the
+	// HTTP-layer failpoint: an injected fault turns one admission into a
+	// 503 without touching the job registry).
+	ServeAdmit Point = "serve.admit"
+	// ManifestOpen guards reading a persisted job manifest.
+	ManifestOpen Point = "manifest.open"
+	// ManifestCreate guards creating a job-manifest temp file.
+	ManifestCreate Point = "manifest.create"
+	// ManifestWrite guards encoding/writing a job-manifest temp file.
+	ManifestWrite Point = "manifest.write"
+	// ManifestRename guards the atomic rename publishing a job manifest.
+	ManifestRename Point = "manifest.rename"
 )
+
+// ErrTransient marks injected faults that model recoverable
+// infrastructure failures (a flaky disk, a brief resource squeeze).
+// Retry layers treat errors wrapping it as retryable; every other
+// injected error stays fail-fast, like a deterministic trial error.
+var ErrTransient = errors.New("faultinject: transient fault")
 
 // Action is what a matched rule does, checked in field order: a non-nil
 // Panic value is raised, else a non-nil Call runs (and the check passes),
@@ -70,6 +94,12 @@ type Rule struct {
 // Fail returns a rule failing the Nth occurrence of p with a canned error.
 func Fail(p Point, n int) Rule {
 	return Rule{Point: p, N: n, Action: Action{Err: fmt.Errorf("faultinject: %s occurrence %d", p, n)}}
+}
+
+// FailTransient returns a rule failing the Nth occurrence of p with an
+// error wrapping ErrTransient, so retry layers classify it retryable.
+func FailTransient(p Point, n int) Rule {
+	return Rule{Point: p, N: n, Action: Action{Err: fmt.Errorf("faultinject: %s occurrence %d: %w", p, n, ErrTransient)}}
 }
 
 // Script is an armed set of rules plus the per-point occurrence counters

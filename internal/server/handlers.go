@@ -1,0 +1,205 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"cohmeleon/internal/experiment"
+)
+
+// HTTP surface:
+//
+//	POST   /jobs              submit a JobSpec        → 202 JobStatus
+//	GET    /jobs              list jobs               → 200 [JobStatus]
+//	GET    /jobs/{id}         job status              → 200 JobStatus
+//	GET    /jobs/{id}/report  final report bytes      → 200 text/plain
+//	GET    /jobs/{id}/events  NDJSON progress stream  → 200 application/x-ndjson
+//	DELETE /jobs/{id}         cooperative cancel      → 202 JobStatus
+//	GET    /healthz           liveness                → 200
+//	GET    /readyz            admission readiness     → 200 | 503 while draining
+//	GET    /statsz            robustness counters     → 200 JSON
+//
+// Overload and drain refuse admission with 429 + Retry-After; every
+// error body is {"error": "..."} JSON.
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /statsz", s.handleStats)
+	return mux
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes a JSON error body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handleSubmit admits a job or signals backpressure.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad job spec: %w", err))
+		return
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		if errors.Is(err, ErrDraining) || errors.Is(err, ErrQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// handleList returns every job in admission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// jobFor resolves {id}, writing the 404 itself when absent.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: no job %q", id))
+	}
+	return j, ok
+}
+
+// handleStatus reports one job.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFor(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+// handleCancel asks a job to stop and reports its (possibly already
+// settled) state; idempotent.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("server: no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// handleReport serves the final report bytes — exactly the bytes the
+// equivalent CLI run renders — once the job is done.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	st := j.Status()
+	if report, ok := j.Report(); ok {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, report)
+		return
+	}
+	if !st.State.Terminal() {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, http.StatusConflict,
+		fmt.Errorf("server: job %s is %s; no report to serve", st.ID, st.State))
+}
+
+// handleEvents streams the job's progress as NDJSON, one event per
+// line, flushing each, until the job settles or the client leaves.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	ctx := r.Context()
+	// The cond-based wait can't select on the context, so a watcher
+	// nudges it awake when the client disconnects.
+	go func() {
+		<-ctx.Done()
+		j.wake()
+	}()
+	enc := json.NewEncoder(w)
+	for i := 0; ; i++ {
+		e, ok := j.nextEvent(i, func() bool { return ctx.Err() != nil })
+		if !ok {
+			return
+		}
+		if enc.Encode(e) != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// handleReady is the admission probe: draining means not ready.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+// statsz is the robustness-counter snapshot.
+type statsz struct {
+	Draining      bool                     `json:"draining"`
+	QueueDepth    int                      `json:"queue_depth"`
+	CellsInFlight int                      `json:"cells_in_flight"`
+	Jobs          map[string]int           `json:"jobs"`
+	Store         experiment.StatsSnapshot `json:"store"`
+}
+
+// handleStats snapshots the server and store counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	out := statsz{
+		Draining:      s.Draining(),
+		QueueDepth:    s.QueueDepth(),
+		CellsInFlight: s.CellsInFlight(),
+		Jobs:          map[string]int{},
+		Store:         experiment.Snapshot(),
+	}
+	for _, j := range s.Jobs() {
+		out.Jobs[string(j.State())]++
+	}
+	writeJSON(w, http.StatusOK, out)
+}

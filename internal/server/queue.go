@@ -1,0 +1,82 @@
+package server
+
+import "sync"
+
+// jobQueue is the bounded admission queue between the HTTP front door
+// and the job runners. It is a slice under a mutex rather than a
+// channel so adopted jobs can be re-admitted past the capacity bound
+// (a restart must never drop jobs the previous process promised), and
+// so a queued job can be removed when its client cancels it.
+type jobQueue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     []*Job
+	capacity int
+	closed   bool
+}
+
+// newJobQueue returns an open queue admitting up to capacity jobs.
+func newJobQueue(capacity int) *jobQueue {
+	q := &jobQueue{capacity: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits a job, reporting false when the queue is full or closed —
+// the backpressure signal the handler turns into a 429.
+func (q *jobQueue) push(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.jobs) >= q.capacity {
+		return false
+	}
+	q.jobs = append(q.jobs, j)
+	q.cond.Signal()
+	return true
+}
+
+// force admits a job past the capacity bound (re-adoption after a
+// restart); only a closed queue refuses.
+func (q *jobQueue) force(j *Job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.jobs = append(q.jobs, j)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks for the next job, returning false once the queue is
+// closed. Jobs still queued at close stay in the slice — their
+// manifests persist them as queued for the next process; this one must
+// not start them.
+func (q *jobQueue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for !q.closed && len(q.jobs) == 0 {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	j := q.jobs[0]
+	q.jobs = q.jobs[1:]
+	return j, true
+}
+
+// depth reports the jobs currently waiting.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
+// close stops admission and dispatch and wakes blocked runners.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Serve-mode smoke: start the job server, submit a sweep over HTTP,
+# poll it to completion, require the served report to be byte-identical
+# to the equivalent CLI run, then SIGTERM the server and require a
+# clean drain (exit 0).
+set -euo pipefail
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+bin="$work/cohmeleon"
+go build -o "$bin" ./cmd/cohmeleon
+
+addr=127.0.0.1:8355
+base="http://$addr"
+
+# Reference: the CLI run the served job must reproduce byte-for-byte.
+# The CLI wraps the report in a per-experiment header and wall-clock
+# footer; the server serves the bare report, so both sides are
+# normalized down to the report bytes before comparing.
+"$bin" run -profile tiny -scenarios 3 -out "$work/cli.txt" sweep
+
+"$bin" serve -addr "$addr" -cache-dir "$work/cache" 2> "$work/serve.log" &
+pid=$!
+
+for i in $(seq 1 50); do
+  curl -fsS "$base/healthz" > /dev/null 2>&1 && break
+  kill -0 "$pid" 2>/dev/null || { echo "server died on startup:"; cat "$work/serve.log"; exit 1; }
+  sleep 0.2
+done
+curl -fsS "$base/readyz" > /dev/null
+
+job=$(curl -fsS -X POST "$base/jobs" \
+  -d '{"experiment":"sweep","profile":"tiny","scenarios":3}' | jq -r .id)
+echo "submitted $job"
+
+state=queued
+for i in $(seq 1 300); do
+  state=$(curl -fsS "$base/jobs/$job" | jq -r .state)
+  case "$state" in done|failed|cancelled) break ;; esac
+  sleep 0.2
+done
+if [ "$state" != done ]; then
+  echo "job ended in state $state:"
+  curl -fsS "$base/jobs/$job" | jq .
+  exit 1
+fi
+
+curl -fsS "$base/jobs/$job/report" > "$work/served.txt"
+curl -fsS "$base/statsz" | jq .
+
+cmp <(grep -vE '^###|completed in|^$' "$work/cli.txt") \
+    <(grep -vE '^$' "$work/served.txt")
+echo "serve smoke: served report is byte-identical to the CLI run"
+
+# Graceful drain: one SIGTERM, clean exit.
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+if [ "$status" != 0 ]; then
+  echo "drain exited with status $status:"
+  cat "$work/serve.log"
+  exit 1
+fi
+grep -q drained "$work/serve.log"
+echo "serve smoke: SIGTERM drained cleanly"
