@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"cohmeleon/internal/experiment"
+	"cohmeleon/internal/soc/protocol"
 )
 
 // Benchmarks regenerate the paper's tables and figures. Each benchmark
@@ -204,5 +205,28 @@ func BenchmarkAppRun(b *testing.B) {
 		if _, err := RunApp(cfg, NewManual(), app, 7); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAppRunProtocol runs the same evaluation application once
+// per registered coherence-protocol stack, so the cost of a
+// non-default stack (and any regression on the default one) is
+// tracked per protocol.
+func BenchmarkAppRunProtocol(b *testing.B) {
+	for _, proto := range protocol.Names() {
+		b.Run(proto, func(b *testing.B) {
+			cfg := SoC0(TrafficMixed, 42)
+			cfg.Protocol = proto
+			app, err := GenerateApp(cfg, GenConfig{}, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunApp(cfg, NewManual(), app, 7); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

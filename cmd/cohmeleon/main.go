@@ -5,7 +5,8 @@
 //	cohmeleon list
 //	cohmeleon run [-profile quick|full|tiny] [-seed N] [-workers N]
 //	              [-scenarios N] [-qtable-save FILE] [-qtable-load FILE]
-//	              [-learner NAME] [-schedule NAME] [-cache-dir DIR]
+//	              [-learner NAME] [-schedule NAME] [-protocol NAME]
+//	              [-finegrain] [-cache-dir DIR]
 //	              [-resume] [-cache-verify]
 //	              [-cpuprofile FILE] [-memprofile FILE]
 //	              [-out FILE] <id>... | all
@@ -31,6 +32,7 @@ import (
 
 	"cohmeleon/internal/experiment"
 	"cohmeleon/internal/learn"
+	"cohmeleon/internal/soc/protocol"
 )
 
 func main() {
@@ -74,6 +76,8 @@ func runExperiments(args []string) error {
 	qtableLoad := fs.String("qtable-load", "", "sweep: evaluate this Q-table frozen on the sampled scenarios")
 	learner := fs.String("learner", "", "agent algorithm for training experiments (omit for the paper's \"q\")")
 	schedule := fs.String("schedule", "", "agent ε/α schedule for training experiments (omit for the paper's \"linear\")")
+	proto := fs.String("protocol", "", "coherence-protocol stack for every simulated SoC (omit for the default \"mesi\")")
+	fineGrain := fs.Bool("finegrain", false, "widen the agent's action space with per-region (hot, cold) mode splits")
 	cacheDir := fs.String("cache-dir", "", "persist content-keyed static-policy run results under this directory (reports are byte-identical with or without it)")
 	resume := fs.Bool("resume", false, "sweep/learners: replay cells checkpointed under -cache-dir by an interrupted identical run")
 	cacheVerify := fs.Bool("cache-verify", false, "fsck -cache-dir before running: re-hash every entry, quarantine corrupt ones")
@@ -91,6 +95,11 @@ func runExperiments(args []string) error {
 	}
 	if _, err := learn.NewSchedule(*schedule, learn.ScheduleParams{Epsilon0: 0.5, Alpha0: 0.25, DecayIterations: 1}); err != nil {
 		return fmt.Errorf("run: -schedule: %w", err)
+	}
+	// Protocol names resolve against the protocol registry the same way;
+	// the error lists every registered stack.
+	if _, err := protocol.Lookup(*proto); err != nil {
+		return fmt.Errorf("run: -protocol: %w", err)
 	}
 	// Flag defaults mean "use the profile's value"; an explicitly passed
 	// zero or negative is a user error, not a request for the default,
@@ -177,6 +186,12 @@ func runExperiments(args []string) error {
 		return fmt.Errorf("run: -learner/-schedule only apply to experiments that train an agent (%s); ids: %s",
 			strings.Join(trainingIDs(), ", "), strings.Join(ids, ", "))
 	}
+	// -finegrain widens the trained agent's action space; on a run that
+	// never trains an agent it would be silently inert.
+	if !trainsAgent && *fineGrain {
+		return fmt.Errorf("run: -finegrain only applies to experiments that train an agent (%s); ids: %s",
+			strings.Join(trainingIDs(), ", "), strings.Join(ids, ", "))
+	}
 
 	var opt experiment.Options
 	switch *profile {
@@ -202,6 +217,8 @@ func runExperiments(args []string) error {
 	opt.QTableLoad = *qtableLoad
 	opt.Learner = *learner
 	opt.Schedule = *schedule
+	opt.Protocol = *proto
+	opt.FineGrain = *fineGrain
 	opt.Resume = *resume
 	if err := opt.Validate(); err != nil {
 		return err
@@ -377,6 +394,9 @@ run flags:
   -qtable-load FILE         sweep: evaluate a saved Q-table on fresh scenarios
   -learner NAME             agent algorithm: q, double-q, ucb1, boltzmann
   -schedule NAME            agent ε/α schedule: linear, exp, const
+  -protocol NAME            coherence-protocol stack: mesi, eci (default mesi)
+  -finegrain                let the agent split hot/cold buffer regions
+                            across two coherence modes per invocation
   -cache-dir DIR            persist static-policy run results (content-keyed);
                             repeated regeneration skips those simulations, and
                             reports stay byte-identical either way

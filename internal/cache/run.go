@@ -45,10 +45,11 @@ const (
 
 // RunUpdate parameterizes the protocol-update rule of one run.
 type RunUpdate struct {
-	Kind         RunKind
-	Write        bool
-	RecallOwners bool // RunDMA: interrogate and recall private copies
-	Self         int  // RunCached: the requesting agent index
+	Kind           RunKind
+	Write          bool
+	RecallOwners   bool // RunDMA: interrogate and recall private copies
+	ExclusiveGrant bool // RunCached: grant unshared read lines exclusive ownership
+	Self           int  // RunCached: the requesting agent index
 }
 
 // RunVictim pairs a displaced valid entry that needs caller-side work
@@ -133,7 +134,7 @@ func (d *Directory) AccessOrInsertRun(lines []mem.LineAddr, missState DirState, 
 				if upd.Write {
 					// Plainness guarantees no sharers; owner is self or none.
 					d.SetOwner(e, upd.Self)
-				} else if e.Owner == NoOwner && e.Sharers == 0 {
+				} else if upd.ExclusiveGrant && e.Owner == NoOwner && e.Sharers == 0 {
 					d.SetOwner(e, upd.Self) // exclusive grant
 				} else if e.Owner != upd.Self {
 					d.AddSharer(e, upd.Self)
@@ -201,10 +202,15 @@ func (d *Directory) AccessOrInsertRun(lines []mem.LineAddr, missState DirState, 
 		out.Ways = append(out.Ways, int32(way))
 		if cached {
 			// Write-allocate claims ownership; a read miss gets the
-			// exclusive grant (no owner, no sharers by construction).
-			// RunDMA miss lines keep the fill state: the reference loop
-			// `continue`s past the claim for misses.
-			d.SetOwner(e, upd.Self)
+			// exclusive grant (no owner, no sharers by construction) only
+			// under protocols that grant it, otherwise the reader is just
+			// a sharer. RunDMA miss lines keep the fill state: the
+			// reference loop `continue`s past the claim for misses.
+			if upd.Write || upd.ExclusiveGrant {
+				d.SetOwner(e, upd.Self)
+			} else {
+				d.AddSharer(e, upd.Self)
+			}
 		}
 	}
 }

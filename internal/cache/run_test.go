@@ -107,50 +107,54 @@ func TestAccessOrInsertRunMatchesPerLine(t *testing.T) {
 		d.Insert(132, DirDirty) // same set as 100 on 32 sets
 	}
 
-	fast, lines := mk()
-	seed(fast)
-	ref, _ := mk()
-	seed(ref)
+	for _, grant := range []bool{true, false} {
+		t.Run(fmt.Sprintf("grant=%v", grant), func(t *testing.T) {
+			fast, lines := mk()
+			seed(fast)
+			ref, _ := mk()
+			seed(ref)
 
-	upd := RunUpdate{Kind: RunCached, Write: false, Self: 7}
-	var run DirRun
-	fast.AccessOrInsertRun(lines, DirClean, upd, &run)
+			upd := RunUpdate{Kind: RunCached, Write: false, ExclusiveGrant: grant, Self: 7}
+			var run DirRun
+			fast.AccessOrInsertRun(lines, DirClean, upd, &run)
 
-	for i, line := range lines {
-		e, _, hit := ref.AccessOrInsert(line, DirClean)
-		wantHitBit := run.HitMask&(1<<uint(i)) != 0
-		if hit != wantHitBit {
-			t.Fatalf("line %d: hit %v, run mask says %v", line, hit, wantHitBit)
-		}
-		complexBit := run.ComplexMask&(1<<uint(i)) != 0
-		needs := hit && ((e.Owner != NoOwner && e.Owner != 7) || false)
-		if complexBit != needs {
-			t.Fatalf("line %d: complex bit %v, want %v", line, complexBit, needs)
-		}
-		if !complexBit {
-			// Apply the reference tail update for plain lines.
-			if e.Owner == NoOwner && e.Sharers == 0 {
-				ref.SetOwner(e, 7)
-			} else if e.Owner != 7 {
-				ref.AddSharer(e, 7)
+			for i, line := range lines {
+				e, _, hit := ref.AccessOrInsert(line, DirClean)
+				wantHitBit := run.HitMask&(1<<uint(i)) != 0
+				if hit != wantHitBit {
+					t.Fatalf("line %d: hit %v, run mask says %v", line, hit, wantHitBit)
+				}
+				complexBit := run.ComplexMask&(1<<uint(i)) != 0
+				needs := hit && ((e.Owner != NoOwner && e.Owner != 7) || false)
+				if complexBit != needs {
+					t.Fatalf("line %d: complex bit %v, want %v", line, complexBit, needs)
+				}
+				if !complexBit {
+					// Apply the reference tail update for plain lines.
+					if grant && e.Owner == NoOwner && e.Sharers == 0 {
+						ref.SetOwner(e, 7)
+					} else if e.Owner != 7 {
+						ref.AddSharer(e, 7)
+					}
+				}
 			}
-		}
-	}
-	if fast.Stats() != ref.Stats() {
-		t.Fatalf("stats diverged: %+v vs %+v", fast.Stats(), ref.Stats())
-	}
-	fs, rs := "", ""
-	fast.ForEachValid(func(e *DirEntry) {
-		fs += fmt.Sprintf("%d:%v/o%d/s%x;", e.Line, e.State, e.Owner, e.Sharers)
-	})
-	ref.ForEachValid(func(e *DirEntry) {
-		rs += fmt.Sprintf("%d:%v/o%d/s%x;", e.Line, e.State, e.Owner, e.Sharers)
-	})
-	if fs != rs {
-		t.Fatalf("entries diverged:\n fast %s\n  ref %s", fs, rs)
-	}
-	if err := fast.CheckSummary(); err != nil {
-		t.Fatal(err)
+			if fast.Stats() != ref.Stats() {
+				t.Fatalf("stats diverged: %+v vs %+v", fast.Stats(), ref.Stats())
+			}
+			fs, rs := "", ""
+			fast.ForEachValid(func(e *DirEntry) {
+				fs += fmt.Sprintf("%d:%v/o%d/s%x;", e.Line, e.State, e.Owner, e.Sharers)
+			})
+			ref.ForEachValid(func(e *DirEntry) {
+				rs += fmt.Sprintf("%d:%v/o%d/s%x;", e.Line, e.State, e.Owner, e.Sharers)
+			})
+			if fs != rs {
+				t.Fatalf("entries diverged:\n fast %s\n  ref %s", fs, rs)
+			}
+			if err := fast.CheckSummary(); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

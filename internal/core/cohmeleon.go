@@ -41,6 +41,12 @@ type Config struct {
 	// off-chip counts instead of the monitor approximation — the
 	// attribution ablation.
 	TrueDDRReward bool
+	// FineGrain offers the learner the fine-grain (hot+cold) split
+	// actions in addition to the uniform modes, for invocations whose
+	// footprint exceeds the private-cache size (smaller buffers have no
+	// cold remainder worth specializing). Off by default; the default
+	// mode-only agent is byte-identical to the pre-action-space one.
+	FineGrain bool
 }
 
 // DefaultConfig returns the paper's training setup: ε0 = 0.5, α0 = 0.25
@@ -119,13 +125,17 @@ type Cohmeleon struct {
 	frozen  bool
 	pending map[int]pendingDecision // per accelerator tile ID
 
+	// actScratch is the reused offered-action list (one decision at a
+	// time per agent; Decide never yields).
+	actScratch []soc.Action
+
 	// Decision counters for the Figure-7 breakdown.
-	decisions [soc.NumModes]int64
+	decisions [soc.NumActions]int64
 }
 
 type pendingDecision struct {
-	state learn.State
-	mode  soc.Mode
+	state  learn.State
+	action soc.Action
 }
 
 // New creates an agent from the configuration.
@@ -156,14 +166,15 @@ func New(cfg Config) (*Cohmeleon, error) {
 		name = fmt.Sprintf("cohmeleon-%s-%s", alg.Name(), sched.Name())
 	}
 	c := &Cohmeleon{
-		cfg:     cfg,
-		name:    name,
-		feat:    feat,
-		alg:     alg,
-		sched:   sched,
-		rewards: rewards,
-		rng:     sim.NewRNG(cfg.Seed ^ 0xc0de1e0f),
-		pending: make(map[int]pendingDecision),
+		cfg:        cfg,
+		name:       name,
+		feat:       feat,
+		alg:        alg,
+		sched:      sched,
+		rewards:    rewards,
+		rng:        sim.NewRNG(cfg.Seed ^ 0xc0de1e0f),
+		pending:    make(map[int]pendingDecision),
+		actScratch: make([]soc.Action, 0, soc.NumActions),
 	}
 	c.rewards.UseTrueDDR(cfg.TrueDDRReward)
 	return c, nil
@@ -193,28 +204,60 @@ func (c *Cohmeleon) Alpha() float64 {
 	return c.sched.Alpha(c.iter)
 }
 
-// Decide implements esp.Policy: featurize the context, then let the
-// algorithm select a mode. Frozen agents exploit greedily without
-// consuming RNG draws, so a train/test/train sequence sees the same
-// exploration stream as uninterrupted training.
-func (c *Cohmeleon) Decide(ctx *esp.Context) soc.Mode {
-	s := c.feat.Featurize(ctx)
-	var mode soc.Mode
-	if c.frozen {
-		mode = c.alg.Exploit(s, ctx.Available)
-	} else {
-		mode = c.alg.Decide(c.rng, s, ctx.Available, c.sched.Epsilon(c.iter))
+// availableActions assembles the offered action list: the uniform
+// action of every available mode (in ctx order — a numeric prefix of
+// the action space, so a mode-only agent indexes and draws exactly as
+// the pre-action-space one did), plus, when fine-grain is enabled and
+// the footprint overflows the private cache, every ordered (hot, cold)
+// pair of distinct available modes.
+func (c *Cohmeleon) availableActions(ctx *esp.Context) []soc.Action {
+	acts := c.actScratch[:0]
+	for _, m := range ctx.Available {
+		acts = append(acts, soc.ModeAction(m))
 	}
-	c.pending[ctx.Acc.ID] = pendingDecision{state: s, mode: mode}
-	c.decisions[mode]++
-	return mode
+	if c.cfg.FineGrain && ctx.FootprintBytes > ctx.L2Bytes && len(ctx.Available) > 1 {
+		for _, hot := range ctx.Available {
+			for _, cold := range ctx.Available {
+				if hot != cold {
+					acts = append(acts, soc.SplitAction(hot, cold))
+				}
+			}
+		}
+	}
+	c.actScratch = acts
+	return acts
+}
+
+// DecideAction implements esp.ActionPolicy: featurize the context, then
+// let the algorithm select over the offered actions. Frozen agents
+// exploit greedily without consuming RNG draws, so a train/test/train
+// sequence sees the same exploration stream as uninterrupted training.
+func (c *Cohmeleon) DecideAction(ctx *esp.Context) soc.Action {
+	s := c.feat.Featurize(ctx)
+	avail := c.availableActions(ctx)
+	var act soc.Action
+	if c.frozen {
+		act = c.alg.Exploit(s, avail)
+	} else {
+		act = c.alg.Decide(c.rng, s, avail, c.sched.Epsilon(c.iter))
+	}
+	c.pending[ctx.Acc.ID] = pendingDecision{state: s, action: act}
+	c.decisions[act]++
+	return act
+}
+
+// Decide implements esp.Policy for mode-only callers: the decided
+// action's hot-region mode (identical to the action for uniform
+// decisions; the ESP API itself routes through DecideAction).
+func (c *Cohmeleon) Decide(ctx *esp.Context) soc.Mode {
+	return c.DecideAction(ctx).Hot()
 }
 
 // Observe implements esp.Policy: compute the reward and hand it to the
 // algorithm for the recorded (state, action).
 func (c *Cohmeleon) Observe(res *esp.Result) {
 	pd, ok := c.pending[res.Acc.ID]
-	if !ok || pd.mode != res.Mode {
+	if !ok || pd.action != res.Action {
 		// Result from a forced-mode invocation or an unmatched decision:
 		// nothing to update, but history still accumulates so future
 		// rewards are normalized against everything the system has seen.
@@ -224,7 +267,7 @@ func (c *Cohmeleon) Observe(res *esp.Result) {
 	delete(c.pending, res.Acc.ID)
 	reward := c.rewards.Reward(res)
 	if alpha := c.Alpha(); alpha > 0 {
-		c.alg.Update(c.rng, pd.state, pd.mode, reward, alpha)
+		c.alg.Update(c.rng, pd.state, pd.action, reward, alpha)
 	}
 }
 
@@ -284,9 +327,21 @@ func (c *Cohmeleon) SetLearnerState(st *learn.TabularState) error {
 	return nil
 }
 
-// Decisions returns how many times each mode has been selected.
-func (c *Cohmeleon) Decisions() [soc.NumModes]int64 { return c.decisions }
+// Decisions returns how many times each mode has been selected; a
+// fine-grain split counts towards its hot-region mode, keeping the
+// Figure-7 breakdown shape stable.
+func (c *Cohmeleon) Decisions() [soc.NumModes]int64 {
+	var out [soc.NumModes]int64
+	for a, n := range c.decisions {
+		out[soc.Action(a).Hot()] += n
+	}
+	return out
+}
+
+// ActionDecisions returns the selection counters over the full
+// fine-grain action space.
+func (c *Cohmeleon) ActionDecisions() [soc.NumActions]int64 { return c.decisions }
 
 // ResetDecisions clears the selection counters (e.g. before an
 // evaluation pass whose breakdown will be reported).
-func (c *Cohmeleon) ResetDecisions() { c.decisions = [soc.NumModes]int64{} }
+func (c *Cohmeleon) ResetDecisions() { c.decisions = [soc.NumActions]int64{} }

@@ -347,7 +347,7 @@ func TestAgentLearnsFromObservation(t *testing.T) {
 	}
 	c.Observe(res)
 	s := NewEncoder().Encode(ctx)
-	if c.Table().Q(s, mode) <= 0 {
+	if c.Table().Q(s, soc.ModeAction(mode)) <= 0 {
 		t.Fatal("observation did not update the Q-table")
 	}
 }
@@ -358,7 +358,7 @@ func TestAgentChoosesHigherValuedMode(t *testing.T) {
 	c := mustNew(t, cfg)
 	ctx := ctxWith(0, 0, 0, 0, 16<<10)
 	s := NewEncoder().Encode(ctx)
-	c.Table().Update(s, soc.FullyCoh, 1.0, 1.0)
+	c.Table().Update(s, soc.ModeAction(soc.FullyCoh), 1.0, 1.0)
 	if got := c.Decide(ctx); got != soc.FullyCoh {
 		t.Fatalf("Decide = %v, want trained FullyCoh", got)
 	}
@@ -476,13 +476,16 @@ func TestDefaultStackMatchesMonolithicReference(t *testing.T) {
 			got := agent.Decide(ctx)
 
 			s := enc.Encode(ctx)
-			var want soc.Mode
+			// The monolithic agent drew over modes; the composed stack draws
+			// over the uniform-action prefix, which has the same length and
+			// order, so index draws (and Best tie-breaks) line up exactly.
+			var want soc.Action
 			if refRNG.Float64() < cfg.Epsilon0*factor {
-				want = ctx.Available[refRNG.Intn(len(ctx.Available))]
+				want = soc.ModeAction(ctx.Available[refRNG.Intn(len(ctx.Available))])
 			} else {
-				want = refTable.Best(s, ctx.Available)
+				want = refTable.Best(s, soc.UniformActions[:])
 			}
-			if got != want {
+			if soc.ModeAction(got) != want {
 				t.Fatalf("iter %d decision %d: agent chose %v, reference %v", i, j, got, want)
 			}
 			// Feed both learners the identical reward; the agent's is driven
@@ -490,14 +493,14 @@ func TestDefaultStackMatchesMonolithicReference(t *testing.T) {
 			// the reward exactly, as history normalization intervenes).
 			if alpha := cfg.Alpha0 * factor; alpha > 0 {
 				refTable.Update(s, want, rewardOf(i, j), alpha)
-				agent.Algorithm().Update(nil, s, got, rewardOf(i, j), agent.Alpha())
+				agent.Algorithm().Update(nil, s, soc.ModeAction(got), rewardOf(i, j), agent.Alpha())
 			}
 			delete(agent.pending, ctx.Acc.ID)
 		}
 		agent.EndIteration()
 	}
 	for s := State(0); s < NumStates; s++ {
-		for _, m := range soc.AllModes {
+		for _, m := range soc.UniformActions {
 			if agent.Table().Q(s, m) != refTable.Q(s, m) {
 				t.Fatalf("Q(%d,%v) diverged: %g vs %g", s, m, agent.Table().Q(s, m), refTable.Q(s, m))
 			}

@@ -48,12 +48,19 @@ func (sys *System) invoke(p *sim.Proc, a *soc.AccTile, buf *mem.Buffer, cpu *sim
 	s := sys.SoC
 	start := p.Now()
 
-	// Sense + decide, on the CPU.
+	// Sense + decide, on the CPU. Fine-grain policies decide over the
+	// full action space; everyone else picks a single mode.
 	ctx := sys.Tracker.Sense(a, buf)
-	mode := pol.Decide(ctx)
-	if !ctx.Allows(mode) {
-		panic(fmt.Sprintf("esp: policy %s chose unavailable mode %v for %s",
-			pol.Name(), mode, a.InstName))
+	var action soc.Action
+	if ap, ok := pol.(ActionPolicy); ok {
+		action = ap.DecideAction(ctx)
+	} else {
+		action = soc.ModeAction(pol.Decide(ctx))
+	}
+	mode := action.Hot()
+	if !ctx.Allows(mode) || (action.IsSplit() && !ctx.Allows(action.Cold())) {
+		panic(fmt.Sprintf("esp: policy %s chose unavailable action %v for %s",
+			pol.Name(), action, a.InstName))
 	}
 	p.Delay(s.P.DriverCycles + pol.OverheadCycles())
 	// Load the accelerator TLB with the dataset's big-page table.
@@ -68,16 +75,30 @@ func (sys *System) invoke(p *sim.Proc, a *soc.AccTile, buf *mem.Buffer, cpu *sim
 	snaps := make([]int64, 2*parts)
 	ddrBefore := s.DDRTotalsInto(snaps[:parts])
 	meter := &soc.Meter{}
-	if mode.NeedsPrivateFlush() {
+	// Flush obligations come from the active protocol's rules; a split
+	// invocation owes the union of its two regions' obligations (the
+	// flush ranges over the whole buffer, conservatively).
+	needPrivate := s.NeedsPrivateFlush(mode)
+	needLLC := s.NeedsLLCFlush(mode)
+	if action.IsSplit() {
+		needPrivate = needPrivate || s.NeedsPrivateFlush(action.Cold())
+		needLLC = needLLC || s.NeedsLLCFlush(action.Cold())
+	}
+	if needPrivate {
 		p.WaitUntil(s.FlushPrivateRange(buf, p.Now(), meter))
 	}
-	if mode.NeedsLLCFlush() {
+	if needLLC {
 		p.WaitUntil(s.FlushLLCRange(buf, p.Now(), meter))
 	}
 
 	// The thread sleeps while the accelerator runs; the CPU is free.
 	cpu.Release()
-	stats := s.RunAccelerator(p, a, buf, mode, rng)
+	var stats soc.InvocationStats
+	if action.IsSplit() {
+		stats = s.RunAcceleratorSplit(p, a, buf, mode, action.Cold(), rng)
+	} else {
+		stats = s.RunAccelerator(p, a, buf, mode, rng)
+	}
 	cpu.Acquire(p)
 	p.Delay(s.P.IRQCycles)
 
@@ -93,6 +114,7 @@ func (sys *System) invoke(p *sim.Proc, a *soc.AccTile, buf *mem.Buffer, cpu *sim
 	res := &Result{
 		Acc:            a,
 		Mode:           mode,
+		Action:         action,
 		FootprintBytes: buf.Bytes,
 		ExecCycles:     p.Now() - start,
 		ActiveCycles:   stats.Active(),

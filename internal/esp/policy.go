@@ -31,6 +31,18 @@ type Policy interface {
 	OverheadCycles() sim.Cycles
 }
 
+// ActionPolicy is the optional fine-grain extension of Policy: a policy
+// that decides over the full soc.Action space — a uniform mode or a
+// (hot, cold) per-region split — instead of a single mode. The ESP API
+// prefers DecideAction when a policy implements it; mode-only policies
+// are unaffected.
+type ActionPolicy interface {
+	Policy
+	// DecideAction returns the action for the invocation described by
+	// ctx. The action's Hot and Cold modes must both be in ctx.Available.
+	DecideAction(ctx *Context) soc.Action
+}
+
 // Context is the sensed snapshot handed to Decide: what the lightweight
 // software layer can know about the invocation and the SoC status. All
 // footprint quantities are bytes.
@@ -98,8 +110,13 @@ func (c *Context) Clamp(mode soc.Mode) soc.Mode {
 // "evaluate" phase), assembled from software timers and the hardware
 // monitors.
 type Result struct {
-	Acc            *soc.AccTile
-	Mode           soc.Mode
+	Acc *soc.AccTile
+	// Mode is the invocation's coherence mode — under a fine-grain split
+	// action, the hot region's mode (the cold mode is in Action).
+	Mode soc.Mode
+	// Action is the decision as taken: soc.ModeAction(Mode) for uniform
+	// invocations, the split action otherwise.
+	Action         soc.Action
 	FootprintBytes int64
 
 	// ExecCycles is the total invocation time including driver overhead,

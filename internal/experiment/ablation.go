@@ -25,7 +25,7 @@ type AblationResult struct {
 // Ablation trains one Cohmeleon variant per design choice on SoC0 and
 // tests all of them on the same application instance.
 func Ablation(opt Options) (*AblationResult, error) {
-	cfg := soc.SoC0(soc.TrafficMixed, opt.Seed)
+	cfg := withProtocol(soc.SoC0(soc.TrafficMixed, opt.Seed), opt)
 	train, err := workload.Generate(cfg, workload.GenConfig{MinInvocations: opt.MinInvocations}, opt.Seed+1000)
 	if err != nil {
 		return nil, err

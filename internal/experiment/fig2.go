@@ -41,7 +41,7 @@ var fig2Sizes = []struct {
 // on a fresh SoC; the full cross product fans out on the worker pool and
 // the table is assembled from the indexed results in paper order.
 func Figure2(opt Options) (*Fig2Result, error) {
-	cfg := soc.MotivationIsolation()
+	cfg := withProtocol(soc.MotivationIsolation(), opt)
 	nS, nM := len(fig2Sizes), int(soc.NumModes)
 	ms := make([]isolationMeasurement, len(cfg.Accs)*nS*nM)
 	if err := forEachOpt(opt, len(ms), func(i int) error {

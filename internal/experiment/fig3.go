@@ -30,7 +30,7 @@ var fig3Counts = []int{1, 4, 8, 12}
 
 // Figure3 runs the parallel-execution study on the motivation SoC.
 func Figure3(opt Options) (*Fig3Result, error) {
-	cfg := soc.MotivationParallel()
+	cfg := withProtocol(soc.MotivationParallel(), opt)
 	const bytes = 256 << 10
 	types := []string{}
 	seen := map[string]bool{}

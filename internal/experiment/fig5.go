@@ -27,7 +27,7 @@ type Fig5Result struct {
 
 // Figure5 runs the phase analysis.
 func Figure5(opt Options) (*Fig5Result, error) {
-	cfg := soc.SoC0(soc.TrafficMixed, opt.Seed)
+	cfg := withProtocol(soc.SoC0(soc.TrafficMixed, opt.Seed), opt)
 	test, err := workload.Figure5App(cfg, opt.Seed+2000)
 	if err != nil {
 		return nil, err

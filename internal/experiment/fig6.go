@@ -56,7 +56,7 @@ func fig6Weights(n int) []core.RewardWeights {
 // Figure6 trains one model per weight setting and tests all of them
 // plus the baselines on a different application instance.
 func Figure6(opt Options) (*Fig6Result, error) {
-	cfg := soc.SoC0(soc.TrafficMixed, opt.Seed)
+	cfg := withProtocol(soc.SoC0(soc.TrafficMixed, opt.Seed), opt)
 	train, err := workload.Generate(cfg, workload.GenConfig{MinInvocations: opt.MinInvocations}, opt.Seed+1000)
 	if err != nil {
 		return nil, err

@@ -29,7 +29,7 @@ type Fig7Result struct {
 // Figure7 trains Cohmeleon, then runs both policies on the test
 // application and tallies their decisions from the invocation results.
 func Figure7(opt Options) (*Fig7Result, error) {
-	cfg := soc.SoC0(soc.TrafficMixed, opt.Seed)
+	cfg := withProtocol(soc.SoC0(soc.TrafficMixed, opt.Seed), opt)
 	test, err := workload.Generate(cfg, workload.GenConfig{MinInvocations: opt.MinInvocations}, opt.Seed+2000)
 	if err != nil {
 		return nil, err

@@ -27,7 +27,7 @@ type Fig8Result struct {
 
 // Figure8 runs the training-time study on SoC0.
 func Figure8(opt Options) (*Fig8Result, error) {
-	cfg := soc.SoC0(soc.TrafficMixed, opt.Seed)
+	cfg := withProtocol(soc.SoC0(soc.TrafficMixed, opt.Seed), opt)
 	train, err := workload.Generate(cfg, workload.GenConfig{MinInvocations: opt.MinInvocations}, opt.Seed+1000)
 	if err != nil {
 		return nil, err

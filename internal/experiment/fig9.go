@@ -57,6 +57,9 @@ func fig9Configs(seed uint64) []*soc.Config {
 // report is identical for any worker count.
 func Figure9(opt Options) (*Fig9Result, error) {
 	cfgs := fig9Configs(opt.Seed)
+	for _, cfg := range cfgs {
+		withProtocol(cfg, opt)
+	}
 	// Phase 1 already fans one task per SoC, so the nested fan-out inside
 	// policySet (training ∥ profiling, and the profiler's trials) gets
 	// only the leftover share of the pool; otherwise the effective

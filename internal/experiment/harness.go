@@ -35,6 +35,14 @@ func pooledEngine() *sim.Engine {
 // Run returned nil.
 func releaseEngine(e *sim.Engine) { enginePool.Put(e) }
 
+// withProtocol applies the option's coherence-protocol selection to a
+// constructed topology; every experiment routes its hand-built configs
+// through it so -protocol reaches all of them.
+func withProtocol(cfg *soc.Config, opt Options) *soc.Config {
+	cfg.Protocol = opt.Protocol
+	return cfg
+}
+
 // build builds a fresh SoC (hardware state never survives between
 // measurements; policies may) on a pooled engine.
 func build(cfg *soc.Config) (*soc.SoC, error) {
@@ -238,6 +246,7 @@ func agentConfig(opt Options) core.Config {
 	cfg.Seed = opt.Seed
 	cfg.Learner = opt.Learner
 	cfg.Schedule = opt.Schedule
+	cfg.FineGrain = opt.FineGrain
 	return cfg
 }
 

@@ -113,9 +113,9 @@ type learnerCellImage struct {
 // the checkpoint identity).
 func learnersParamHash(opt Options, stacks []LearnerStack) runKey {
 	h := sha256.New()
-	fmt.Fprintf(h, "learners|ckpt%d|rc%d|seed%d|train%d|inv%d|scen%d\n",
+	fmt.Fprintf(h, "learners|ckpt%d|rc%d|seed%d|train%d|inv%d|scen%d|proto=%s|fg=%t\n",
 		checkpointVersion, runCacheVersion, opt.Seed, opt.TrainIterations,
-		opt.MinInvocations, opt.LearnerScenarios)
+		opt.MinInvocations, opt.LearnerScenarios, opt.Protocol, opt.FineGrain)
 	for _, st := range stacks {
 		fmt.Fprintf(h, "stack|%s\n", st.Label())
 	}
@@ -140,6 +140,9 @@ func Learners(opt Options) (*LearnersResult, error) {
 	ctx := opt.ctx()
 	spec := scenario.DefaultSpec()
 	spec.MinInvocations = opt.MinInvocations
+	if opt.Protocol != "" {
+		spec.SoC.Protocols = []string{opt.Protocol}
+	}
 	scens, err := scenario.Sample(spec, opt.LearnerScenarios, opt.Seed)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"cohmeleon/internal/learn"
+	"cohmeleon/internal/soc/protocol"
 )
 
 // Options scales the experiments. Defaults reproduce the paper's
@@ -56,6 +57,16 @@ type Options struct {
 	// Schedule selects the agent's ε/α trajectory by learn-registry
 	// name; empty keeps the paper's linear decay ("linear").
 	Schedule string
+	// Protocol selects the coherence-protocol stack by protocol-registry
+	// name for every SoC the experiments build (hand-built topologies
+	// and sampled scenarios alike); empty keeps the default MESI-style
+	// stack ("mesi"), which is byte-identical to the pre-seam simulator.
+	Protocol string
+	// FineGrain widens the Cohmeleon agent's action space with per-region
+	// (hot, cold) mode splits for invocations whose footprint exceeds the
+	// private L2. Off (the default) keeps the paper's uniform four-mode
+	// space and is byte-identical to it.
+	FineGrain bool
 	// LearnerScenarios is the number of randomized scenarios the
 	// learners experiment runs its (algorithm × schedule) grid over.
 	LearnerScenarios int
@@ -145,6 +156,9 @@ func (o Options) Validate() error {
 	if _, err := learn.NewSchedule(o.Schedule, learn.ScheduleParams{
 		Epsilon0: 0.5, Alpha0: 0.25, DecayIterations: 1,
 	}); err != nil {
+		return err
+	}
+	if _, err := protocol.Lookup(o.Protocol); err != nil {
 		return err
 	}
 	return nil

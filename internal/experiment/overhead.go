@@ -28,7 +28,7 @@ type OverheadResult struct {
 // footprint points are independent trials (fresh SoC and frozen agent
 // each) and fan out on the worker pool.
 func Overhead(opt Options) (*OverheadResult, error) {
-	cfg := soc.MotivationIsolation()
+	cfg := withProtocol(soc.MotivationIsolation(), opt)
 	agentCfg := core.DefaultConfig()
 	overhead := agentCfg.OverheadCycles
 	footprints := []int64{16, 64, 256, 1024, 4096}

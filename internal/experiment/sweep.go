@@ -197,9 +197,10 @@ func sweepScenario(ctx context.Context, sc scenario.Scenario, opt Options, loade
 // with it.
 func sweepParamHash(opt Options, loadedRaw []byte) runKey {
 	h := sha256.New()
-	fmt.Fprintf(h, "sweep|ckpt%d|rc%d|seed%d|train%d|inv%d|scen%d|learner=%s|sched=%s|load=%d\n",
+	fmt.Fprintf(h, "sweep|ckpt%d|rc%d|seed%d|train%d|inv%d|scen%d|learner=%s|sched=%s|proto=%s|fg=%t|load=%d\n",
 		checkpointVersion, runCacheVersion, opt.Seed, opt.TrainIterations,
-		opt.MinInvocations, opt.SweepScenarios, opt.Learner, opt.Schedule, len(loadedRaw))
+		opt.MinInvocations, opt.SweepScenarios, opt.Learner, opt.Schedule,
+		opt.Protocol, opt.FineGrain, len(loadedRaw))
 	h.Write(loadedRaw)
 	var k runKey
 	h.Sum(k[:0])
@@ -274,6 +275,11 @@ func Sweep(opt Options) (*SweepResult, error) {
 
 	spec := scenario.DefaultSpec()
 	spec.MinInvocations = opt.MinInvocations
+	if opt.Protocol != "" {
+		// A single-entry axis pins every sampled SoC's protocol without
+		// consuming an RNG draw, so the topology stream is unchanged.
+		spec.SoC.Protocols = []string{opt.Protocol}
+	}
 	scens, err := scenario.Sample(spec, opt.SweepScenarios, opt.Seed)
 	if err != nil {
 		return nil, err

@@ -17,6 +17,9 @@ type Table4Result struct {
 // independent) and reports its parameters.
 func Table4(opt Options) (*Table4Result, error) {
 	configs := soc.Table4(opt.Seed)
+	for _, cfg := range configs {
+		withProtocol(cfg, opt)
+	}
 	if err := forEachOpt(opt, len(configs), func(i int) error {
 		_, err := configs[i].Build()
 		return err

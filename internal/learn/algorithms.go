@@ -24,7 +24,7 @@ func NewEpsilonGreedyQ() *EpsilonGreedyQ { return &EpsilonGreedyQ{table: NewQTab
 func (a *EpsilonGreedyQ) Name() string { return "q" }
 
 // Decide implements Algorithm: ε-greedy selection over the Q-table.
-func (a *EpsilonGreedyQ) Decide(rng *sim.RNG, s State, available []soc.Mode, epsilon float64) soc.Mode {
+func (a *EpsilonGreedyQ) Decide(rng *sim.RNG, s State, available []soc.Action, epsilon float64) soc.Action {
 	if rng.Float64() < epsilon {
 		return available[rng.Intn(len(available))]
 	}
@@ -32,13 +32,13 @@ func (a *EpsilonGreedyQ) Decide(rng *sim.RNG, s State, available []soc.Mode, eps
 }
 
 // Exploit implements Algorithm.
-func (a *EpsilonGreedyQ) Exploit(s State, available []soc.Mode) soc.Mode {
+func (a *EpsilonGreedyQ) Exploit(s State, available []soc.Action) soc.Action {
 	return a.table.Best(s, available)
 }
 
 // Update implements Algorithm: Q(s,a) ← (1−α)·Q(s,a) + α·R.
-func (a *EpsilonGreedyQ) Update(_ *sim.RNG, s State, m soc.Mode, reward, alpha float64) {
-	a.table.Update(s, m, reward, alpha)
+func (a *EpsilonGreedyQ) Update(_ *sim.RNG, s State, act soc.Action, reward, alpha float64) {
+	a.table.Update(s, act, reward, alpha)
 }
 
 // Tables implements Algorithm.
@@ -64,21 +64,21 @@ func NewDoubleQ() *DoubleQ { return &DoubleQ{a: NewQTable(), b: NewQTable()} }
 // Name implements Algorithm.
 func (d *DoubleQ) Name() string { return "double-q" }
 
-// bestSum returns the available mode maximizing A+B, ties resolving in
-// mode order like QTable.Best.
-func (d *DoubleQ) bestSum(s State, available []soc.Mode) soc.Mode {
+// bestSum returns the available action maximizing A+B, ties resolving
+// in offer order like QTable.Best.
+func (d *DoubleQ) bestSum(s State, available []soc.Action) soc.Action {
 	best := available[0]
 	bv := d.a.Q(s, best) + d.b.Q(s, best)
-	for _, m := range available[1:] {
-		if v := d.a.Q(s, m) + d.b.Q(s, m); v > bv {
-			best, bv = m, v
+	for _, a := range available[1:] {
+		if v := d.a.Q(s, a) + d.b.Q(s, a); v > bv {
+			best, bv = a, v
 		}
 	}
 	return best
 }
 
 // Decide implements Algorithm: ε-greedy over the summed tables.
-func (d *DoubleQ) Decide(rng *sim.RNG, s State, available []soc.Mode, epsilon float64) soc.Mode {
+func (d *DoubleQ) Decide(rng *sim.RNG, s State, available []soc.Action, epsilon float64) soc.Action {
 	if rng.Float64() < epsilon {
 		return available[rng.Intn(len(available))]
 	}
@@ -86,16 +86,16 @@ func (d *DoubleQ) Decide(rng *sim.RNG, s State, available []soc.Mode, epsilon fl
 }
 
 // Exploit implements Algorithm.
-func (d *DoubleQ) Exploit(s State, available []soc.Mode) soc.Mode {
+func (d *DoubleQ) Exploit(s State, available []soc.Action) soc.Action {
 	return d.bestSum(s, available)
 }
 
 // Update implements Algorithm: a fair coin picks the table to update.
-func (d *DoubleQ) Update(rng *sim.RNG, s State, m soc.Mode, reward, alpha float64) {
+func (d *DoubleQ) Update(rng *sim.RNG, s State, act soc.Action, reward, alpha float64) {
 	if rng.Float64() < 0.5 {
-		d.a.Update(s, m, reward, alpha)
+		d.a.Update(s, act, reward, alpha)
 	} else {
-		d.b.Update(s, m, reward, alpha)
+		d.b.Update(s, act, reward, alpha)
 	}
 }
 
@@ -113,7 +113,7 @@ func (d *DoubleQ) SetPrimary(t *QTable) { d.a, d.b = t, NewQTable() }
 const ucbC = math.Sqrt2
 
 // UCB1 replaces randomized exploration with count-based optimism: every
-// untried (state, mode) is tried once (in mode order), after which the
+// untried (state, action) is tried once (in offer order), after which the
 // algorithm picks argmax Q + √2·√(ln N / n) where N is the state's
 // total play count and n the arm's. Decisions consume no RNG draws and
 // the value estimate is the running mean of observed rewards (the
@@ -129,34 +129,34 @@ func NewUCB1() *UCB1 { return &UCB1{table: NewQTable()} }
 func (u *UCB1) Name() string { return "ucb1" }
 
 // Decide implements Algorithm: optimism in the face of uncertainty.
-func (u *UCB1) Decide(_ *sim.RNG, s State, available []soc.Mode, _ float64) soc.Mode {
+func (u *UCB1) Decide(_ *sim.RNG, s State, available []soc.Action, _ float64) soc.Action {
 	var total int64
-	for _, m := range available {
-		n := u.table.Visits(s, m)
+	for _, a := range available {
+		n := u.table.Visits(s, a)
 		if n == 0 {
-			return m // every arm plays once before any bound applies
+			return a // every arm plays once before any bound applies
 		}
 		total += n
 	}
 	logN := math.Log(float64(total))
 	best := available[0]
 	bv := u.table.Q(s, best) + ucbC*math.Sqrt(logN/float64(u.table.Visits(s, best)))
-	for _, m := range available[1:] {
-		if v := u.table.Q(s, m) + ucbC*math.Sqrt(logN/float64(u.table.Visits(s, m))); v > bv {
-			best, bv = m, v
+	for _, a := range available[1:] {
+		if v := u.table.Q(s, a) + ucbC*math.Sqrt(logN/float64(u.table.Visits(s, a))); v > bv {
+			best, bv = a, v
 		}
 	}
 	return best
 }
 
 // Exploit implements Algorithm: greedy on the mean-reward estimates.
-func (u *UCB1) Exploit(s State, available []soc.Mode) soc.Mode {
+func (u *UCB1) Exploit(s State, available []soc.Action) soc.Action {
 	return u.table.Best(s, available)
 }
 
 // Update implements Algorithm: incremental running mean.
-func (u *UCB1) Update(_ *sim.RNG, s State, m soc.Mode, reward, _ float64) {
-	u.table.UpdateMean(s, m, reward)
+func (u *UCB1) Update(_ *sim.RNG, s State, a soc.Action, reward, _ float64) {
+	u.table.UpdateMean(s, a, reward)
 }
 
 // Tables implements Algorithm.
@@ -170,8 +170,8 @@ func (u *UCB1) SetPrimary(t *QTable) { u.table = t }
 // fully decayed schedule hands in exactly zero.
 const boltzmannMinTemp = 1e-6
 
-// Boltzmann selects modes with probability ∝ exp(Q(s,a)/τ): all modes
-// stay reachable but better-valued ones are preferred smoothly, unlike
+// Boltzmann selects actions with probability ∝ exp(Q(s,a)/τ): all
+// actions stay reachable but better-valued ones are preferred smoothly, unlike
 // ε-greedy's all-or-nothing split. The schedule's ε trajectory is read
 // as the temperature τ, so the default linear decay anneals selection
 // from near-uniform (τ = ε₀) to greedy. Updates reuse the paper's EMA
@@ -187,43 +187,43 @@ func NewBoltzmann() *Boltzmann { return &Boltzmann{table: NewQTable()} }
 func (b *Boltzmann) Name() string { return "boltzmann" }
 
 // Decide implements Algorithm: sample from the softmax distribution.
-func (b *Boltzmann) Decide(rng *sim.RNG, s State, available []soc.Mode, epsilon float64) soc.Mode {
+func (b *Boltzmann) Decide(rng *sim.RNG, s State, available []soc.Action, epsilon float64) soc.Action {
 	tau := epsilon
 	if tau <= boltzmannMinTemp {
 		return b.table.Best(s, available)
 	}
 	// Subtract the max before exponentiating so weights stay in (0, 1].
 	maxQ := b.table.Q(s, available[0])
-	for _, m := range available[1:] {
-		if q := b.table.Q(s, m); q > maxQ {
+	for _, a := range available[1:] {
+		if q := b.table.Q(s, a); q > maxQ {
 			maxQ = q
 		}
 	}
-	var weights [soc.NumModes]float64
+	var weights [soc.NumActions]float64
 	var sum float64
-	for i, m := range available {
-		w := math.Exp((b.table.Q(s, m) - maxQ) / tau)
+	for i, a := range available {
+		w := math.Exp((b.table.Q(s, a) - maxQ) / tau)
 		weights[i] = w
 		sum += w
 	}
 	draw := rng.Float64() * sum
-	for i, m := range available {
+	for i, a := range available {
 		draw -= weights[i]
 		if draw < 0 {
-			return m
+			return a
 		}
 	}
 	return available[len(available)-1] // float round-off: the draw exhausted the mass
 }
 
 // Exploit implements Algorithm.
-func (b *Boltzmann) Exploit(s State, available []soc.Mode) soc.Mode {
+func (b *Boltzmann) Exploit(s State, available []soc.Action) soc.Action {
 	return b.table.Best(s, available)
 }
 
 // Update implements Algorithm: Q(s,a) ← (1−α)·Q(s,a) + α·R.
-func (b *Boltzmann) Update(_ *sim.RNG, s State, m soc.Mode, reward, alpha float64) {
-	b.table.Update(s, m, reward, alpha)
+func (b *Boltzmann) Update(_ *sim.RNG, s State, act soc.Action, reward, alpha float64) {
+	b.table.Update(s, act, reward, alpha)
 }
 
 // Tables implements Algorithm.

@@ -25,7 +25,7 @@ func TestZeroAllocDefaultDecideUpdate(t *testing.T) {
 	got := testing.AllocsPerRun(200, func() {
 		for i := 0; i < 32; i++ {
 			s := State(i % NumStates)
-			m := a.Decide(rng, s, soc.AllModes[:], 0.4)
+			m := a.Decide(rng, s, soc.UniformActions[:], 0.4)
 			a.Update(rng, s, m, 0.5, 0.25)
 		}
 	})

@@ -18,7 +18,7 @@ func benchAlgorithm(b *testing.B, name string) Algorithm {
 	rng := sim.NewRNG(77)
 	for i := 0; i < 4*NumStates; i++ {
 		s := State(i % NumStates)
-		m := a.Decide(rng, s, soc.AllModes[:], 0.5)
+		m := a.Decide(rng, s, soc.UniformActions[:], 0.5)
 		a.Update(rng, s, m, float64(i%23)/23, 0.25)
 	}
 	return a
@@ -38,7 +38,7 @@ func BenchmarkLearnerDecide(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s := State(i % NumStates)
-				m := a.Decide(rng, s, soc.AllModes[:], 0.3)
+				m := a.Decide(rng, s, soc.UniformActions[:], 0.3)
 				a.Update(rng, s, m, 0.5, 0.2)
 			}
 		})

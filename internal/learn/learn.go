@@ -43,25 +43,30 @@ type Featurizer interface {
 	Featurize(ctx *esp.Context) State
 }
 
-// Algorithm owns the value state over (state, mode) pairs and the
-// decide/update rules. Implementations must be deterministic given the
-// RNG handed in: the agent owns a single RNG stream and the default
-// algorithm's draw order is part of the repository's golden behavior.
+// Algorithm owns the value state over (state, action) pairs and the
+// decide/update rules. An action is a uniform coherence mode or a
+// fine-grain (hot, cold) split (soc.Action); agents offering only the
+// uniform actions index — and draw from the RNG — exactly as the
+// mode-only interface did, because the uniform actions are a numeric
+// prefix of the action space. Implementations must be deterministic
+// given the RNG handed in: the agent owns a single RNG stream and the
+// default algorithm's draw order is part of the repository's golden
+// behavior.
 type Algorithm interface {
 	// Name is the registry name ("q", "double-q", "ucb1", "boltzmann").
 	Name() string
-	// Decide selects a mode during training. epsilon is the schedule's
+	// Decide selects an action during training. epsilon is the schedule's
 	// exploration knob at the current iteration (the Boltzmann algorithm
 	// reads it as its temperature; UCB1 ignores it). Implementations may
 	// consume RNG draws.
-	Decide(rng *sim.RNG, s State, available []soc.Mode, epsilon float64) soc.Mode
+	Decide(rng *sim.RNG, s State, available []soc.Action, epsilon float64) soc.Action
 	// Exploit returns the greedy choice without exploration and without
 	// consuming RNG draws (frozen evaluation).
-	Exploit(s State, available []soc.Mode) soc.Mode
-	// Update learns from the reward of a taken (state, mode). alpha is
+	Exploit(s State, available []soc.Action) soc.Action
+	// Update learns from the reward of a taken (state, action). alpha is
 	// the schedule's learning-rate knob; count-based algorithms may
 	// ignore its value (the agent already gates updates on alpha > 0).
-	Update(rng *sim.RNG, s State, m soc.Mode, reward, alpha float64)
+	Update(rng *sim.RNG, s State, a soc.Action, reward, alpha float64)
 	// Tables exposes the algorithm's live value tables, primary first
 	// (persistence, merging, reports).
 	Tables() []NamedTable

@@ -15,7 +15,7 @@ import (
 func ctxWith(fullyCoh int, nonCoh, toLLC, tileFoot float64, accFoot int64) *esp.Context {
 	return &esp.Context{
 		Acc:                &soc.AccTile{ID: 0},
-		Available:          []soc.Mode{soc.NonCohDMA, soc.LLCCohDMA, soc.CohDMA, soc.FullyCoh},
+		Available:          soc.AllModes[:],
 		FullyCohActive:     fullyCoh,
 		NonCohPerTile:      nonCoh,
 		ToLLCPerTile:       toLLC,
@@ -27,7 +27,17 @@ func ctxWith(fullyCoh int, nonCoh, toLLC, tileFoot float64, accFoot int64) *esp.
 	}
 }
 
-var allModes = []soc.Mode{soc.NonCohDMA, soc.LLCCohDMA, soc.CohDMA, soc.FullyCoh}
+// The algorithm layer decides over the fine-grain action space; the
+// uniform mode actions are its numeric prefix, and these tests exercise
+// it through that prefix (exactly the arms the mode-era tests used).
+var allModes = soc.UniformActions[:]
+
+const (
+	aNonCoh  = soc.Action(soc.NonCohDMA)
+	aLLCCoh  = soc.Action(soc.LLCCohDMA)
+	aCohDMA  = soc.Action(soc.CohDMA)
+	aFullCoh = soc.Action(soc.FullyCoh)
+)
 
 func TestStateSpaceSize(t *testing.T) {
 	if NumStates != 243 {
@@ -131,16 +141,16 @@ func TestAttributeNames(t *testing.T) {
 
 func TestQTableUpdateRule(t *testing.T) {
 	q := NewQTable()
-	q.Update(5, soc.CohDMA, 1.0, 0.25)
-	if got := q.Q(5, soc.CohDMA); got != 0.25 {
+	q.Update(5, aCohDMA, 1.0, 0.25)
+	if got := q.Q(5, aCohDMA); got != 0.25 {
 		t.Fatalf("Q = %g, want 0.25 ((1-α)·0 + α·1)", got)
 	}
-	q.Update(5, soc.CohDMA, 1.0, 0.25)
-	if got := q.Q(5, soc.CohDMA); math.Abs(got-0.4375) > 1e-12 {
+	q.Update(5, aCohDMA, 1.0, 0.25)
+	if got := q.Q(5, aCohDMA); math.Abs(got-0.4375) > 1e-12 {
 		t.Fatalf("Q = %g, want 0.4375", got)
 	}
-	if q.Visits(5, soc.CohDMA) != 2 {
-		t.Fatalf("visits = %d", q.Visits(5, soc.CohDMA))
+	if q.Visits(5, aCohDMA) != 2 {
+		t.Fatalf("visits = %d", q.Visits(5, aCohDMA))
 	}
 	if q.TotalVisits() != 2 {
 		t.Fatalf("total visits = %d", q.TotalVisits())
@@ -150,41 +160,41 @@ func TestQTableUpdateRule(t *testing.T) {
 func TestQTableUpdateMeanIsRunningMean(t *testing.T) {
 	q := NewQTable()
 	for i, r := range []float64{1, 0, 0.5, 0.5} {
-		q.UpdateMean(2, soc.LLCCohDMA, r)
-		if got := q.Visits(2, soc.LLCCohDMA); got != int64(i+1) {
+		q.UpdateMean(2, aLLCCoh, r)
+		if got := q.Visits(2, aLLCCoh); got != int64(i+1) {
 			t.Fatalf("visits = %d after %d updates", got, i+1)
 		}
 	}
-	if got := q.Q(2, soc.LLCCohDMA); math.Abs(got-0.5) > 1e-12 {
+	if got := q.Q(2, aLLCCoh); math.Abs(got-0.5) > 1e-12 {
 		t.Fatalf("mean = %g, want 0.5", got)
 	}
 }
 
 func TestQTableBestRespectsAvailability(t *testing.T) {
 	q := NewQTable()
-	q.Update(0, soc.FullyCoh, 1, 1)
-	if got := q.Best(0, allModes); got != soc.FullyCoh {
+	q.Update(0, aFullCoh, 1, 1)
+	if got := q.Best(0, allModes); got != aFullCoh {
 		t.Fatalf("Best = %v", got)
 	}
-	noFC := []soc.Mode{soc.NonCohDMA, soc.LLCCohDMA, soc.CohDMA}
-	if got := q.Best(0, noFC); got == soc.FullyCoh {
+	noFC := []soc.Action{aNonCoh, aLLCCoh, aCohDMA}
+	if got := q.Best(0, noFC); got == aFullCoh {
 		t.Fatal("Best returned unavailable mode")
 	}
 }
 
 func TestQTableBestTieBreaksInModeOrder(t *testing.T) {
 	q := NewQTable()
-	if got := q.Best(7, allModes); got != soc.NonCohDMA {
+	if got := q.Best(7, allModes); got != aNonCoh {
 		t.Fatalf("untrained Best = %v, want NonCohDMA (first)", got)
 	}
 }
 
 func TestQTableClone(t *testing.T) {
 	q := NewQTable()
-	q.Update(1, soc.CohDMA, 1, 0.5)
+	q.Update(1, aCohDMA, 1, 0.5)
 	c := q.Clone()
-	q.Update(1, soc.CohDMA, 0, 1)
-	if c.Q(1, soc.CohDMA) != 0.5 {
+	q.Update(1, aCohDMA, 0, 1)
+	if c.Q(1, aCohDMA) != 0.5 {
 		t.Fatal("clone aliases original")
 	}
 }
@@ -195,8 +205,8 @@ func TestQValueBoundedProperty(t *testing.T) {
 	f := func(rewards []uint8) bool {
 		q := NewQTable()
 		for _, r := range rewards {
-			q.Update(3, soc.LLCCohDMA, float64(r%101)/100, 0.25)
-			v := q.Q(3, soc.LLCCohDMA)
+			q.Update(3, aLLCCoh, float64(r%101)/100, 0.25)
+			v := q.Q(3, aLLCCoh)
 			if v < 0 || v > 1 {
 				return false
 			}
@@ -210,22 +220,22 @@ func TestQValueBoundedProperty(t *testing.T) {
 
 func TestMergeTables(t *testing.T) {
 	a, b := NewQTable(), NewQTable()
-	a.Update(0, soc.NonCohDMA, 1.0, 1.0) // Q=1, visits=1
-	b.Update(0, soc.NonCohDMA, 0.0, 1.0) // Q=0, visits=1
-	b.Update(0, soc.NonCohDMA, 0.0, 1.0) // Q=0, visits=2
-	b.Update(5, soc.FullyCoh, 0.5, 1.0)
+	a.Update(0, aNonCoh, 1.0, 1.0) // Q=1, visits=1
+	b.Update(0, aNonCoh, 0.0, 1.0) // Q=0, visits=1
+	b.Update(0, aNonCoh, 0.0, 1.0) // Q=0, visits=2
+	b.Update(5, aFullCoh, 0.5, 1.0)
 
 	m := MergeTables([]*QTable{a, b, nil})
-	if got := m.Q(0, soc.NonCohDMA); got != 1.0/3 {
+	if got := m.Q(0, aNonCoh); got != 1.0/3 {
 		t.Fatalf("merged Q = %g, want 1/3 (visit-weighted)", got)
 	}
-	if got := m.Visits(0, soc.NonCohDMA); got != 3 {
+	if got := m.Visits(0, aNonCoh); got != 3 {
 		t.Fatalf("merged visits = %d, want 3", got)
 	}
-	if got := m.Q(5, soc.FullyCoh); got != 0.5 {
+	if got := m.Q(5, aFullCoh); got != 0.5 {
 		t.Fatalf("single-source cell = %g, want 0.5", got)
 	}
-	if m.Q(100, soc.CohDMA) != 0 || m.Visits(100, soc.CohDMA) != 0 {
+	if m.Q(100, aCohDMA) != 0 || m.Visits(100, aCohDMA) != 0 {
 		t.Fatal("unvisited cell should stay zero")
 	}
 	empty := MergeTables(nil)
@@ -265,23 +275,23 @@ func TestRegistriesRejectUnknownNamesListingValid(t *testing.T) {
 }
 
 func TestEveryAlgorithmRespectsAvailabilityAndDeterminism(t *testing.T) {
-	avail := []soc.Mode{soc.NonCohDMA, soc.CohDMA}
+	avail := []soc.Action{aNonCoh, aCohDMA}
 	for _, name := range AlgorithmNames() {
-		run := func(seed uint64) []soc.Mode {
+		run := func(seed uint64) []soc.Action {
 			a, err := NewAlgorithm(name)
 			if err != nil {
 				t.Fatal(err)
 			}
 			rng := sim.NewRNG(seed)
-			var out []soc.Mode
+			var out []soc.Action
 			for i := 0; i < 100; i++ {
 				m := a.Decide(rng, State(i%NumStates), avail, 0.8)
 				out = append(out, m)
-				if m != soc.NonCohDMA && m != soc.CohDMA {
+				if m != aNonCoh && m != aCohDMA {
 					t.Fatalf("%s chose unavailable mode %v", name, m)
 				}
 				a.Update(rng, State(i%NumStates), m, float64(i%11)/11, 0.25)
-				if e := a.Exploit(State(i%NumStates), avail); e != soc.NonCohDMA && e != soc.CohDMA {
+				if e := a.Exploit(State(i%NumStates), avail); e != aNonCoh && e != aCohDMA {
 					t.Fatalf("%s exploited unavailable mode %v", name, e)
 				}
 			}
@@ -300,10 +310,10 @@ func TestDoubleQSplitsUpdatesAcrossTables(t *testing.T) {
 	d := NewDoubleQ()
 	rng := sim.NewRNG(3)
 	for i := 0; i < 200; i++ {
-		d.Update(rng, 7, soc.CohDMA, 1, 0.5)
+		d.Update(rng, 7, aCohDMA, 1, 0.5)
 	}
 	tabs := d.Tables()
-	va, vb := tabs[0].Table.Visits(7, soc.CohDMA), tabs[1].Table.Visits(7, soc.CohDMA)
+	va, vb := tabs[0].Table.Visits(7, aCohDMA), tabs[1].Table.Visits(7, aCohDMA)
 	if va+vb != 200 {
 		t.Fatalf("updates lost: %d + %d != 200", va, vb)
 	}
@@ -312,9 +322,9 @@ func TestDoubleQSplitsUpdatesAcrossTables(t *testing.T) {
 	}
 	// Exploit maximizes the summed tables.
 	d2 := NewDoubleQ()
-	d2.Tables()[0].Table.Update(1, soc.LLCCohDMA, 0.6, 1)
-	d2.Tables()[1].Table.Update(1, soc.FullyCoh, 0.4, 1)
-	if got := d2.Exploit(1, allModes); got != soc.LLCCohDMA {
+	d2.Tables()[0].Table.Update(1, aLLCCoh, 0.6, 1)
+	d2.Tables()[1].Table.Update(1, aFullCoh, 0.4, 1)
+	if got := d2.Exploit(1, allModes); got != aLLCCoh {
 		t.Fatalf("Exploit = %v, want LLCCohDMA (0.6 > 0.4)", got)
 	}
 }
@@ -322,7 +332,7 @@ func TestDoubleQSplitsUpdatesAcrossTables(t *testing.T) {
 func TestUCB1TriesEveryArmOnceThenUsesBounds(t *testing.T) {
 	u := NewUCB1()
 	rng := sim.NewRNG(1)
-	seen := map[soc.Mode]bool{}
+	seen := map[soc.Action]bool{}
 	for i := 0; i < len(allModes); i++ {
 		m := u.Decide(rng, 0, allModes, 0)
 		if seen[m] {
@@ -331,44 +341,44 @@ func TestUCB1TriesEveryArmOnceThenUsesBounds(t *testing.T) {
 		seen[m] = true
 		// A mediocre reward everywhere except CohDMA, which is best.
 		r := 0.2
-		if m == soc.CohDMA {
+		if m == aCohDMA {
 			r = 0.9
 		}
 		u.Update(rng, 0, m, r, 0)
 	}
 	// With all arms played once, the best mean dominates quickly.
-	counts := map[soc.Mode]int{}
+	counts := map[soc.Action]int{}
 	for i := 0; i < 40; i++ {
 		m := u.Decide(rng, 0, allModes, 0)
 		counts[m]++
 		r := 0.2
-		if m == soc.CohDMA {
+		if m == aCohDMA {
 			r = 0.9
 		}
 		u.Update(rng, 0, m, r, 0)
 	}
-	if counts[soc.CohDMA] < 20 {
-		t.Fatalf("UCB1 played the best arm only %d/40 times: %v", counts[soc.CohDMA], counts)
+	if counts[aCohDMA] < 20 {
+		t.Fatalf("UCB1 played the best arm only %d/40 times: %v", counts[aCohDMA], counts)
 	}
-	if u.Exploit(0, allModes) != soc.CohDMA {
+	if u.Exploit(0, allModes) != aCohDMA {
 		t.Fatal("Exploit ignores the best mean")
 	}
 }
 
 func TestBoltzmannTemperatureSweep(t *testing.T) {
 	b := NewBoltzmann()
-	b.Tables()[0].Table.Update(0, soc.FullyCoh, 1, 1) // clearly best
+	b.Tables()[0].Table.Update(0, aFullCoh, 1, 1) // clearly best
 	rng := sim.NewRNG(11)
 
 	// Zero temperature: pure greedy, no RNG consumed... but Decide with
 	// tau=0 must still be deterministic and greedy.
 	for i := 0; i < 10; i++ {
-		if got := b.Decide(rng, 0, allModes, 0); got != soc.FullyCoh {
+		if got := b.Decide(rng, 0, allModes, 0); got != aFullCoh {
 			t.Fatalf("cold Boltzmann chose %v", got)
 		}
 	}
 	// High temperature: near-uniform — every mode appears.
-	counts := map[soc.Mode]int{}
+	counts := map[soc.Action]int{}
 	for i := 0; i < 400; i++ {
 		counts[b.Decide(rng, 0, allModes, 100)]++
 	}
@@ -378,12 +388,12 @@ func TestBoltzmannTemperatureSweep(t *testing.T) {
 		}
 	}
 	// Low (but nonzero) temperature: strong preference for the best.
-	counts = map[soc.Mode]int{}
+	counts = map[soc.Action]int{}
 	for i := 0; i < 400; i++ {
 		counts[b.Decide(rng, 0, allModes, 0.05)]++
 	}
-	if counts[soc.FullyCoh] < 380 {
-		t.Fatalf("cool Boltzmann picked best only %d/400: %v", counts[soc.FullyCoh], counts)
+	if counts[aFullCoh] < 380 {
+		t.Fatalf("cool Boltzmann picked best only %d/400: %v", counts[aFullCoh], counts)
 	}
 }
 
@@ -442,9 +452,9 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 			}
 		}
 		// Snapshot is a deep copy: mutating it must not touch the source.
-		st.Tables[0].Table.Update(0, soc.NonCohDMA, 1, 1)
+		st.Tables[0].Table.Update(0, aNonCoh, 1, 1)
 		st2 := Snapshot(a)
-		if st2.Tables[0].Table.Visits(0, soc.NonCohDMA) != a.Tables()[0].Table.Visits(0, soc.NonCohDMA) {
+		if st2.Tables[0].Table.Visits(0, aNonCoh) != a.Tables()[0].Table.Visits(0, aNonCoh) {
 			t.Fatalf("%s: snapshot aliases live table", name)
 		}
 	}

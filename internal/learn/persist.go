@@ -23,10 +23,20 @@ import (
 //	                  (double-q carries two), so any tabular learner
 //	                  round-trips. Version-1 files still load, as the
 //	                  "q" algorithm's single table.
+//	version 3 (PR 8): table rows widen from the four coherence modes
+//	                  to the sixteen fine-grain actions. Version-1 and
+//	                  -2 files still load: the uniform mode actions are
+//	                  a numeric prefix of the action space, so mode-era
+//	                  rows fill the first four columns and the split
+//	                  columns start untrained (zero, like any unvisited
+//	                  cell).
 type stateImage struct {
 	Version int
 	States  int
 	Modes   int
+	// Actions is the row width from version 3 on (versions 1 and 2
+	// carried Modes-wide rows).
+	Actions int
 	// Version-1 payload: the single table.
 	Q      [][]float64
 	Visits [][]int64
@@ -44,7 +54,8 @@ type namedImage struct {
 
 const (
 	formatV1      = 1
-	formatVersion = 2
+	formatV2      = 2
+	formatVersion = 3
 )
 
 // TabularState is the portable snapshot of a tabular algorithm: its
@@ -120,20 +131,23 @@ func tableToImage(name string, t *QTable) namedImage {
 	return img
 }
 
-// tableFromImage validates and deserializes one table. The declared
-// geometry is only a claim the encoder made about itself: a truncated
-// or corrupted file can declare the right States/Modes yet carry short
-// (or missing) slices, so the actual slice lengths are validated before
-// any indexing, and every cell is checked for values no training run
-// can produce (NaN/Inf rewards, negative visit counts).
-func tableFromImage(label string, q [][]float64, visits [][]int64) (*QTable, error) {
+// tableFromImage validates and deserializes one table whose rows are
+// width cells wide (NumModes for version-1/2 files, NumActions from
+// version 3); narrower-era rows fill the prefix of each row, leaving
+// the split-action columns untrained. The declared geometry is only a
+// claim the encoder made about itself: a truncated or corrupted file
+// can declare the right States/Modes yet carry short (or missing)
+// slices, so the actual slice lengths are validated before any
+// indexing, and every cell is checked for values no training run can
+// produce (NaN/Inf rewards, negative visit counts).
+func tableFromImage(label string, q [][]float64, visits [][]int64, width int) (*QTable, error) {
 	if len(q) != NumStates || len(visits) != NumStates {
 		return nil, fmt.Errorf("learn: truncated %s: %d Q rows and %d visit rows, want %d",
 			label, len(q), len(visits), NumStates)
 	}
 	t := NewQTable()
 	for s := 0; s < NumStates; s++ {
-		if len(q[s]) != int(soc.NumModes) || len(visits[s]) != int(soc.NumModes) {
+		if len(q[s]) != width || len(visits[s]) != width {
 			return nil, fmt.Errorf("learn: truncated %s row %d", label, s)
 		}
 		for m, v := range q[s] {
@@ -161,6 +175,7 @@ func EncodeState(w io.Writer, st *TabularState) error {
 		Version: formatVersion,
 		States:  NumStates,
 		Modes:   int(soc.NumModes),
+		Actions: int(soc.NumActions),
 		Algo:    st.Algo,
 	}
 	for _, nt := range st.Tables {
@@ -179,16 +194,24 @@ func DecodeState(r io.Reader) (*TabularState, error) {
 	if err := gob.NewDecoder(r).Decode(&img); err != nil {
 		return nil, fmt.Errorf("learn: decoding learner state: %w", err)
 	}
-	if img.Version != formatV1 && img.Version != formatVersion {
-		return nil, fmt.Errorf("learn: learner-state version %d, want %d (or legacy %d)",
-			img.Version, formatVersion, formatV1)
+	if img.Version != formatV1 && img.Version != formatV2 && img.Version != formatVersion {
+		return nil, fmt.Errorf("learn: learner-state version %d, want %d (or legacy %d/%d)",
+			img.Version, formatVersion, formatV1, formatV2)
 	}
 	if img.States != NumStates || img.Modes != int(soc.NumModes) {
 		return nil, fmt.Errorf("learn: learner-state geometry %dx%d, want %dx%d",
 			img.States, img.Modes, NumStates, soc.NumModes)
 	}
+	width := int(soc.NumModes) // mode-era rows fill the action prefix
+	if img.Version == formatVersion {
+		if img.Actions != int(soc.NumActions) {
+			return nil, fmt.Errorf("learn: learner-state action width %d, want %d",
+				img.Actions, soc.NumActions)
+		}
+		width = int(soc.NumActions)
+	}
 	if img.Version == formatV1 {
-		t, err := tableFromImage("Q-table", img.Q, img.Visits)
+		t, err := tableFromImage("Q-table", img.Q, img.Visits, width)
 		if err != nil {
 			return nil, err
 		}
@@ -199,7 +222,7 @@ func DecodeState(r io.Reader) (*TabularState, error) {
 	}
 	st := &TabularState{Algo: img.Algo}
 	for _, ti := range img.Tables {
-		t, err := tableFromImage(fmt.Sprintf("table %q", ti.Name), ti.Q, ti.Visits)
+		t, err := tableFromImage(fmt.Sprintf("table %q", ti.Name), ti.Q, ti.Visits, width)
 		if err != nil {
 			return nil, err
 		}

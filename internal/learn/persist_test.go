@@ -14,9 +14,9 @@ import (
 
 func TestQTableRoundTrip(t *testing.T) {
 	q := NewQTable()
-	q.Update(0, soc.NonCohDMA, 0.7, 0.5)
-	q.Update(242, soc.FullyCoh, 0.3, 0.25)
-	q.Update(100, soc.CohDMA, 1.0, 1.0)
+	q.Update(0, aNonCoh, 0.7, 0.5)
+	q.Update(242, aFullCoh, 0.3, 0.25)
+	q.Update(100, aCohDMA, 1.0, 1.0)
 
 	var buf bytes.Buffer
 	if err := q.Encode(&buf); err != nil {
@@ -27,7 +27,7 @@ func TestQTableRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for s := State(0); s < NumStates; s++ {
-		for _, m := range soc.AllModes {
+		for _, m := range soc.UniformActions {
 			if got.Q(s, m) != q.Q(s, m) {
 				t.Fatalf("Q(%d,%v) = %g, want %g", s, m, got.Q(s, m), q.Q(s, m))
 			}
@@ -40,7 +40,7 @@ func TestQTableRoundTrip(t *testing.T) {
 
 func TestQTableFileRoundTrip(t *testing.T) {
 	q := NewQTable()
-	q.Update(7, soc.LLCCohDMA, 0.9, 0.25)
+	q.Update(7, aLLCCoh, 0.9, 0.25)
 	path := filepath.Join(t.TempDir(), "model.qtable")
 	if err := q.SaveFile(path); err != nil {
 		t.Fatal(err)
@@ -49,7 +49,7 @@ func TestQTableFileRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Q(7, soc.LLCCohDMA) != q.Q(7, soc.LLCCohDMA) {
+	if got.Q(7, aLLCCoh) != q.Q(7, aLLCCoh) {
 		t.Fatal("file round-trip lost data")
 	}
 }
@@ -67,12 +67,12 @@ func TestLoadVersion1File(t *testing.T) {
 	for s := 0; s < NumStates; s++ {
 		for m := 0; m < int(soc.NumModes); m++ {
 			if (s+m)%7 == 0 {
-				want.Update(State(s), soc.Mode(m), float64(s%13)/13, 0.5)
+				want.Update(State(s), soc.Action(m), float64(s%13)/13, 0.5)
 			}
 		}
 	}
 	for s := State(0); s < NumStates; s++ {
-		for _, m := range soc.AllModes {
+		for _, m := range soc.UniformActions {
 			if got.Q(s, m) != want.Q(s, m) || got.Visits(s, m) != want.Visits(s, m) {
 				t.Fatalf("v1 cell (%d,%v) = (%g,%d), want (%g,%d)", s, m,
 					got.Q(s, m), got.Visits(s, m), want.Q(s, m), want.Visits(s, m))
@@ -171,7 +171,7 @@ func TestMergeStatesRejectsMismatches(t *testing.T) {
 func TestDecodeTableRejectsOtherAlgorithmState(t *testing.T) {
 	d := NewDoubleQ()
 	rng := sim.NewRNG(2)
-	d.Update(rng, 0, soc.NonCohDMA, 1, 0.5)
+	d.Update(rng, 0, aNonCoh, 1, 0.5)
 	var buf bytes.Buffer
 	if err := EncodeState(&buf, Snapshot(d)); err != nil {
 		t.Fatal(err)
@@ -239,16 +239,35 @@ func validV1Image() stateImage {
 	return img
 }
 
-// validV2Image returns a well-formed current-format image.
+// validV2Image returns a well-formed version-2 image (the PR-4 layout:
+// named mode-width tables, no Actions field).
 func validV2Image() stateImage {
 	v1 := validV1Image()
 	return stateImage{
-		Version: formatVersion,
+		Version: formatV2,
 		States:  NumStates,
 		Modes:   int(soc.NumModes),
 		Algo:    "q",
 		Tables:  []namedImage{{Name: "q", Q: v1.Q, Visits: v1.Visits}},
 	}
+}
+
+// validV3Image returns a well-formed current-format image: named tables
+// with action-width rows.
+func validV3Image() stateImage {
+	img := stateImage{
+		Version: formatVersion,
+		States:  NumStates,
+		Modes:   int(soc.NumModes),
+		Actions: int(soc.NumActions),
+		Algo:    "q",
+		Tables:  []namedImage{{Name: "q", Q: make([][]float64, NumStates), Visits: make([][]int64, NumStates)}},
+	}
+	for s := 0; s < NumStates; s++ {
+		img.Tables[0].Q[s] = make([]float64, soc.NumActions)
+		img.Tables[0].Visits[s] = make([]int64, soc.NumActions)
+	}
+	return img
 }
 
 // corruptImageMatrix is the PR-3 corrupt-file regression matrix,
@@ -276,6 +295,19 @@ var corruptImageMatrix = []struct {
 	{"v2-short-table-row", func() stateImage { i := validV2Image(); i.Tables[0].Visits[9] = i.Tables[0].Visits[9][:1]; return i }, "truncated"},
 	{"v2-nan-cell", func() stateImage { i := validV2Image(); i.Tables[0].Q[1][2] = math.NaN(); return i }, "corrupt"},
 	{"v2-negative-visits", func() stateImage { i := validV2Image(); i.Tables[0].Visits[0][0] = -1; return i }, "corrupt"},
+	// Version 3 declares action-width rows; lying about the width — or
+	// shipping mode-width rows under a v3 header — must be caught.
+	{"v3-wrong-action-width", func() stateImage { i := validV3Image(); i.Actions = 4; return i }, "action width"},
+	{"v3-mode-width-rows", func() stateImage {
+		i := validV3Image()
+		i.Tables[0].Q[0] = i.Tables[0].Q[0][:soc.NumModes]
+		return i
+	}, "truncated"},
+	{"v3-nan-split-cell", func() stateImage {
+		i := validV3Image()
+		i.Tables[0].Q[2][int(soc.NumModes)+1] = math.NaN()
+		return i
+	}, "corrupt"},
 }
 
 func TestDecodeStateCorruptMatrix(t *testing.T) {
@@ -296,7 +328,7 @@ func TestDecodeStateCorruptMatrix(t *testing.T) {
 // not panic.
 func TestDecodeStateTruncatedStream(t *testing.T) {
 	q := NewQTable()
-	q.Update(1, soc.CohDMA, 0.5, 0.5)
+	q.Update(1, aCohDMA, 0.5, 0.5)
 	var buf bytes.Buffer
 	if err := q.Encode(&buf); err != nil {
 		t.Fatal(err)
@@ -315,7 +347,7 @@ func TestDecodeStateTruncatedStream(t *testing.T) {
 // valid v2 file, and the whole corrupt-file regression matrix.
 func FuzzDecodeState(f *testing.F) {
 	q := NewQTable()
-	q.Update(3, soc.CohDMA, 0.5, 0.5)
+	q.Update(3, aCohDMA, 0.5, 0.5)
 	var v2 bytes.Buffer
 	if err := q.Encode(&v2); err != nil {
 		f.Fatal(err)
@@ -344,7 +376,7 @@ func FuzzDecodeState(f *testing.F) {
 		}
 		for _, nt := range st.Tables {
 			for s := State(0); s < NumStates; s++ {
-				for _, m := range soc.AllModes {
+				for _, m := range soc.UniformActions {
 					if v := nt.Table.Q(s, m); math.IsNaN(v) || math.IsInf(v, 0) {
 						t.Fatalf("decoder passed through poisoned Q[%d][%v]=%g", s, m, v)
 					}

@@ -6,52 +6,55 @@ import (
 	"cohmeleon/internal/soc"
 )
 
-// QTable holds the expected reward of taking each coherence mode from
-// each state: 243 × 4 = 972 entries, initialized to zero (paper §4.2).
-// It is the value store shared by every tabular algorithm in this
-// package; UCB1 reuses the visit counters as its play counts.
+// QTable holds the expected reward of taking each action from each
+// state: 243 states × 16 actions (the paper's four coherence modes —
+// a prefix, so mode-only training indexes exactly the 243 × 4 cells it
+// always did — plus the twelve fine-grain split pairs), initialized to
+// zero (paper §4.2). It is the value store shared by every tabular
+// algorithm in this package; UCB1 reuses the visit counters as its
+// play counts.
 type QTable struct {
-	q      [NumStates][soc.NumModes]float64
-	visits [NumStates][soc.NumModes]int64
+	q      [NumStates][soc.NumActions]float64
+	visits [NumStates][soc.NumActions]int64
 }
 
 // NewQTable returns a zeroed table.
 func NewQTable() *QTable { return &QTable{} }
 
-// Q returns the value of (state, mode).
-func (t *QTable) Q(s State, m soc.Mode) float64 { return t.q[s][m] }
+// Q returns the value of (state, action).
+func (t *QTable) Q(s State, a soc.Action) float64 { return t.q[s][a] }
 
-// Visits returns how many updates (state, mode) has received.
-func (t *QTable) Visits(s State, m soc.Mode) int64 { return t.visits[s][m] }
+// Visits returns how many updates (state, action) has received.
+func (t *QTable) Visits(s State, a soc.Action) int64 { return t.visits[s][a] }
 
 // Update applies the paper's learning rule:
 // Q(s,a) ← (1−α)·Q(s,a) + α·R.
-func (t *QTable) Update(s State, m soc.Mode, reward, alpha float64) {
+func (t *QTable) Update(s State, a soc.Action, reward, alpha float64) {
 	if alpha < 0 || alpha > 1 {
 		panic(fmt.Sprintf("learn: learning rate %g outside [0,1]", alpha))
 	}
-	t.q[s][m] = (1-alpha)*t.q[s][m] + alpha*reward
-	t.visits[s][m]++
+	t.q[s][a] = (1-alpha)*t.q[s][a] + alpha*reward
+	t.visits[s][a]++
 }
 
 // UpdateMean applies the incremental running-mean rule used by the
 // count-based algorithms: Q(s,a) ← Q(s,a) + (R − Q(s,a))/n.
-func (t *QTable) UpdateMean(s State, m soc.Mode, reward float64) {
-	t.visits[s][m]++
-	t.q[s][m] += (reward - t.q[s][m]) / float64(t.visits[s][m])
+func (t *QTable) UpdateMean(s State, a soc.Action, reward float64) {
+	t.visits[s][a]++
+	t.q[s][a] += (reward - t.q[s][a]) / float64(t.visits[s][a])
 }
 
-// Best returns the available mode with the highest Q-value from s; ties
-// resolve in mode order, so an untrained table prefers less hardware
-// coherence (non-coherent DMA first).
-func (t *QTable) Best(s State, available []soc.Mode) soc.Mode {
+// Best returns the available action with the highest Q-value from s;
+// ties resolve in offer order, so an untrained table prefers less
+// hardware coherence (non-coherent DMA first).
+func (t *QTable) Best(s State, available []soc.Action) soc.Action {
 	if len(available) == 0 {
-		panic("learn: Best with no available modes")
+		panic("learn: Best with no available actions")
 	}
 	best := available[0]
-	for _, m := range available[1:] {
-		if t.q[s][m] > t.q[s][best] {
-			best = m
+	for _, a := range available[1:] {
+		if t.q[s][a] > t.q[s][best] {
+			best = a
 		}
 	}
 	return best
@@ -65,7 +68,7 @@ func (t *QTable) Clone() *QTable {
 }
 
 // MergeTables combines tables trained on different scenarios into one:
-// each (state, mode) cell becomes the visit-weighted mean of the input
+// each (state, action) cell becomes the visit-weighted mean of the input
 // cells, with the visit counts summed. Cells no input ever visited stay
 // at zero. The result depends only on the slice order, so a merge over
 // per-scenario tables collected by index is identical for any worker
@@ -73,7 +76,7 @@ func (t *QTable) Clone() *QTable {
 func MergeTables(tables []*QTable) *QTable {
 	m := NewQTable()
 	for s := 0; s < NumStates; s++ {
-		for mo := 0; mo < int(soc.NumModes); mo++ {
+		for mo := 0; mo < int(soc.NumActions); mo++ {
 			var weighted float64
 			var visits int64
 			for _, t := range tables {

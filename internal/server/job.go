@@ -81,6 +81,12 @@ type JobSpec struct {
 	// Learner and Schedule select the agent's learner stack.
 	Learner  string `json:"learner,omitempty"`
 	Schedule string `json:"schedule,omitempty"`
+	// Protocol selects the coherence-protocol stack by registry name
+	// (empty = the default "mesi").
+	Protocol string `json:"protocol,omitempty"`
+	// FineGrain widens the agent's action space with per-region
+	// (hot, cold) mode splits.
+	FineGrain bool `json:"fine_grain,omitempty"`
 	// TimeoutSec caps the job's wall-clock seconds (0 = the server's
 	// default deadline, if any).
 	TimeoutSec int `json:"timeout_sec,omitempty"`
@@ -111,6 +117,8 @@ func (s JobSpec) options() (experiment.Options, error) {
 	}
 	opt.Learner = s.Learner
 	opt.Schedule = s.Schedule
+	opt.Protocol = s.Protocol
+	opt.FineGrain = s.FineGrain
 	opt.Resume = true
 	return opt, nil
 }

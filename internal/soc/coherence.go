@@ -63,7 +63,12 @@ func (s *SoC) recallFromOwner(mt *MemTile, e *cache.DirEntry, invalidate bool, a
 	if present && dirty {
 		// Dirty data returns to the LLC.
 		t = cp.wb.Send(mem.LineBytes, t)
-		_, t = mt.Port.Acquire(t, s.P.LLCFillCycles)
+		if !s.rules.OwnerForward {
+			// The recall waits for the LLC copy to update through the fill
+			// pipeline; owner-forwarding protocols complete at the
+			// writeback's arrival and update the LLC in the background.
+			_, t = mt.Port.Acquire(t, s.P.LLCFillCycles)
+		}
 		e.State = cache.DirDirty
 	}
 	mt.LLC.SetOwner(e, cache.NoOwner)
@@ -188,7 +193,12 @@ func (s *SoC) cachedGroupAccess(agentID int, start mem.LineAddr, n int64, write 
 	// per-line walk below.
 	run := &s.dirRun
 	mt.LLC.AccessOrInsertRun(misses, cache.DirClean,
-		cache.RunUpdate{Kind: cache.RunCached, Write: write, Self: agentID}, run)
+		cache.RunUpdate{
+			Kind:           cache.RunCached,
+			Write:          write,
+			ExclusiveGrant: s.rules.ExclusiveGrant,
+			Self:           agentID,
+		}, run)
 
 	var fillLines int64 // lines read from DRAM
 	if !write {
@@ -205,7 +215,7 @@ func (s *SoC) cachedGroupAccess(agentID int, start mem.LineAddr, n int64, write 
 			if write {
 				mt.LLC.SetOwner(e, agentID)
 				mt.LLC.ClearSharers(e)
-			} else if e.Owner == cache.NoOwner && !e.HasSharers() {
+			} else if s.rules.ExclusiveGrant && e.Owner == cache.NoOwner && !e.HasSharers() {
 				mt.LLC.SetOwner(e, agentID) // exclusive grant
 			} else if e.Owner != agentID {
 				mt.LLC.AddSharer(e, agentID)

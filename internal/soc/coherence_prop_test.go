@@ -2,12 +2,14 @@ package soc
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"cohmeleon/internal/cache"
 	"cohmeleon/internal/mem"
 	"cohmeleon/internal/noc"
 	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc/protocol"
 )
 
 // Property tests for the run-batched coherence engine: two identical
@@ -164,7 +166,10 @@ func driveRandomGroups(t *testing.T, cfg *Config, seed uint64, ops int) {
 // TestBatchedCoherenceMatchesReference drives random group traffic over
 // a spread of cache geometries, including degenerate ones where the
 // batched flows must fall back to the reference (LLC sets below the
-// group length).
+// group length) — for every registered protocol, since the per-line
+// reference flows are each protocol's defining spec (see the protocol
+// package doc). A protocol whose batched flows diverge from its own
+// reference cannot land.
 func TestBatchedCoherenceMatchesReference(t *testing.T) {
 	geometries := []struct{ llcKB, l2KB int }{
 		{64, 32},  // the standard test geometry
@@ -173,30 +178,41 @@ func TestBatchedCoherenceMatchesReference(t *testing.T) {
 		{4, 8},    // 8 sets < GroupLines: permanent reference fallback
 		{256, 16}, // roomy LLC, tiny L2: private-cache thrashing
 	}
-	for _, g := range geometries {
-		g := g
-		t.Run(fmt.Sprintf("llc%dK_l2%dK", g.llcKB, g.l2KB), func(t *testing.T) {
-			cfg := testConfig()
-			cfg.LLCSliceKB = g.llcKB
-			cfg.L2KB = g.l2KB
-			for seed := uint64(1); seed <= 6; seed++ {
-				driveRandomGroups(t, cfg, seed, 400)
-			}
-		})
+	for _, proto := range protocol.Names() {
+		for _, g := range geometries {
+			proto, g := proto, g
+			t.Run(fmt.Sprintf("%s/llc%dK_l2%dK", proto, g.llcKB, g.l2KB), func(t *testing.T) {
+				cfg := testConfig()
+				cfg.Protocol = proto
+				cfg.LLCSliceKB = g.llcKB
+				cfg.L2KB = g.l2KB
+				for seed := uint64(1); seed <= 6; seed++ {
+					driveRandomGroups(t, cfg, seed, 400)
+				}
+			})
+		}
 	}
 }
 
 // FuzzBatchedCoherence is the fuzzing entry point over the same
 // batched-vs-reference property: arbitrary seeds (and op counts) must
 // never produce a divergence. The seed corpus runs as part of the
-// regular test suite; CI fuzzes it for a bounded time, non-blocking.
+// regular test suite; CI fuzzes it for a bounded time, non-blocking,
+// once per registered protocol (COHMELEON_PROTOCOL selects the stack;
+// empty keeps the default).
 func FuzzBatchedCoherence(f *testing.F) {
+	proto := os.Getenv("COHMELEON_PROTOCOL")
+	if _, err := protocol.Lookup(proto); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(uint64(1), uint16(100))
 	f.Add(uint64(1234567), uint16(300))
 	f.Add(^uint64(0), uint16(64))
 	f.Fuzz(func(t *testing.T, seed uint64, ops uint16) {
 		n := int(ops%500) + 1
-		driveRandomGroups(t, testConfig(), seed, n)
+		cfg := testConfig()
+		cfg.Protocol = proto
+		driveRandomGroups(t, cfg, seed, n)
 	})
 }
 
@@ -205,32 +221,154 @@ func FuzzBatchedCoherence(f *testing.F) {
 // every mode on the twin SoCs, comparing invocation stats and end
 // state: the integration-level version of the group property.
 func TestBatchedCoherenceFullInvocations(t *testing.T) {
-	for _, mode := range AllModes {
-		mode := mode
-		t.Run(mode.String(), func(t *testing.T) {
+	for _, proto := range protocol.Names() {
+		for _, mode := range AllModes {
+			proto, mode := proto, mode
+			t.Run(proto+"/"+mode.String(), func(t *testing.T) {
+				cfg := testConfig()
+				cfg.Protocol = proto
+				fast, ref := coherencePair(t, cfg)
+				invoke := func(s *SoC) InvocationStats {
+					var out InvocationStats
+					s.Eng.Go("invoke", func(p *sim.Proc) {
+						buf, err := s.Heap.Alloc(96 << 10)
+						if err != nil {
+							panic(err)
+						}
+						meter := &Meter{}
+						p.WaitUntil(s.CPUTouchRange(s.CPUs[0], buf, 0, buf.Lines(), true, p.Now(), meter))
+						out = s.RunAccelerator(p, s.Accs[0], buf, mode, sim.NewRNG(7))
+					})
+					if err := s.Eng.Run(); err != nil {
+						t.Fatal(err)
+					}
+					return out
+				}
+				fs, rs := invoke(fast), invoke(ref)
+				if fs != rs {
+					t.Fatalf("%v: invocation stats diverged:\n fast %+v\n  ref %+v", mode, fs, rs)
+				}
+				compareSoCs(t, mode.String(), fast, ref)
+			})
+		}
+	}
+}
+
+// TestFlushFastPathsMatchReference pins the flush fast paths in
+// flush.go — the clean-invalidation directory skip in flushAgentRange
+// and the fused no-recall run in flushLLCPartition — against the
+// per-line reference walk, through a scripted sequence that drives
+// both: flushes over cold caches, over LLC-resident lines with no
+// private copies (where the fast paths fire), and over dirty private
+// copies with live owners (where they must stand down). Cursors,
+// off-chip meters, and full end state must be identical.
+func TestFlushFastPathsMatchReference(t *testing.T) {
+	for _, proto := range protocol.Names() {
+		proto := proto
+		t.Run(proto, func(t *testing.T) {
 			cfg := testConfig()
+			cfg.Protocol = proto
 			fast, ref := coherencePair(t, cfg)
-			invoke := func(s *SoC) InvocationStats {
-				var out InvocationStats
-				s.Eng.Go("invoke", func(p *sim.Proc) {
-					buf, err := s.Heap.Alloc(96 << 10)
+			run := func(s *SoC) []sim.Cycles {
+				var cursors []sim.Cycles
+				meter := &Meter{}
+				s.Eng.Go("flush", func(p *sim.Proc) {
+					buf, err := s.Heap.Alloc(64 << 10)
 					if err != nil {
 						panic(err)
 					}
-					meter := &Meter{}
-					p.WaitUntil(s.CPUTouchRange(s.CPUs[0], buf, 0, buf.Lines(), true, p.Now(), meter))
-					out = s.RunAccelerator(p, s.Accs[0], buf, mode, sim.NewRNG(7))
+					record := func(c sim.Cycles) sim.Cycles {
+						cursors = append(cursors, c)
+						return c
+					}
+					now := p.Now()
+					// 1. Flushes over cold caches: pure tag-array walks.
+					now = record(s.FlushPrivateRange(buf, now, meter))
+					now = record(s.FlushLLCRange(buf, now, meter))
+					// 2. LLC-coherent DMA writes leave dirty LLC lines with
+					// no private copies: the fused no-recall LLC flush and
+					// the directory-skip private flush both fire.
+					for i := range buf.Extents {
+						ext := &buf.Extents[i]
+						n := int64(s.P.GroupLines)
+						if n > ext.Lines {
+							n = ext.Lines
+						}
+						mt := s.homeTile(ext.Start)
+						now = record(s.dmaGroupLLC(mt, s.Accs[0], ext.Start, n, true, false, now, meter))
+					}
+					now = record(s.FlushPrivateRange(buf, now, meter))
+					now = record(s.FlushLLCRange(buf, now, meter))
+					// 3. CPU writes create dirty private copies and owner
+					// listings: the fast paths must stand down and match
+					// the per-line recalls exactly.
+					now = record(s.CPUTouchRange(s.CPUs[0], buf, 0, buf.Lines(), true, now, meter))
+					now = record(s.FlushPrivateRange(buf, now, meter))
+					now = record(s.FlushLLCRange(buf, now, meter))
+					// 4. Dirty again, then an LLC flush with owners still
+					// live: the recall-first walk, no private flush before.
+					now = record(s.CPUTouchRange(s.CPUs[0], buf, 0, buf.Lines(), true, now, meter))
+					now = record(s.FlushLLCRange(buf, now, meter))
+					cursors = append(cursors, sim.Cycles(meter.OffChip))
 				})
 				if err := s.Eng.Run(); err != nil {
 					t.Fatal(err)
 				}
-				return out
+				return cursors
 			}
-			fs, rs := invoke(fast), invoke(ref)
-			if fs != rs {
-				t.Fatalf("%v: invocation stats diverged:\n fast %+v\n  ref %+v", mode, fs, rs)
+			fastCur, refCur := run(fast), run(ref)
+			if len(fastCur) != len(refCur) {
+				t.Fatalf("cursor counts diverged: %d vs %d", len(fastCur), len(refCur))
 			}
-			compareSoCs(t, mode.String(), fast, ref)
+			for i := range refCur {
+				if fastCur[i] != refCur[i] {
+					t.Fatalf("step %d cursor/meter diverged: fast %d, ref %d", i, fastCur[i], refCur[i])
+				}
+			}
+			compareSoCs(t, "flush end", fast, ref)
 		})
+	}
+}
+
+// TestBatchedCoherenceSplitInvocations runs split (hot, cold)
+// invocations through RunAcceleratorSplit on the twin SoCs for every
+// registered protocol: the per-region transfer schedule must match its
+// per-line reference exactly like the uniform schedule does.
+func TestBatchedCoherenceSplitInvocations(t *testing.T) {
+	splits := [][2]Mode{
+		{CohDMA, NonCohDMA}, // coherent hot region, non-coherent bulk
+		{FullyCoh, CohDMA},  // cached hot region, coherent DMA bulk
+		{NonCohDMA, LLCCohDMA},
+	}
+	for _, proto := range protocol.Names() {
+		for _, sp := range splits {
+			proto, hot, cold := proto, sp[0], sp[1]
+			t.Run(fmt.Sprintf("%s/%s", proto, SplitAction(hot, cold)), func(t *testing.T) {
+				cfg := testConfig()
+				cfg.Protocol = proto
+				fast, ref := coherencePair(t, cfg)
+				invoke := func(s *SoC) InvocationStats {
+					var out InvocationStats
+					s.Eng.Go("invoke", func(p *sim.Proc) {
+						buf, err := s.Heap.Alloc(96 << 10)
+						if err != nil {
+							panic(err)
+						}
+						meter := &Meter{}
+						p.WaitUntil(s.CPUTouchRange(s.CPUs[0], buf, 0, buf.Lines(), true, p.Now(), meter))
+						out = s.RunAcceleratorSplit(p, s.Accs[0], buf, hot, cold, sim.NewRNG(7))
+					})
+					if err := s.Eng.Run(); err != nil {
+						t.Fatal(err)
+					}
+					return out
+				}
+				fs, rs := invoke(fast), invoke(ref)
+				if fs != rs {
+					t.Fatalf("split stats diverged:\n fast %+v\n  ref %+v", fs, rs)
+				}
+				compareSoCs(t, "split end", fast, ref)
+			})
+		}
 	}
 }

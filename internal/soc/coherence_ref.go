@@ -68,7 +68,7 @@ func (s *SoC) cachedGroupAccessRef(agentID int, start mem.LineAddr, n int64, wri
 		if write {
 			mt.LLC.SetOwner(e, agentID)
 			mt.LLC.ClearSharers(e)
-		} else if e.Owner == cache.NoOwner && !e.HasSharers() {
+		} else if s.rules.ExclusiveGrant && e.Owner == cache.NoOwner && !e.HasSharers() {
 			mt.LLC.SetOwner(e, agentID) // exclusive grant
 		} else {
 			if e.Owner == agentID {

@@ -7,6 +7,7 @@ import (
 	"cohmeleon/internal/acc"
 	"cohmeleon/internal/mem"
 	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc/protocol"
 )
 
 // AccInstance declares one accelerator to integrate.
@@ -33,6 +34,10 @@ type Config struct {
 	L2KB int
 	Accs []AccInstance
 
+	// Protocol names the coherence protocol stack (a registry key of
+	// internal/soc/protocol); "" resolves to the default ("mesi").
+	Protocol string
+
 	Params Params
 }
 
@@ -54,6 +59,9 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("soc %s: cache sizes must be positive", c.Name)
 	case len(c.Accs) == 0:
 		return fmt.Errorf("soc %s: needs at least one accelerator", c.Name)
+	}
+	if _, err := protocol.Lookup(c.Protocol); err != nil {
+		return fmt.Errorf("soc %s: %w", c.Name, err)
 	}
 	seen := make(map[string]bool)
 	for _, a := range c.Accs {
@@ -80,6 +88,14 @@ func (c *Config) HashContent(w io.Writer) {
 	fmt.Fprintf(w, "soc|%s|%d|%d|%d|%d|%d|%d|line%d|page%d\n",
 		c.Name, c.MeshW, c.MeshH, c.CPUs, c.MemTiles, c.LLCSliceKB, c.L2KB,
 		mem.LineBytes, mem.PageBytes)
+	// The resolved protocol name ("" hashes as the default it resolves
+	// to), so two spellings of the same protocol share memo entries and
+	// a protocol change always misses.
+	proto := c.Protocol
+	if proto == "" {
+		proto = protocol.DefaultName
+	}
+	fmt.Fprintf(w, "protocol|%s\n", proto)
 	p := &c.Params
 	fmt.Fprintf(w, "params|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d\n",
 		p.L2HitCycles, p.LLCLookupCycles, p.LLCFillCycles, p.LLCMissPerLine,

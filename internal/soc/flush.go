@@ -64,7 +64,7 @@ func (s *SoC) flushAgentRange(agentID int, buf *mem.Buffer, at sim.Cycles, meter
 		// listing. When the home partition's occupancy summary shows no
 		// private copies at all, the probe-and-clear is a proven no-op.
 		llc := s.homeTile(line).LLC
-		if !llc.HasPrivateCopies() {
+		if !s.refCoherence && !llc.HasPrivateCopies() {
 			continue
 		}
 		if e := llc.Probe(line); e != nil {
@@ -137,7 +137,7 @@ func (s *SoC) flushLLCPartition(mt *MemTile, buf *mem.Buffer, at sim.Cycles, met
 	})
 	defer func() { s.flushScratch = matches[:0] }()
 	var dirty int64
-	if !mt.LLC.HasPrivateCopies() {
+	if !s.refCoherence && !mt.LLC.HasPrivateCopies() {
 		// No resident line lists an owner or sharer, so no invalidation
 		// can require a recall: the per-line walk collapses to one fused
 		// pipeline reservation and a run-level invalidate. Timing and

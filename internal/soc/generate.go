@@ -5,6 +5,7 @@ import (
 
 	"cohmeleon/internal/acc"
 	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc/protocol"
 )
 
 // This file is the randomized SoC-configuration generator behind the
@@ -37,6 +38,9 @@ type RandomSpec struct {
 	// NoCacheFraction is the probability an accelerator tile lacks a
 	// private cache (disabling its fully-coherent mode, as on SoC3).
 	NoCacheFraction float64
+	// Protocols are the candidate coherence-protocol names; nil (or
+	// empty) keeps the default protocol, preserving existing draws.
+	Protocols []string
 }
 
 // DefaultRandomSpec spans the evaluation space around the paper's
@@ -81,6 +85,11 @@ func (sp RandomSpec) Validate() error {
 	}
 	if sp.CatalogFraction < 0 || sp.CatalogFraction > 1 || sp.NoCacheFraction < 0 || sp.NoCacheFraction > 1 {
 		return fmt.Errorf("soc: random spec fractions outside [0,1]")
+	}
+	for _, name := range sp.Protocols {
+		if _, err := protocol.Lookup(name); err != nil {
+			return fmt.Errorf("soc: random spec: %w", err)
+		}
 	}
 	return nil
 }
@@ -154,6 +163,14 @@ func RandomConfig(name string, sp RandomSpec, seed uint64) (*Config, error) {
 		L2KB:       sp.L2KB[rng.Intn(len(sp.L2KB))],
 		Accs:       accs,
 		Params:     DefaultParams(),
+	}
+	// The protocol axis draws last — after every pre-existing draw — so
+	// specs without one reproduce their historical configs exactly. A
+	// single candidate pins without consuming a draw.
+	if len(sp.Protocols) == 1 {
+		cfg.Protocol = sp.Protocols[0]
+	} else if len(sp.Protocols) > 1 {
+		cfg.Protocol = sp.Protocols[rng.Intn(len(sp.Protocols))]
 	}
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("soc: random config: %w", err)

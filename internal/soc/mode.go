@@ -3,68 +3,48 @@
 // (each wrapped in a coherence-agnostic "socket" with an optional
 // private cache), and memory tiles (an inclusive LLC partition with
 // directory state plus a DRAM controller each). The socket implements
-// the paper's four accelerator cache-coherence modes; hardware monitors
-// expose off-chip access counts and accelerator cycle counters.
+// the paper's four accelerator cache-coherence modes under a pluggable
+// coherence protocol (internal/soc/protocol); hardware monitors expose
+// off-chip access counts and accelerator cycle counters.
 package soc
 
-import "fmt"
+import "cohmeleon/internal/soc/protocol"
 
-// Mode is an accelerator cache-coherence mode (paper §2).
-type Mode uint8
+// Mode is an accelerator cache-coherence mode (paper §2). The type —
+// and the fine-grain Action space built on it — is defined by the
+// protocol seam; the aliases keep every existing call site intact.
+type Mode = protocol.Mode
+
+// Action is one agent decision over the fine-grain action space: a
+// uniform mode, or a (hot, cold) per-region split. See protocol.Action.
+type Action = protocol.Action
 
 // The four coherence modes.
 const (
-	// NonCohDMA: requests bypass the hierarchy and access DRAM directly;
-	// software must flush both private caches and the LLC beforehand.
-	NonCohDMA Mode = iota
-	// LLCCohDMA: requests go to the LLC; coherent with the LLC but not
-	// with private caches, so software flushes private caches only.
-	LLCCohDMA
-	// CohDMA: requests go to the LLC and the LLC recalls/invalidates
-	// private copies as needed; no software flush.
-	CohDMA
-	// FullyCoh: the accelerator owns a private cache that participates in
-	// the MESI protocol exactly like a processor cache.
-	FullyCoh
+	NonCohDMA = protocol.NonCohDMA
+	LLCCohDMA = protocol.LLCCohDMA
+	CohDMA    = protocol.CohDMA
+	FullyCoh  = protocol.FullyCoh
 
-	NumModes = 4
+	NumModes = protocol.NumModes
+	// NumActions is the fine-grain action-space size: the four uniform
+	// mode actions (a prefix, so Action(m) == ModeAction(m)) plus the
+	// twelve ordered (hot, cold) split pairs.
+	NumActions = protocol.NumActions
 )
 
 // AllModes lists the modes in paper order.
-var AllModes = [NumModes]Mode{NonCohDMA, LLCCohDMA, CohDMA, FullyCoh}
+var AllModes = protocol.AllModes
 
-// String returns the paper's short mode name.
-func (m Mode) String() string {
-	switch m {
-	case NonCohDMA:
-		return "non-coh-dma"
-	case LLCCohDMA:
-		return "llc-coh-dma"
-	case CohDMA:
-		return "coh-dma"
-	case FullyCoh:
-		return "full-coh"
-	default:
-		return fmt.Sprintf("Mode(%d)", uint8(m))
-	}
-}
-
-// NeedsPrivateFlush reports whether the mode requires flushing private
-// caches before the accelerator runs.
-func (m Mode) NeedsPrivateFlush() bool { return m == NonCohDMA || m == LLCCohDMA }
-
-// NeedsLLCFlush reports whether the mode requires flushing the LLC.
-func (m Mode) NeedsLLCFlush() bool { return m == NonCohDMA }
-
-// UsesLLC reports whether accelerator requests are served by the LLC.
-func (m Mode) UsesLLC() bool { return m == LLCCohDMA || m == CohDMA || m == FullyCoh }
+// UniformActions lists the uniform mode actions in paper order.
+var UniformActions = protocol.UniformActions
 
 // ParseMode converts a mode name back to its value.
-func ParseMode(s string) (Mode, error) {
-	for _, m := range AllModes {
-		if m.String() == s {
-			return m, nil
-		}
-	}
-	return 0, fmt.Errorf("soc: unknown coherence mode %q", s)
-}
+func ParseMode(s string) (Mode, error) { return protocol.ParseMode(s) }
+
+// ModeAction returns the uniform action for a mode.
+func ModeAction(m Mode) Action { return protocol.ModeAction(m) }
+
+// SplitAction returns the fine-grain action assigning hot to the
+// invocation's hot region and cold to the remainder.
+func SplitAction(hot, cold Mode) Action { return protocol.SplitAction(hot, cold) }

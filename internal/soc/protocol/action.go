@@ -1,0 +1,83 @@
+package protocol
+
+import "fmt"
+
+// Fine-grain coherence actions (Alsop et al., "A Case for Fine-grain
+// Coherence Specialization in Heterogeneous Systems"): an agent
+// decision is either a uniform coherence mode for the whole invocation
+// — the paper's original action space — or a split that assigns
+// distinct modes to the invocation's hot region (the leading,
+// L2-sized, high-reuse prefix of the buffer) and its cold remainder.
+//
+// The encoding keeps the four uniform actions as a prefix (Action(m)
+// == ModeAction(m) for every Mode m), so learners offered only uniform
+// actions behave — and their value tables index — exactly as before
+// the widening; the twelve ordered (hot != cold) pairs follow.
+
+// Action is one agent decision over the fine-grain action space.
+type Action uint8
+
+// NumActions is the size of the action space: the four uniform mode
+// actions plus the NumModes*(NumModes-1) = 12 ordered (hot, cold)
+// split pairs.
+const NumActions = NumModes + NumModes*(NumModes-1)
+
+// ModeAction returns the uniform action for a mode.
+func ModeAction(m Mode) Action { return Action(m) }
+
+// UniformActions lists the uniform mode actions in paper order.
+var UniformActions = [NumModes]Action{
+	ModeAction(NonCohDMA), ModeAction(LLCCohDMA), ModeAction(CohDMA), ModeAction(FullyCoh),
+}
+
+// SplitAction returns the fine-grain action assigning hot to the
+// invocation's hot region and cold to the remainder. It panics when
+// hot == cold (that is the uniform action) or either mode is out of
+// range.
+func SplitAction(hot, cold Mode) Action {
+	if hot >= NumModes || cold >= NumModes || hot == cold {
+		panic(fmt.Sprintf("protocol: bad split action (%v, %v)", hot, cold))
+	}
+	c := Mode(0)
+	if cold > hot {
+		c = cold - 1
+	} else {
+		c = cold
+	}
+	return Action(NumModes + uint8(hot)*(NumModes-1) + uint8(c))
+}
+
+// IsSplit reports whether the action assigns distinct modes per region.
+func (a Action) IsSplit() bool { return a >= NumModes }
+
+// Hot returns the mode applied to the hot region (for uniform actions,
+// the whole invocation's mode).
+func (a Action) Hot() Mode {
+	if a < NumModes {
+		return Mode(a)
+	}
+	return Mode((a - NumModes) / (NumModes - 1))
+}
+
+// Cold returns the mode applied to the cold remainder (for uniform
+// actions, the same as Hot).
+func (a Action) Cold() Mode {
+	if a < NumModes {
+		return Mode(a)
+	}
+	hot := (a - NumModes) / (NumModes - 1)
+	c := Mode((a - NumModes) % (NumModes - 1))
+	if c >= Mode(hot) {
+		c++
+	}
+	return c
+}
+
+// String names the action: the mode name for uniform actions,
+// "hot+cold" for splits.
+func (a Action) String() string {
+	if !a.IsSplit() {
+		return a.Hot().String()
+	}
+	return a.Hot().String() + "+" + a.Cold().String()
+}

@@ -1,0 +1,193 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestModePredicateMatrix pins the default-(mesi) mode predicate matrix
+// — the flush and LLC-routing obligations the rest of the simulator
+// reasons about — so a protocol-seam regression cannot silently change
+// what the paper's four modes mean.
+func TestModePredicateMatrix(t *testing.T) {
+	cases := []struct {
+		mode                            Mode
+		privateFlush, llcFlush, usesLLC bool
+	}{
+		{NonCohDMA, true, true, false},
+		{LLCCohDMA, true, false, true},
+		{CohDMA, false, false, true},
+		{FullyCoh, false, false, true},
+	}
+	for _, c := range cases {
+		if got := c.mode.NeedsPrivateFlush(); got != c.privateFlush {
+			t.Errorf("%v.NeedsPrivateFlush() = %v, want %v", c.mode, got, c.privateFlush)
+		}
+		if got := c.mode.NeedsLLCFlush(); got != c.llcFlush {
+			t.Errorf("%v.NeedsLLCFlush() = %v, want %v", c.mode, got, c.llcFlush)
+		}
+		if got := c.mode.UsesLLC(); got != c.usesLLC {
+			t.Errorf("%v.UsesLLC() = %v, want %v", c.mode, got, c.usesLLC)
+		}
+	}
+	// The mesi Rules must agree with the Mode predicates cell for cell:
+	// the predicates are the default protocol's semantics restated.
+	mesi := Default()
+	for _, m := range AllModes {
+		if mesi.PrivateFlush[m] != m.NeedsPrivateFlush() ||
+			mesi.LLCFlush[m] != m.NeedsLLCFlush() ||
+			mesi.UsesLLC[m] != m.UsesLLC() {
+			t.Errorf("mesi rules disagree with Mode predicates at %v", m)
+		}
+	}
+}
+
+func TestModeStringParseRoundTrip(t *testing.T) {
+	want := []string{"non-coh-dma", "llc-coh-dma", "coh-dma", "full-coh"}
+	for i, m := range AllModes {
+		if m.String() != want[i] {
+			t.Errorf("mode %d = %q, want %q", i, m.String(), want[i])
+		}
+		back, err := ParseMode(m.String())
+		if err != nil || back != m {
+			t.Errorf("ParseMode(%q) = %v, %v", m.String(), back, err)
+		}
+	}
+	if s := Mode(9).String(); s != "Mode(9)" {
+		t.Errorf("out-of-range mode String = %q", s)
+	}
+}
+
+// Unknown-name errors must list every valid option, for modes and
+// protocols alike.
+func TestUnknownNamesListValidOptions(t *testing.T) {
+	_, err := ParseMode("writeback")
+	if err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	for _, m := range AllModes {
+		if !strings.Contains(err.Error(), m.String()) {
+			t.Errorf("mode error %q does not list %q", err, m.String())
+		}
+	}
+	_, err = Lookup("moesi")
+	if err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("protocol error %q does not list %q", err, name)
+		}
+	}
+}
+
+func TestRegistryDefaults(t *testing.T) {
+	r, err := Lookup("")
+	if err != nil || r.Name != DefaultName {
+		t.Fatalf("empty lookup = %q, %v", r.Name, err)
+	}
+	if Default().Name != DefaultName {
+		t.Fatal("Default() is not the default protocol")
+	}
+	names := Names()
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	if !found["mesi"] || !found["eci"] {
+		t.Fatalf("registry names %v missing a built-in stack", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+// TestActionEncoding pins the fine-grain action-space layout: uniform
+// actions are a numeric prefix (learner tables from the mode era keep
+// their indices), and the twelve split pairs decode back to their
+// (hot, cold) modes.
+func TestActionEncoding(t *testing.T) {
+	if NumActions != 16 {
+		t.Fatalf("NumActions = %d, want 16", NumActions)
+	}
+	for _, m := range AllModes {
+		a := ModeAction(m)
+		if uint8(a) != uint8(m) {
+			t.Errorf("ModeAction(%v) = %d: uniform actions must be the numeric prefix", m, a)
+		}
+		if a.IsSplit() || a.Hot() != m || a.Cold() != m || a.String() != m.String() {
+			t.Errorf("uniform action %v decodes as (%v,%v,%q)", a, a.Hot(), a.Cold(), a.String())
+		}
+		if UniformActions[m] != a {
+			t.Errorf("UniformActions[%v] = %v", m, UniformActions[m])
+		}
+	}
+	seen := map[Action]bool{}
+	for _, hot := range AllModes {
+		for _, cold := range AllModes {
+			if hot == cold {
+				continue
+			}
+			a := SplitAction(hot, cold)
+			if a < NumModes || a >= NumActions {
+				t.Fatalf("SplitAction(%v,%v) = %d out of range", hot, cold, a)
+			}
+			if seen[a] {
+				t.Fatalf("SplitAction(%v,%v) = %d collides", hot, cold, a)
+			}
+			seen[a] = true
+			if !a.IsSplit() || a.Hot() != hot || a.Cold() != cold {
+				t.Errorf("action %d decodes to (%v,%v), want (%v,%v)", a, a.Hot(), a.Cold(), hot, cold)
+			}
+			if want := hot.String() + "+" + cold.String(); a.String() != want {
+				t.Errorf("action %d String = %q, want %q", a, a.String(), want)
+			}
+		}
+	}
+	if len(seen) != NumActions-NumModes {
+		t.Fatalf("split actions cover %d codes, want %d", len(seen), NumActions-NumModes)
+	}
+}
+
+func TestSplitActionPanics(t *testing.T) {
+	for _, bad := range [][2]Mode{{CohDMA, CohDMA}, {NumModes, NonCohDMA}, {NonCohDMA, NumModes}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SplitAction(%v,%v) did not panic", bad[0], bad[1])
+				}
+			}()
+			SplitAction(bad[0], bad[1])
+		}()
+	}
+}
+
+// Every registered protocol must satisfy the structural invariants the
+// coherence flows assume.
+func TestRegisteredProtocolsWellFormed(t *testing.T) {
+	for _, name := range Names() {
+		r, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Name != name {
+			t.Errorf("%s: rules carry name %q", name, r.Name)
+		}
+		// Recalls only make sense for modes the LLC serves.
+		for _, m := range AllModes {
+			if r.RecallOwners[m] && !r.UsesLLC[m] {
+				t.Errorf("%s: recalls owners in %v, which bypasses the LLC", name, m)
+			}
+			if r.RecallOwners[m] && r.PrivateFlush[m] {
+				t.Errorf("%s: %v both recalls owners and flushes private caches", name, m)
+			}
+		}
+		// Fully-coherent accelerators participate like CPU caches: no
+		// software flushes there.
+		if r.PrivateFlush[FullyCoh] || r.LLCFlush[FullyCoh] || !r.UsesLLC[FullyCoh] {
+			t.Errorf("%s: fully-coherent mode has DMA-style obligations", name)
+		}
+	}
+}

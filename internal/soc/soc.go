@@ -8,6 +8,7 @@ import (
 	"cohmeleon/internal/mem"
 	"cohmeleon/internal/noc"
 	"cohmeleon/internal/sim"
+	"cohmeleon/internal/soc/protocol"
 )
 
 // MemTile is a memory tile: one LLC partition with directory state, its
@@ -90,12 +91,16 @@ type dmaPath struct {
 
 // SoC is a fully assembled simulated system.
 type SoC struct {
-	Cfg  *Config
-	P    Params
-	Eng  *sim.Engine
-	Mesh *noc.Mesh
-	Map  *mem.AddressMap
-	Heap *mem.Allocator
+	Cfg *Config
+	P   Params
+	// rules is the active coherence protocol, resolved from
+	// Cfg.Protocol at build time; every flow and flush-obligation
+	// decision reads it.
+	rules protocol.Rules
+	Eng   *sim.Engine
+	Mesh  *noc.Mesh
+	Map   *mem.AddressMap
+	Heap  *mem.Allocator
 
 	Mem  []*MemTile
 	CPUs []*CPUTile
@@ -126,6 +131,10 @@ type SoC struct {
 	// flush helpers never yield). flushDirty has one slice per partition.
 	flushScratch []mem.LineAddr
 	flushDirty   [][]mem.LineAddr
+	// Fine-grain split scratch: the hot- and cold-region sub-ranges of
+	// one chunk's transfer list (doTransfersSplit).
+	splitHotScratch  []acc.LineRange
+	splitColdScratch []acc.LineRange
 	// Run-resolution table for the buffer most recently used by
 	// doTransfers: logical page -> extent index, plus the logical line
 	// prefix of each extent. Rebuilt (O(pages)) whenever the buffer
@@ -157,8 +166,12 @@ func (c *Config) BuildOn(eng *sim.Engine) (*SoC, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
+	rules, err := protocol.Lookup(c.Protocol)
+	if err != nil {
+		return nil, err // unreachable after Validate, but stay robust
+	}
 	p := c.Params
-	s := &SoC{Cfg: c, P: p, Eng: eng}
+	s := &SoC{Cfg: c, P: p, rules: rules, Eng: eng}
 	s.Mesh = noc.NewMesh(c.MeshW, c.MeshH)
 	s.Map = mem.NewAddressMap(c.MemTiles, p.DRAMPartitionMB<<20)
 	s.Heap = mem.NewAllocator(s.Map)
@@ -247,6 +260,17 @@ func (s *SoC) addAgent(name string, coord noc.Coord, l2Bytes int64) int {
 	})
 	return id
 }
+
+// Protocol returns the active coherence-protocol rules.
+func (s *SoC) Protocol() protocol.Rules { return s.rules }
+
+// NeedsPrivateFlush reports whether the active protocol requires a
+// software flush of private caches before an invocation in the mode.
+func (s *SoC) NeedsPrivateFlush(m Mode) bool { return s.rules.PrivateFlush[m] }
+
+// NeedsLLCFlush reports whether the active protocol requires a
+// software flush of the LLC before an invocation in the mode.
+func (s *SoC) NeedsLLCFlush(m Mode) bool { return s.rules.LLCFlush[m] }
 
 // AgentCache exposes an agent's private cache (for tests and monitors).
 func (s *SoC) AgentCache(id int) *cache.Cache { return s.agents[id].cache }

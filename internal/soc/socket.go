@@ -177,7 +177,7 @@ func (s *SoC) dispatchRun(a *AccTile, mt *MemTile, start mem.LineAddr, n int64, 
 		// the hierarchy.
 		return s.dmaGroupNonCoh(mt, a, start, n, write, t, meter)
 	case LLCCohDMA, CohDMA:
-		recall := mode == CohDMA
+		recall := s.rules.RecallOwners[mode]
 		group := int64(s.P.GroupLines)
 		for o := int64(0); o < n; o += group {
 			g := group
@@ -201,6 +201,51 @@ func (s *SoC) dispatchRun(a *AccTile, mt *MemTile, start mem.LineAddr, n int64, 
 		panic(fmt.Sprintf("soc: unknown mode %v", mode))
 	}
 }
+
+// splitRanges partitions logical ranges at the hot/cold boundary: the
+// part of each range below hotLines lands in hot, the rest in cold.
+// Ranges keep their relative order within each region, so each region's
+// transfer stream is deterministic.
+func splitRanges(ranges []acc.LineRange, hotLines int64, hot, cold []acc.LineRange) ([]acc.LineRange, []acc.LineRange) {
+	for _, lr := range ranges {
+		if lr.Start < hotLines {
+			n := hotLines - lr.Start
+			if n > lr.Lines {
+				n = lr.Lines
+			}
+			hot = append(hot, acc.LineRange{Start: lr.Start, Lines: n})
+			if lr.Lines > n {
+				cold = append(cold, acc.LineRange{Start: hotLines, Lines: lr.Lines - n})
+			}
+		} else {
+			cold = append(cold, lr)
+		}
+	}
+	return hot, cold
+}
+
+// doTransfersSplit executes the plan's ranges under a fine-grain split:
+// accesses to the buffer's hot region (the leading hotLines lines) use
+// hotMode, the remainder coldMode. The hot region's transfers issue
+// first; the cursor stays serial, like doTransfers (one DMA transaction
+// in flight per socket).
+func (s *SoC) doTransfersSplit(a *AccTile, buf *mem.Buffer, ranges []acc.LineRange, hotMode, coldMode Mode, hotLines int64, write bool, at sim.Cycles, meter *Meter) sim.Cycles {
+	hotR, coldR := splitRanges(ranges, hotLines, s.splitHotScratch[:0], s.splitColdScratch[:0])
+	t := at
+	if len(hotR) > 0 {
+		t = s.doTransfers(a, buf, hotR, hotMode, write, t, meter)
+	}
+	if len(coldR) > 0 {
+		t = s.doTransfers(a, buf, coldR, coldMode, write, t, meter)
+	}
+	s.splitHotScratch, s.splitColdScratch = hotR[:0], coldR[:0]
+	return t
+}
+
+// HotLines returns the size of the fine-grain hot region in lines: the
+// leading L2-sized prefix of an invocation's buffer (the region whose
+// reuse a private-cache-sized window can actually capture).
+func (s *SoC) HotLines() int64 { return s.Cfg.L2Bytes() / mem.LineBytes }
 
 // ensureRunTable (re)builds the logical-page -> extent lookup table for
 // buf. Buffers are immutable once allocated, so identity comparison is
@@ -284,6 +329,96 @@ func (s *SoC) RunAccelerator(p *sim.Proc, a *AccTile, buf *mem.Buffer, mode Mode
 		// chunk would cost a goroutine handoff per 16 kB of data; yielding
 		// on a virtual-time budget keeps fairness (reservation lookahead
 		// stays bounded) at a fraction of the cost.
+		if computeDone-p.Now() > yieldBudget {
+			p.WaitUntil(computeDone)
+		}
+
+		cur, next = next, cur
+		hasCur = hasNext
+		fetchIssue, fetchDone = nextIssue, nextDone
+	}
+
+	end := prevComputeDone
+	if lastWriteDone > end {
+		end = lastWriteDone
+	}
+	p.WaitUntil(end)
+	if total := end - start; comm > total {
+		comm = total // overlapped read+write phases cannot exceed wall clock
+	}
+
+	a.TotalInvocations++
+	a.TotalActive += end - start
+	a.TotalComm += comm
+	return InvocationStats{
+		Start:      start,
+		End:        end,
+		CommCycles: comm,
+		OffChip:    meter.OffChip,
+		Chunks:     chunks,
+	}
+}
+
+// RunAcceleratorSplit is RunAccelerator under a fine-grain action:
+// accesses to the buffer's hot region (the leading HotLines-sized
+// prefix) use hot, the remainder cold. The loop is a deliberate
+// duplicate of RunAccelerator's rather than a closure-parameterized
+// merge: the uniform path is the inner loop of every experiment and
+// must stay allocation-free and indirection-free.
+//
+// A mode of FullyCoh (in either region) requires the tile to have a
+// private cache.
+func (s *SoC) RunAcceleratorSplit(p *sim.Proc, a *AccTile, buf *mem.Buffer, hot, cold Mode, rng *sim.RNG) InvocationStats {
+	if hot == cold {
+		return s.RunAccelerator(p, a, buf, hot, rng)
+	}
+	if (hot == FullyCoh || cold == FullyCoh) && !a.HasPrivateCache() {
+		panic(fmt.Sprintf("soc: %s has no private cache; FullyCoh unavailable", a.InstName))
+	}
+	hotLines := s.HotLines()
+	plan := acc.NewPlan(a.Spec, buf.Bytes, rng)
+	var meter Meter // stays on the stack: callees never retain it
+	start := p.Now()
+
+	var cur, next acc.ChunkPlan
+	var comm sim.Cycles
+	chunks := 0
+
+	hasCur := plan.Next(&cur)
+	fetchIssue := start
+	var fetchDone sim.Cycles
+	if hasCur {
+		fetchDone = s.doTransfersSplit(a, buf, cur.Reads, hot, cold, hotLines, false, start, &meter)
+	}
+	prevComputeDone := start
+	lastWriteDone := start
+
+	for hasCur {
+		chunks++
+		computeStart := fetchDone
+		if prevComputeDone > computeStart {
+			computeStart = prevComputeDone
+		}
+		computeDone := computeStart + cur.Compute
+		comm += fetchDone - fetchIssue
+
+		// Prefetch the next chunk while this one computes.
+		hasNext := plan.Next(&next)
+		var nextIssue, nextDone sim.Cycles
+		if hasNext {
+			nextIssue = computeStart
+			nextDone = s.doTransfersSplit(a, buf, next.Reads, hot, cold, hotLines, false, nextIssue, &meter)
+		}
+
+		if len(cur.Writes) > 0 {
+			wDone := s.doTransfersSplit(a, buf, cur.Writes, hot, cold, hotLines, true, computeDone, &meter)
+			comm += wDone - computeDone
+			if wDone > lastWriteDone {
+				lastWriteDone = wDone
+			}
+		}
+		prevComputeDone = computeDone
+		// Yield on the same virtual-time budget as RunAccelerator.
 		if computeDone-p.Now() > yieldBudget {
 			p.WaitUntil(computeDone)
 		}

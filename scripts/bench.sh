@@ -58,6 +58,12 @@ run_bench_mem() { # pkg regex benchtime workers label — also records allocs/op
 # Single-thread simulator speed: the hot-path reference number.
 run_bench . 'BenchmarkAppRun$' 3x "${COHMELEON_WORKERS:-1}" "simulator app run"
 
+# The same application once per registered coherence-protocol stack,
+# with allocs/op: tracks the default (mesi) stack against its
+# alternatives and guards the batched flows' alloc discipline under
+# every protocol.
+run_bench_mem . 'BenchmarkAppRunProtocol/' 3x "${COHMELEON_WORKERS:-1}" "simulator app run per protocol"
+
 # Hot-path micro-benchmarks. The coherence-group and DMA-group series
 # carry allocs/op: the run-batched group flows must stay 0 allocs/op on
 # every steady-state path.
