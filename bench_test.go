@@ -141,6 +141,59 @@ func BenchmarkSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep16 is BenchmarkSweep at 16 scenarios: a second point on
+// the scenario-count axis, so the sweep's scaling (not just its
+// 8-scenario absolute cost) is tracked across PRs.
+func BenchmarkSweep16(b *testing.B) {
+	entry, err := experiment.Lookup("sweep")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOptions()
+	opt.SweepScenarios = 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiment.ResetRunCache()
+		if _, err := entry.Run(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepScreening is BenchmarkSweep through the analytical cost
+// model: the same fixed 8-scenario grid at screening fidelity, with the
+// calibration fitted once before the timer (its cycle-accurate runs are
+// a fixed cost that amortizes over every screened grid; the run cache is
+// deliberately NOT reset per iteration — that would discard the fitted
+// model and re-measure calibration, not screening). The ratio to
+// BenchmarkSweep is the screening speedup the two-fidelity pipeline
+// claims.
+func BenchmarkSweepScreening(b *testing.B) {
+	entry, err := experiment.Lookup("sweep")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := benchOptions()
+	opt.SweepScenarios = 8
+	opt.Fidelity = experiment.FidelityScreening
+	experiment.ResetRunCache()
+	if _, err := entry.Run(opt); err != nil {
+		b.Fatal(err) // fits and memoizes the calibration
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := entry.Run(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := experiment.GetFidelityStats()
+	if st.ScreenedCells == 0 || st.EscalatedCells != 0 {
+		b.Fatalf("screened %d cells, escalated %d; want >0 and 0", st.ScreenedCells, st.EscalatedCells)
+	}
+	experiment.ResetRunCache()
+}
+
 // BenchmarkSweepCached measures warm-cache artifact regeneration: the
 // same fixed 8-scenario sweep as BenchmarkSweep, but every static-policy
 // run is served from the content-keyed run cache (one cold run primes it

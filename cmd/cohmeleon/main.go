@@ -6,7 +6,7 @@
 //	cohmeleon run [-profile quick|full|tiny] [-seed N] [-workers N]
 //	              [-scenarios N] [-qtable-save FILE] [-qtable-load FILE]
 //	              [-learner NAME] [-schedule NAME] [-protocol NAME]
-//	              [-finegrain] [-cache-dir DIR]
+//	              [-finegrain] [-fidelity MODE] [-cache-dir DIR]
 //	              [-resume] [-cache-verify]
 //	              [-cpuprofile FILE] [-memprofile FILE]
 //	              [-out FILE] <id>... | all
@@ -78,6 +78,7 @@ func runExperiments(args []string) error {
 	schedule := fs.String("schedule", "", "agent ε/α schedule for training experiments (omit for the paper's \"linear\")")
 	proto := fs.String("protocol", "", "coherence-protocol stack for every simulated SoC (omit for the default \"mesi\")")
 	fineGrain := fs.Bool("finegrain", false, "widen the agent's action space with per-region (hot, cold) mode splits")
+	fidelity := fs.String("fidelity", "", "sweep/learners cell fidelity: full (default; cycle-accurate), screening (calibrated analytical model), auto (screen, escalate ambiguous cells)")
 	cacheDir := fs.String("cache-dir", "", "persist content-keyed static-policy run results under this directory (reports are byte-identical with or without it)")
 	resume := fs.Bool("resume", false, "sweep/learners: replay cells checkpointed under -cache-dir by an interrupted identical run")
 	cacheVerify := fs.Bool("cache-verify", false, "fsck -cache-dir before running: re-hash every entry, quarantine corrupt ones")
@@ -150,7 +151,7 @@ func runExperiments(args []string) error {
 	// Resolve every ID before running anything: a typo at the end of the
 	// list must not surface only after the preceding experiments ran.
 	entries := make([]experiment.Entry, len(ids))
-	hasSweep, trainsAgent, checkpoints := false, false, false
+	hasSweep, hasGrid, trainsAgent, checkpoints := false, false, false, false
 	for i, id := range ids {
 		entry, err := experiment.Lookup(id)
 		if err != nil {
@@ -158,8 +159,15 @@ func runExperiments(args []string) error {
 		}
 		entries[i] = entry
 		hasSweep = hasSweep || id == "sweep"
+		hasGrid = hasGrid || id == "sweep" || id == "learners"
 		trainsAgent = trainsAgent || trainingExperiments[id]
 		checkpoints = checkpoints || checkpointedExperiments[id]
+	}
+	// -fidelity selects the sweep/learners evaluation path; on any other
+	// experiment it would be silently inert, so it fails loudly like the
+	// other ineffective flags.
+	if *fidelity != "" && !hasGrid {
+		return fmt.Errorf("run: -fidelity only applies to the sweep and learners experiments (ids: %s)", strings.Join(ids, ", "))
 	}
 	// -resume on a run with no checkpointed experiment would be a silent
 	// no-op; fail loudly like the other ineffective-flag cases.
@@ -219,6 +227,7 @@ func runExperiments(args []string) error {
 	opt.Schedule = *schedule
 	opt.Protocol = *proto
 	opt.FineGrain = *fineGrain
+	opt.Fidelity = *fidelity
 	opt.Resume = *resume
 	if err := opt.Validate(); err != nil {
 		return err
@@ -397,6 +406,12 @@ run flags:
   -protocol NAME            coherence-protocol stack: mesi, eci (default mesi)
   -finegrain                let the agent split hot/cold buffer regions
                             across two coherence modes per invocation
+  -fidelity MODE            sweep/learners cell fidelity: full (default,
+                            cycle-accurate), screening (every cell estimated by
+                            the calibrated analytical cost model; reports carry
+                            the model's held-out error bounds), auto (screen,
+                            then re-simulate only cells whose estimates are too
+                            close to call at the model's demonstrated accuracy)
   -cache-dir DIR            persist static-policy run results (content-keyed);
                             repeated regeneration skips those simulations, and
                             reports stay byte-identical either way

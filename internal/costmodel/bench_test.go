@@ -1,0 +1,32 @@
+package costmodel
+
+import (
+	"testing"
+
+	"cohmeleon/internal/soc"
+)
+
+var benchSinkExec, benchSinkMem float64
+
+// BenchmarkCostModelEstimate measures the screening hot path — one
+// feature extraction plus one model evaluation — and records allocs/op:
+// the pair must stay 0 allocs/op (TestZeroAllocFeaturesEstimate
+// enforces the same in CI).
+func BenchmarkCostModelEstimate(b *testing.B) {
+	ex, err := NewExtractor(soc.SoC6())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := Fit(syntheticSamples(200), "mesi")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var x FeatureVec
+	act := soc.ModeAction(soc.CohDMA)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.Features(0, act, 1<<20, 2, &x)
+		benchSinkExec, benchSinkMem = m.Estimate(&x)
+	}
+}

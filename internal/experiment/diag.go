@@ -121,11 +121,12 @@ func emitDiag(e DiagEvent) {
 }
 
 // StatsSnapshot bundles every robustness counter — run store,
-// checkpoint, retry — for structured consumers (/statsz).
+// checkpoint, retry, two-fidelity — for structured consumers (/statsz).
 type StatsSnapshot struct {
 	RunCache   RunCacheStats
 	Checkpoint CheckpointStats
 	Retry      RetryStats
+	Fidelity   FidelityStats
 }
 
 // Snapshot returns the current counters.
@@ -134,6 +135,7 @@ func Snapshot() StatsSnapshot {
 		RunCache:   GetRunCacheStats(),
 		Checkpoint: GetCheckpointStats(),
 		Retry:      GetRetryStats(),
+		Fidelity:   GetFidelityStats(),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"cohmeleon/internal/core"
+	"cohmeleon/internal/costmodel"
 	"cohmeleon/internal/learn"
 	"cohmeleon/internal/policy"
 	"cohmeleon/internal/scenario"
@@ -92,19 +93,31 @@ type LearnerRow struct {
 type LearnersResult struct {
 	Scenarios []SweepScenarioInfo
 	Rows      []LearnerRow
+	// Notes carries the fidelity provenance of non-full runs (calibration
+	// error bounds, escalation coverage); empty — and the rendered report
+	// byte-identical to before the field existed — at full fidelity.
+	Notes []string
 }
 
 // learnerCell is one (scenario, stack) measurement, collected by index.
 type learnerCell struct {
 	exec, mem float64
 	decisions [soc.NumModes]int64
+	// screened marks analytical estimates; escalated marks auto cells
+	// re-run cycle-accurately after an ambiguous screen.
+	screened  bool
+	escalated bool
 }
 
 // learnerCellImage is the persisted (exported-field) form of one cell.
+// Screened/Escalated are zero-valued in pre-existing checkpoints, which
+// gob decodes fine; full-fidelity cells never set them.
 type learnerCellImage struct {
 	Exec      float64
 	Mem       float64
 	Decisions [soc.NumModes]int64
+	Screened  bool
+	Escalated bool
 }
 
 // learnersParamHash fingerprints every input that determines a grid
@@ -118,6 +131,11 @@ func learnersParamHash(opt Options, stacks []LearnerStack) runKey {
 		opt.MinInvocations, opt.LearnerScenarios, opt.Protocol, opt.FineGrain)
 	for _, st := range stacks {
 		fmt.Fprintf(h, "stack|%s\n", st.Label())
+	}
+	// Appended only for non-full runs, so pre-existing full-fidelity
+	// checkpoints keep their hash and the fidelities never cross-replay.
+	if fid := opt.fidelityMode(); fid != FidelityFull {
+		fmt.Fprintf(h, "fidelity|%s|cmv%d\n", fid, costmodel.FormatVersion)
 	}
 	var k runKey
 	h.Sum(k[:0])
@@ -148,6 +166,17 @@ func Learners(opt Options) (*LearnersResult, error) {
 		return nil, err
 	}
 	stacks := stacksFor(opt)
+
+	// Non-full fidelity calibrates (or revives) the analytical model
+	// before any fan-out; one model serves every cell.
+	fid := opt.fidelityMode()
+	var model *costmodel.Model
+	if fid != FidelityFull {
+		if model, err = calibratedModel(ctx, opt); err != nil {
+			return nil, fmt.Errorf("learners: %w", err)
+		}
+	}
+
 	ck, err := openCheckpoint("learners", learnersParamHash(opt, stacks), opt.Resume)
 	if err != nil {
 		return nil, err
@@ -156,10 +185,15 @@ func Learners(opt Options) (*LearnersResult, error) {
 	// Stage 1: per scenario, generate the (deterministic) training and
 	// test applications once — every stack reuses them read-only, like
 	// fig7's concurrent trials share one test app — and run the
-	// normalization baseline.
+	// normalization baseline. At full fidelity the baseline is the
+	// cycle-accurate run it always was; otherwise it is analytical (a
+	// screened cell must normalize against the same model that produced
+	// it), and escalated auto cells fetch the cycle-accurate baseline
+	// lazily through the memoized run path, deduped across cells.
 	type prep struct {
 		train, test *workload.App
 		baseline    *workload.AppResult
+		est         *costmodel.Estimator
 	}
 	preps := make([]prep, len(scens))
 	if err := forEachOpt(opt, len(scens), func(i int) error {
@@ -172,46 +206,122 @@ func Learners(opt Options) (*LearnersResult, error) {
 		if err != nil {
 			return err
 		}
-		baseline, err := runApp(ctx, sc.Cfg, policy.NewFixed(soc.NonCohDMA), test, sc.Seed+3)
-		preps[i] = prep{train: train, test: test, baseline: baseline}
+		p := prep{train: train, test: test}
+		if fid == FidelityFull {
+			p.baseline, err = runApp(ctx, sc.Cfg, policy.NewFixed(soc.NonCohDMA), test, sc.Seed+3)
+		} else {
+			var ex *costmodel.Extractor
+			if ex, err = costmodel.NewExtractor(sc.Cfg); err == nil {
+				p.est = costmodel.NewEstimator(ex, model)
+				p.baseline, err = p.est.Run(policy.NewFixed(soc.NonCohDMA), test)
+			}
+		}
+		preps[i] = p
 		return err
 	}); err != nil {
 		return nil, err
 	}
 
+	// Auto pre-pass: screen every cell analytically, then — serially, in
+	// index order, so the decision is identical for any worker count —
+	// mark for escalation every cell whose screened estimate sits within
+	// the model's error band of its scenario's best, wherever the band
+	// holds at least two contenders. Cells outside the band keep their
+	// screened values; the contenders re-run cycle-accurately below.
+	cells := make([]learnerCell, len(scens)*len(stacks))
+	escalate := make([]bool, len(cells))
+	var screened []learnerCell
+	if fid == FidelityAuto {
+		screened = make([]learnerCell, len(cells))
+		if err := forEachOpt(opt, len(cells), func(i int) error {
+			si, ki := i/len(stacks), i%len(stacks)
+			var err error
+			screened[i], err = screenLearnerCell(scens[si], stacks[ki], opt, preps[si].est,
+				preps[si].train, preps[si].test, preps[si].baseline)
+			fidelityCounters.screened.Add(1)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		band := escalationBand(model)
+		for si := range scens {
+			execs := make([]float64, len(stacks))
+			for ki := range stacks {
+				execs[ki] = screened[si*len(stacks)+ki].exec
+			}
+			if !ambiguous(execs, band) {
+				continue
+			}
+			best := execs[0]
+			for _, e := range execs[1:] {
+				if e < best {
+					best = e
+				}
+			}
+			for ki := range stacks {
+				if execs[ki] <= best*(1+band) {
+					escalate[si*len(stacks)+ki] = true
+				}
+			}
+		}
+	}
+
 	// Stage 2: the full grid. Seeds mirror the sweep's per-scenario
 	// derivation, so the "q+linear" row of a 1-scenario run matches the
 	// sweep's "cohmeleon" measurement on the same scenario.
-	cells := make([]learnerCell, len(scens)*len(stacks))
 	if err := forEachOpt(opt, len(cells), func(i int) error {
 		var img learnerCellImage
 		if ck.load(i, &img) {
-			cells[i] = learnerCell{exec: img.Exec, mem: img.Mem, decisions: img.Decisions}
+			cells[i] = learnerCell{exec: img.Exec, mem: img.Mem, decisions: img.Decisions,
+				screened: img.Screened, escalated: img.Escalated}
 			opt.cellDone(CellEvent{Experiment: "learners", Index: i, Total: len(cells), Replayed: true})
 			return nil
 		}
 		si, ki := i/len(stacks), i%len(stacks)
 		sc, st := scens[si], stacks[ki]
 		train, test := preps[si].train, preps[si].test
-		agentCfg := agentConfig(opt)
-		agentCfg.Seed = opt.Seed + sc.Seed
-		agentCfg.Learner = st.Algorithm
-		agentCfg.Schedule = st.Schedule
-		agent, err := core.New(agentCfg)
-		if err != nil {
-			return err
+		switch {
+		case fid == FidelityScreening:
+			cell, err := screenLearnerCell(sc, st, opt, preps[si].est, train, test, preps[si].baseline)
+			if err != nil {
+				return err
+			}
+			fidelityCounters.screened.Add(1)
+			cells[i] = cell
+		case fid == FidelityAuto && !escalate[i]:
+			cells[i] = screened[i]
+		default:
+			agentCfg := agentConfig(opt)
+			agentCfg.Seed = opt.Seed + sc.Seed
+			agentCfg.Learner = st.Algorithm
+			agentCfg.Schedule = st.Schedule
+			agent, err := core.New(agentCfg)
+			if err != nil {
+				return err
+			}
+			if err := trainCohmeleon(ctx, sc.Cfg, agent, train, opt.TrainIterations, sc.Seed+7); err != nil {
+				return fmt.Errorf("%s: %s: training: %w", sc.Cfg.Name, st.Label(), err)
+			}
+			agent.ResetDecisions()
+			res, err := testPolicy(ctx, sc.Cfg, agent, test, sc.Seed+3)
+			if err != nil {
+				return fmt.Errorf("%s: %s: %w", sc.Cfg.Name, st.Label(), err)
+			}
+			baseline := preps[si].baseline
+			if fid != FidelityFull {
+				// Escalated cell: cycle-accurate values need the
+				// cycle-accurate baseline (memoized, shared across cells).
+				if baseline, err = runApp(ctx, sc.Cfg, policy.NewFixed(soc.NonCohDMA), test, sc.Seed+3); err != nil {
+					return fmt.Errorf("%s: %s: baseline: %w", sc.Cfg.Name, st.Label(), err)
+				}
+				fidelityCounters.escalated.Add(1)
+			}
+			exec, mem := geoNormalized(res, baseline)
+			cells[i] = learnerCell{exec: exec, mem: mem, decisions: agent.Decisions(),
+				screened: fid != FidelityFull, escalated: fid != FidelityFull}
 		}
-		if err := trainCohmeleon(ctx, sc.Cfg, agent, train, opt.TrainIterations, sc.Seed+7); err != nil {
-			return fmt.Errorf("%s: %s: training: %w", sc.Cfg.Name, st.Label(), err)
-		}
-		agent.ResetDecisions()
-		res, err := testPolicy(ctx, sc.Cfg, agent, test, sc.Seed+3)
-		if err != nil {
-			return fmt.Errorf("%s: %s: %w", sc.Cfg.Name, st.Label(), err)
-		}
-		exec, mem := geoNormalized(res, preps[si].baseline)
-		cells[i] = learnerCell{exec: exec, mem: mem, decisions: agent.Decisions()}
-		ck.save(i, &learnerCellImage{Exec: exec, Mem: mem, Decisions: cells[i].decisions})
+		ck.save(i, &learnerCellImage{Exec: cells[i].exec, Mem: cells[i].mem,
+			Decisions: cells[i].decisions, Screened: cells[i].screened, Escalated: cells[i].escalated})
 		opt.cellDone(CellEvent{Experiment: "learners", Index: i, Total: len(cells)})
 		return nil
 	}); err != nil {
@@ -254,6 +364,15 @@ func Learners(opt Options) (*LearnersResult, error) {
 			Accs: len(sc.Cfg.Accs),
 		})
 	}
+	if fid != FidelityFull {
+		escalated := 0
+		for i := range cells {
+			if cells[i].escalated {
+				escalated++
+			}
+		}
+		out.Notes = append(out.Notes, fidelityNotes(fid, model, escalated, len(cells))...)
+	}
 	return out, nil
 }
 
@@ -280,5 +399,8 @@ func (r *LearnersResult) Render() string {
 			f1(row.DecisionShare[soc.CohDMA]), f1(row.DecisionShare[soc.FullyCoh]))
 	}
 	t.AddNote("q+linear is the paper's agent; decision mix is from the frozen test runs")
+	for _, n := range r.Notes {
+		t.AddNote("%s", n)
+	}
 	return t.Render()
 }

@@ -67,6 +67,14 @@ type Options struct {
 	// private L2. Off (the default) keeps the paper's uniform four-mode
 	// space and is byte-identical to it.
 	FineGrain bool
+	// Fidelity selects how the grid experiments (sweep, learners)
+	// evaluate their cells: "full" (default; also the empty string) is
+	// the cycle-accurate simulator, byte-identical to before the seam
+	// existed; "screening" estimates every cell with the calibrated
+	// analytical cost model; "auto" screens first and escalates only the
+	// cells whose screened estimates are within the model's held-out
+	// error band of the cell's best back to cycle-accurate simulation.
+	Fidelity string
 	// LearnerScenarios is the number of randomized scenarios the
 	// learners experiment runs its (algorithm × schedule) grid over.
 	LearnerScenarios int
@@ -160,6 +168,17 @@ func (o Options) Validate() error {
 	}
 	if _, err := protocol.Lookup(o.Protocol); err != nil {
 		return err
+	}
+	switch o.fidelityMode() {
+	case FidelityFull, FidelityScreening, FidelityAuto:
+	default:
+		return fmt.Errorf("experiment: unknown fidelity %q (valid: %s)", o.Fidelity, ValidFidelities())
+	}
+	if o.QTableSave != "" && o.fidelityMode() != FidelityFull {
+		// A screened agent trained against the analytical model, not the
+		// simulator; exporting its table as a reusable artifact would
+		// silently launder model error into later full-fidelity runs.
+		return fmt.Errorf("experiment: -qtable-save requires full fidelity (got %s)", o.fidelityMode())
 	}
 	return nil
 }

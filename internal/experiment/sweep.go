@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"cohmeleon/internal/core"
+	"cohmeleon/internal/costmodel"
 	"cohmeleon/internal/esp"
 	"cohmeleon/internal/learn"
 	"cohmeleon/internal/policy"
@@ -41,6 +42,12 @@ type sweepPerScenario struct {
 	execs []float64 // per policy, geomean over phases vs baseline
 	mems  []float64
 	state *learn.TabularState // the trained agent's full learner state
+	// screened marks values estimated by the analytical cost model;
+	// escalated marks auto-mode cells re-run cycle-accurately after an
+	// ambiguous screen. Both persist in the checkpoint image so resumed
+	// runs render the same fidelity notes.
+	screened  bool
+	escalated bool
 }
 
 // SweepScenarioInfo summarizes one sampled scenario for the report.
@@ -187,6 +194,32 @@ func sweepScenario(ctx context.Context, sc scenario.Scenario, opt Options, loade
 	return out, nil
 }
 
+// sweepCell evaluates one scenario at the requested fidelity. Full runs
+// the cycle-accurate sweepScenario unchanged. Screening runs everything
+// through the analytical model. Auto screens first, then — when the
+// screened per-policy execs are too close to call at the model's
+// demonstrated accuracy — discards the estimate and re-runs the cell
+// cycle-accurately, so escalated cells carry exact full-fidelity values.
+func sweepCell(ctx context.Context, sc scenario.Scenario, opt Options, loaded *learn.TabularState, fid string, model *costmodel.Model) (sweepPerScenario, error) {
+	if fid == FidelityFull {
+		return sweepScenario(ctx, sc, opt, loaded)
+	}
+	res, err := screenSweepScenario(sc, opt, loaded, model)
+	if err != nil {
+		return res, err
+	}
+	fidelityCounters.screened.Add(1)
+	if fid == FidelityAuto && ambiguous(res.execs, escalationBand(model)) {
+		fidelityCounters.escalated.Add(1)
+		full, err := sweepScenario(ctx, sc, opt, loaded)
+		full.screened = true
+		full.escalated = true
+		full.state = nil // non-full fidelity never exports learner state
+		return full, err
+	}
+	return res, nil
+}
+
 // sweepParamHash fingerprints every input that determines a sweep
 // cell's value: the option fields the cells observe, the content of any
 // loaded learner state (it adds the transfer row), and the format
@@ -202,6 +235,12 @@ func sweepParamHash(opt Options, loadedRaw []byte) runKey {
 		opt.MinInvocations, opt.SweepScenarios, opt.Learner, opt.Schedule,
 		opt.Protocol, opt.FineGrain, len(loadedRaw))
 	h.Write(loadedRaw)
+	// The fidelity token is appended only for non-full runs, so every
+	// pre-existing full-fidelity checkpoint keeps its hash — and full and
+	// screened cells can never replay into each other's runs.
+	if fid := opt.fidelityMode(); fid != FidelityFull {
+		fmt.Fprintf(h, "fidelity|%s|cmv%d\n", fid, costmodel.FormatVersion)
+	}
 	var k runKey
 	h.Sum(k[:0])
 	return k
@@ -217,11 +256,17 @@ type sweepCellImage struct {
 	Execs []float64
 	Mems  []float64
 	State []byte
+	// Screened/Escalated are zero-valued in every pre-existing
+	// checkpoint, which gob decodes fine — and full-fidelity cells never
+	// set them, so full checkpoints stay byte-compatible both ways.
+	Screened  bool
+	Escalated bool
 }
 
 // image converts a completed cell for persistence.
 func (s *sweepPerScenario) image() (*sweepCellImage, error) {
-	img := &sweepCellImage{Info: s.info, Names: s.names, Execs: s.execs, Mems: s.mems}
+	img := &sweepCellImage{Info: s.info, Names: s.names, Execs: s.execs, Mems: s.mems,
+		Screened: s.screened, Escalated: s.escalated}
 	if s.state != nil {
 		var buf bytes.Buffer
 		if err := learn.EncodeState(&buf, s.state); err != nil {
@@ -235,7 +280,8 @@ func (s *sweepPerScenario) image() (*sweepCellImage, error) {
 // sweepCellFromImage revives a replayed cell, re-validating the
 // embedded learner state.
 func sweepCellFromImage(img *sweepCellImage) (sweepPerScenario, error) {
-	out := sweepPerScenario{info: img.Info, names: img.Names, execs: img.Execs, mems: img.Mems}
+	out := sweepPerScenario{info: img.Info, names: img.Names, execs: img.Execs, mems: img.Mems,
+		screened: img.Screened, escalated: img.Escalated}
 	if len(img.State) > 0 {
 		st, err := learn.DecodeState(bytes.NewReader(img.State))
 		if err != nil {
@@ -284,6 +330,19 @@ func Sweep(opt Options) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// Non-full fidelity calibrates (or revives) the analytical model
+	// before the fan-out: one model serves every cell, and its
+	// cycle-accurate calibration runs flow through the ordinary memoized
+	// run path.
+	fid := opt.fidelityMode()
+	var model *costmodel.Model
+	if fid != FidelityFull {
+		if model, err = calibratedModel(ctx, opt); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+	}
+
 	ck, err := openCheckpoint("sweep", sweepParamHash(opt, loadedRaw), opt.Resume)
 	if err != nil {
 		return nil, err
@@ -302,7 +361,7 @@ func Sweep(opt Options) (*SweepResult, error) {
 			ckptReplayed.Add(-1) // envelope verified but the payload didn't revive
 			ck.invalidate(i, err)
 		}
-		res, err := sweepScenario(ctx, scens[i], opt, loaded)
+		res, err := sweepCell(ctx, scens[i], opt, loaded, fid, model)
 		perScenario[i] = res
 		if err == nil {
 			if img, ierr := res.image(); ierr == nil {
@@ -335,6 +394,16 @@ func Sweep(opt Options) (*SweepResult, error) {
 	}
 	for si := range perScenario {
 		out.Scenarios = append(out.Scenarios, perScenario[si].info)
+	}
+
+	if fid != FidelityFull {
+		escalated := 0
+		for si := range perScenario {
+			if perScenario[si].escalated {
+				escalated++
+			}
+		}
+		out.Notes = append(out.Notes, fidelityNotes(fid, model, escalated, len(perScenario))...)
 	}
 
 	if loaded != nil {

@@ -87,6 +87,11 @@ type JobSpec struct {
 	// FineGrain widens the agent's action space with per-region
 	// (hot, cold) mode splits.
 	FineGrain bool `json:"fine_grain,omitempty"`
+	// Fidelity selects the cell evaluation path: "full" (default, also
+	// the empty string; cycle-accurate), "screening" (calibrated
+	// analytical estimates with error bounds), or "auto" (screen, then
+	// re-simulate only the cells too close to call).
+	Fidelity string `json:"fidelity,omitempty"`
 	// TimeoutSec caps the job's wall-clock seconds (0 = the server's
 	// default deadline, if any).
 	TimeoutSec int `json:"timeout_sec,omitempty"`
@@ -119,6 +124,7 @@ func (s JobSpec) options() (experiment.Options, error) {
 	opt.Schedule = s.Schedule
 	opt.Protocol = s.Protocol
 	opt.FineGrain = s.FineGrain
+	opt.Fidelity = s.Fidelity
 	opt.Resume = true
 	return opt, nil
 }

@@ -314,6 +314,32 @@ type placement struct {
 	acc []noc.Coord
 }
 
+// AccMemDistances returns, for each accelerator instance in
+// configuration order, the mean Manhattan hop distance to the memory
+// tiles under the deterministic placement Build uses. Analytical cost
+// models consume it without assembling a SoC; the values match the
+// coordinates a built SoC's tiles would carry because both derive from
+// placeTiles. The configuration must be valid.
+func AccMemDistances(c *Config) []float64 {
+	pl := placeTiles(c)
+	out := make([]float64, len(pl.acc))
+	for i, a := range pl.acc {
+		sum := 0
+		for _, m := range pl.mem {
+			dx, dy := a.X-m.X, a.Y-m.Y
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			sum += dx + dy
+		}
+		out[i] = float64(sum) / float64(len(pl.mem))
+	}
+	return out
+}
+
 func placeTiles(c *Config) placement {
 	w, h := c.MeshW, c.MeshH
 	taken := make(map[noc.Coord]bool)

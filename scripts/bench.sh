@@ -88,8 +88,20 @@ run_bench_mem ./internal/learn 'BenchmarkLearnerDecide|BenchmarkFeaturize' 10000
 # BenchmarkSweep regenerates cold each iteration; BenchmarkSweepCached
 # regenerates warm through the content-keyed run cache — the gap is the
 # duplicate-run elimination on repeated artifact regeneration.
+# BenchmarkSweep16 is the same sweep at 16 scenarios (a second point on
+# the scenario-count axis); BenchmarkSweepScreening is the 8-scenario
+# grid through the calibrated analytical cost model with the calibration
+# pre-fitted — its ratio to BenchmarkSweep is the screening speedup.
 run_bench . 'BenchmarkSweep$' 1x "${COHMELEON_WORKERS:-1}" "scenario sweep (cold)"
 run_bench . 'BenchmarkSweepCached$' 1x "${COHMELEON_WORKERS:-1}" "scenario sweep (warm run cache)"
+run_bench . 'BenchmarkSweep16$' 1x "${COHMELEON_WORKERS:-1}" "scenario sweep (16 scenarios)"
+run_bench . 'BenchmarkSweepScreening$' 1x "${COHMELEON_WORKERS:-1}" "scenario sweep (screening fidelity)"
+
+# Cost-model estimate micro-benchmark, with allocs/op: one feature
+# extraction plus one model evaluation — the screening hot path — must
+# stay 0 allocs/op (TestZeroAllocFeaturesEstimate enforces the same in
+# CI).
+run_bench_mem ./internal/costmodel 'BenchmarkCostModelEstimate$' 1000000x 1 "cost model estimate micro"
 
 # Learner grid (fixed 4 scenarios × 8 stacks inside the benchmark):
 # tracks the cost of the pluggable-learner comparison across PRs.
