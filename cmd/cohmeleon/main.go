@@ -8,6 +8,7 @@
 //	              [-learner NAME] [-schedule NAME] [-protocol NAME]
 //	              [-finegrain] [-fidelity MODE] [-cache-dir DIR]
 //	              [-resume] [-cache-verify]
+//	              [-shared] [-worker-id NAME] [-lease-ttl D]
 //	              [-cpuprofile FILE] [-memprofile FILE]
 //	              [-out FILE] <id>... | all
 //	cohmeleon serve -cache-dir DIR [-addr HOST:PORT] [-queue N] [-jobs N]
@@ -81,6 +82,9 @@ func runExperiments(args []string) error {
 	fidelity := fs.String("fidelity", "", "sweep/learners cell fidelity: full (default; cycle-accurate), screening (calibrated analytical model), auto (screen, escalate ambiguous cells)")
 	cacheDir := fs.String("cache-dir", "", "persist content-keyed static-policy run results under this directory (reports are byte-identical with or without it)")
 	resume := fs.Bool("resume", false, "sweep/learners: replay cells checkpointed under -cache-dir by an interrupted identical run")
+	shared := fs.Bool("shared", false, "sweep/learners: shard grid cells with other -shared processes on the same -cache-dir via lease files")
+	workerID := fs.String("worker-id", "", "shared mode: this worker's name in lease files (default <hostname>-<pid>)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "shared mode: reclaim a peer's cell after its lease heartbeat stalls this long (default 10s)")
 	cacheVerify := fs.Bool("cache-verify", false, "fsck -cache-dir before running: re-hash every entry, quarantine corrupt ones")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file on clean exit (forces -workers 1)")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on clean exit (forces -workers 1)")
@@ -137,6 +141,21 @@ func runExperiments(args []string) error {
 	if *cacheVerify && *cacheDir == "" {
 		return fmt.Errorf("run: -cache-verify needs -cache-dir")
 	}
+	if *shared && *cacheDir == "" {
+		return fmt.Errorf("run: -shared needs -cache-dir (workers coordinate through lease files under it)")
+	}
+	// Lease tuning without shared mode would be silently inert.
+	if !*shared {
+		switch {
+		case *workerID != "":
+			return fmt.Errorf("run: -worker-id only applies with -shared")
+		case *leaseTTL != 0:
+			return fmt.Errorf("run: -lease-ttl only applies with -shared")
+		}
+	}
+	if *leaseTTL < 0 {
+		return fmt.Errorf("run: -lease-ttl %v invalid: need > 0 (omit the flag for the 10s default)", *leaseTTL)
+	}
 	ids := fs.Args()
 	if len(ids) == 0 {
 		// A bare fsck run is a legitimate zero-experiment invocation.
@@ -173,6 +192,12 @@ func runExperiments(args []string) error {
 	// no-op; fail loudly like the other ineffective-flag cases.
 	if *resume && !checkpoints {
 		return fmt.Errorf("run: -resume only applies to checkpointed experiments (%s); ids: %s",
+			strings.Join(checkpointedIDs(), ", "), strings.Join(ids, ", "))
+	}
+	// -shared shards the checkpointed grids; on anything else it would
+	// silently run single-process.
+	if *shared && !checkpoints {
+		return fmt.Errorf("run: -shared only applies to checkpointed experiments (%s); ids: %s",
 			strings.Join(checkpointedIDs(), ", "), strings.Join(ids, ", "))
 	}
 	// Sweep-only flags on a sweep-less run would be silently ignored —
@@ -229,6 +254,9 @@ func runExperiments(args []string) error {
 	opt.FineGrain = *fineGrain
 	opt.Fidelity = *fidelity
 	opt.Resume = *resume
+	opt.Shared = *shared
+	opt.WorkerID = *workerID
+	opt.LeaseTTL = *leaseTTL
 	if err := opt.Validate(); err != nil {
 		return err
 	}
@@ -281,6 +309,7 @@ func runExperiments(args []string) error {
 
 	prevCache := experiment.GetRunCacheStats()
 	prevCkpt := experiment.GetCheckpointStats()
+	prevLease := experiment.GetLeaseStats()
 	for _, entry := range entries {
 		fmt.Fprintf(out, "### %s — %s (profile=%s, seed=%d)\n\n", entry.ID, entry.Title, *profile, opt.Seed)
 		start := time.Now()
@@ -308,6 +337,14 @@ func runExperiments(args []string) error {
 				entry.ID, ck.Replayed-prevCkpt.Replayed, ck.Saved-prevCkpt.Saved)
 		}
 		prevCkpt = ck
+		ls := experiment.GetLeaseStats()
+		if ls != prevLease {
+			fmt.Fprintf(os.Stderr, "cohmeleon: %s: leases: %d acquired, %d renewed, %d contended, %d expired, %d reclaimed, %d lost, %d fallbacks\n",
+				entry.ID, ls.Acquired-prevLease.Acquired, ls.Renewed-prevLease.Renewed,
+				ls.Contended-prevLease.Contended, ls.Expired-prevLease.Expired,
+				ls.Reclaimed-prevLease.Reclaimed, ls.Lost-prevLease.Lost, ls.Fallbacks-prevLease.Fallbacks)
+		}
+		prevLease = ls
 	}
 	// Degraded-store traffic (counted in memo.go, warned once there) gets
 	// a final tally so a run that limped through write failures says so.
@@ -419,9 +456,20 @@ run flags:
                             interrupted identical run (needs -cache-dir); the
                             resumed report is byte-identical to an
                             uninterrupted one
-  -cache-verify             fsck -cache-dir first: re-hash every entry and
-                            checkpoint cell, quarantine corrupt ones as
-                            *.corrupt (usable with no experiment IDs)
+  -cache-verify             fsck -cache-dir first: re-hash every entry,
+                            checkpoint cell, and lease file, quarantine corrupt
+                            ones as *.corrupt, and sweep orphaned temp files
+                            (usable with no experiment IDs)
+  -shared                   sweep/learners: shard grid cells with any number of
+                            other -shared processes pointed at the same
+                            -cache-dir, coordinated via lease files; every
+                            worker that finishes renders the full report,
+                            byte-identical to a single-process run
+  -worker-id NAME           shared mode: name written into this worker's
+                            leases (default <hostname>-<pid>)
+  -lease-ttl D              shared mode: reclaim a dead peer's cell after its
+                            lease heartbeat stalls this long, e.g. 30s
+                            (default 10s)
   -cpuprofile FILE          write a pprof CPU profile on clean exit
   -memprofile FILE          write a pprof heap profile on clean exit
                             (profiling forces -workers 1; explicit -workers > 1
@@ -440,6 +488,12 @@ Interrupted runs (Ctrl-C once = graceful: in-flight runs finish and
 checkpoint; twice = exit now):
   cohmeleon run -cache-dir cache sweep         # interrupted at cell k
   cohmeleon run -cache-dir cache -resume sweep # replays cells, identical report
+
+Distributed sweeps (N processes, one store; see README for the lease
+protocol and operator runbook):
+  cohmeleon run -shared -cache-dir /shared/cache -scenarios 1024 sweep &
+  cohmeleon run -shared -cache-dir /shared/cache -scenarios 1024 sweep &
+  wait   # each worker prints the same byte-identical report
 
 Serve mode (HTTP job server; jobs are sweep/learners specs and their
 reports are byte-identical to the equivalent 'run' invocation):

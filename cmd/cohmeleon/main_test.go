@@ -160,6 +160,87 @@ func TestRunRejectsResumeOnNonCheckpointedExperiments(t *testing.T) {
 	}
 }
 
+func TestRunRejectsSharedWithoutCacheDir(t *testing.T) {
+	msg := errFrom(t, "run", "-shared", "sweep")
+	if !strings.Contains(msg, "-cache-dir") {
+		t.Fatalf("error %q should require -cache-dir", msg)
+	}
+}
+
+func TestRunRejectsSharedOnNonCheckpointedExperiments(t *testing.T) {
+	msg := errFrom(t, "run", "-shared", "-cache-dir", t.TempDir(), "table4")
+	if !strings.Contains(msg, "checkpointed") || !strings.Contains(msg, "sweep") {
+		t.Fatalf("error %q should list the checkpointed experiments", msg)
+	}
+}
+
+func TestRunRejectsLeaseFlagsWithoutShared(t *testing.T) {
+	for _, args := range [][]string{
+		{"run", "-worker-id", "w1", "-cache-dir", os.TempDir(), "sweep"},
+		{"run", "-lease-ttl", "5s", "-cache-dir", os.TempDir(), "sweep"},
+	} {
+		msg := errFrom(t, args...)
+		if !strings.Contains(msg, "-shared") {
+			t.Fatalf("error %q should point at -shared", msg)
+		}
+	}
+}
+
+func TestRunRejectsNegativeLeaseTTL(t *testing.T) {
+	msg := errFrom(t, "run", "-shared", "-lease-ttl", "-5s", "-cache-dir", t.TempDir(), "sweep")
+	if !strings.Contains(msg, "-lease-ttl") {
+		t.Fatalf("error %q should explain the -lease-ttl flag", msg)
+	}
+}
+
+// TestRunSharedSingleWorkerMatchesPlainRun: one -shared worker with
+// nobody to share with is the degenerate fleet; its report must be
+// byte-identical to the plain run and it must clean up its leases.
+func TestRunSharedSingleWorkerMatchesPlainRun(t *testing.T) {
+	// This test warms the in-memory run memo with tiny-sweep entries
+	// that later store tests expect to simulate (and persist) cold.
+	experiment.ResetRunCache()
+	t.Cleanup(experiment.ResetRunCache)
+	dir := t.TempDir()
+	outPlain := filepath.Join(dir, "plain.txt")
+	outShared := filepath.Join(dir, "shared.txt")
+	if err := run([]string{"run", "-profile", "tiny", "-scenarios", "2", "-out", outPlain, "sweep"}); err != nil {
+		t.Fatal(err)
+	}
+	cache := filepath.Join(dir, "cache")
+	if err := run([]string{"run", "-profile", "tiny", "-scenarios", "2",
+		"-shared", "-worker-id", "solo", "-cache-dir", cache, "-out", outShared, "sweep"}); err != nil {
+		t.Fatal(err)
+	}
+	want := reportBody(t, outPlain)
+	got := reportBody(t, outShared)
+	if want != got {
+		t.Fatalf("shared single-worker report differs from plain run:\n--- plain ---\n%s\n--- shared ---\n%s", want, got)
+	}
+	leases, _ := filepath.Glob(filepath.Join(cache, "leases", "*", "*.lease"))
+	if len(leases) != 0 {
+		t.Fatalf("leases left behind: %v", leases)
+	}
+}
+
+// reportBody reads a report file with its wall-clock footer lines
+// stripped (the only legitimately varying bytes).
+func reportBody(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, "completed in") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
 func TestRunRejectsCacheVerifyWithoutCacheDir(t *testing.T) {
 	msg := errFrom(t, "run", "-cache-verify", "table4")
 	if !strings.Contains(msg, "-cache-dir") {

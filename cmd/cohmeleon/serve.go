@@ -30,6 +30,8 @@ var batchOnlyServeFlags = map[string]string{
 	"cpuprofile":  "profiling a multi-job server confounds unrelated timelines; profile a batch run instead",
 	"memprofile":  "profiling a multi-job server confounds unrelated timelines; profile a batch run instead",
 	"out":         "reports are served per job at GET /jobs/{id}/report",
+	"worker-id":   "serve derives its lease worker id from host+pid",
+	"lease-ttl":   "serve uses the default lease TTL; shard tuning is a batch 'run' concern",
 }
 
 // rejectBatchOnlyFlags scans raw args (before flag parsing) for batch
@@ -65,6 +67,7 @@ func serveExperiments(args []string) error {
 	cellWorkers := fs.Int("workers", 0, "per-job concurrent trials (0 = GOMAXPROCS; still capped by -cells)")
 	cellRetries := fs.Int("cell-retries", 3, "max attempts per cell on transient failures (1 = no retry)")
 	jobTimeout := fs.Duration("job-timeout", 0, "default per-job deadline (0 = none; job specs may set their own)")
+	shared := fs.Bool("shared", false, "shard every job's grid cells with other -shared processes (serve or batch) on the same -cache-dir via lease files")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,6 +102,7 @@ func serveExperiments(args []string) error {
 		CellWorkers: *cellWorkers,
 		Retry:       retry,
 		JobTimeout:  *jobTimeout,
+		Shared:      *shared,
 	})
 	if err != nil {
 		return err

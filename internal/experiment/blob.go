@@ -82,7 +82,10 @@ func writeBlobAtomic(dir, path string, data []byte, createPt, writePt, renamePt 
 	if err := faultinject.Check(createPt); err != nil {
 		return err
 	}
-	f, err := os.CreateTemp(dir, ".blob-*.tmp")
+	// The temp name carries the pid so two processes sharing the
+	// directory can never collide on (or clean up) each other's
+	// in-flight temp file, on top of CreateTemp's random suffix.
+	f, err := os.CreateTemp(dir, fmt.Sprintf(".blob-%d-*.tmp", os.Getpid()))
 	if err != nil {
 		return err
 	}

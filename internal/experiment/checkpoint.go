@@ -58,6 +58,7 @@ func ResetCheckpointStats() {
 // drop, so the experiments need no conditionals around it.
 type checkpoint struct {
 	dir    string
+	key    string // directory basename: <experiment>-v<version>-<paramhash>
 	resume bool
 }
 
@@ -77,12 +78,12 @@ func openCheckpoint(experiment string, paramHash runKey, resume bool) (*checkpoi
 	if cacheDir == "" {
 		return nil, nil
 	}
-	dir := filepath.Join(checkpointRoot(cacheDir),
-		fmt.Sprintf("%s-v%d-%x", experiment, checkpointVersion, paramHash[:]))
+	key := fmt.Sprintf("%s-v%d-%x", experiment, checkpointVersion, paramHash[:])
+	dir := filepath.Join(checkpointRoot(cacheDir), key)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("experiment: checkpoint dir: %w", err)
 	}
-	return &checkpoint{dir: dir, resume: resume}, nil
+	return &checkpoint{dir: dir, key: key, resume: resume}, nil
 }
 
 // cellPath names cell i's file.

@@ -121,12 +121,14 @@ func emitDiag(e DiagEvent) {
 }
 
 // StatsSnapshot bundles every robustness counter — run store,
-// checkpoint, retry, two-fidelity — for structured consumers (/statsz).
+// checkpoint, retry, two-fidelity, lease — for structured consumers
+// (/statsz).
 type StatsSnapshot struct {
 	RunCache   RunCacheStats
 	Checkpoint CheckpointStats
 	Retry      RetryStats
 	Fidelity   FidelityStats
+	Lease      LeaseStats
 }
 
 // Snapshot returns the current counters.
@@ -136,6 +138,7 @@ func Snapshot() StatsSnapshot {
 		Checkpoint: GetCheckpointStats(),
 		Retry:      GetRetryStats(),
 		Fidelity:   GetFidelityStats(),
+		Lease:      GetLeaseStats(),
 	}
 }
 

@@ -177,7 +177,9 @@ func Learners(opt Options) (*LearnersResult, error) {
 		}
 	}
 
-	ck, err := openCheckpoint("learners", learnersParamHash(opt, stacks), opt.Resume)
+	// Replay is on whenever shared mode is, so workers adopt the cells
+	// their peers publish; single-process resume semantics are unchanged.
+	ck, err := openCheckpoint("learners", learnersParamHash(opt, stacks), opt.Resume || opt.Shared)
 	if err != nil {
 		return nil, err
 	}
@@ -269,14 +271,17 @@ func Learners(opt Options) (*LearnersResult, error) {
 	// Stage 2: the full grid. Seeds mirror the sweep's per-scenario
 	// derivation, so the "q+linear" row of a 1-scenario run matches the
 	// sweep's "cohmeleon" measurement on the same scenario.
-	if err := forEachOpt(opt, len(cells), func(i int) error {
+	loadCell := func(i int) bool {
 		var img learnerCellImage
-		if ck.load(i, &img) {
-			cells[i] = learnerCell{exec: img.Exec, mem: img.Mem, decisions: img.Decisions,
-				screened: img.Screened, escalated: img.Escalated}
-			opt.cellDone(CellEvent{Experiment: "learners", Index: i, Total: len(cells), Replayed: true})
-			return nil
+		if !ck.load(i, &img) {
+			return false
 		}
+		cells[i] = learnerCell{exec: img.Exec, mem: img.Mem, decisions: img.Decisions,
+			screened: img.Screened, escalated: img.Escalated}
+		opt.cellDone(CellEvent{Experiment: "learners", Index: i, Total: len(cells), Replayed: true})
+		return true
+	}
+	computeCell := func(i int) error {
 		si, ki := i/len(stacks), i%len(stacks)
 		sc, st := scens[si], stacks[ki]
 		train, test := preps[si].train, preps[si].test
@@ -324,7 +329,8 @@ func Learners(opt Options) (*LearnersResult, error) {
 			Decisions: cells[i].decisions, Screened: cells[i].screened, Escalated: cells[i].escalated})
 		opt.cellDone(CellEvent{Experiment: "learners", Index: i, Total: len(cells)})
 		return nil
-	}); err != nil {
+	}
+	if err := runGrid(opt, ck, len(cells), loadCell, computeCell); err != nil {
 		return nil, err
 	}
 

@@ -214,6 +214,7 @@ func ResetRunCache() {
 	appRunMemo.readFailures.Store(0)
 	appRunMemo.quarantined.Store(0)
 	ResetRetryStats()
+	ResetLeaseStats()
 	resetFidelity()
 	defaultDiagSink.reset()
 }

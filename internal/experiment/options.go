@@ -3,6 +3,8 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"os"
+	"time"
 
 	"cohmeleon/internal/learn"
 	"cohmeleon/internal/soc/protocol"
@@ -104,6 +106,58 @@ type Options struct {
 	// concurrent workers. It must be cheap and must not mutate
 	// experiment state; the serve layer uses it to stream progress.
 	CellDone func(CellEvent)
+	// Shared makes the grid experiments (sweep, learners) shard their
+	// cells across any number of independent processes pointed at the
+	// same run cache directory, coordinated only through checksummed
+	// lease files under <cache-dir>/leases/. Each worker claims absent
+	// cells, heartbeats while computing, adopts cells its peers publish,
+	// and reclaims leases whose heartbeats stall; every worker that runs
+	// to completion assembles the full report, byte-identical to the
+	// single-process run. Requires a cache directory. Off (the default)
+	// touches no lease path at all and is byte-identical to before the
+	// mode existed.
+	Shared bool
+	// WorkerID names this process in lease files for operator diagnosis;
+	// empty derives "<hostname>-<pid>". Only meaningful with Shared.
+	WorkerID string
+	// LeaseTTL is how long a lease's renewal counter may stall before
+	// peers judge its holder dead and reclaim the cell; zero means 10s.
+	// Staleness is measured on each observer's own monotonic clock, so
+	// host clock skew cannot expire a live lease. Only meaningful with
+	// Shared.
+	LeaseTTL time.Duration
+	// LeaseHeartbeat is the renewal interval for held leases; zero means
+	// LeaseTTL/5. Must be shorter than LeaseTTL. Only meaningful with
+	// Shared.
+	LeaseHeartbeat time.Duration
+}
+
+// workerID resolves the worker identity written into lease files.
+func (o Options) workerID() string {
+	if o.WorkerID != "" {
+		return o.WorkerID
+	}
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+// leaseTTL resolves the staleness threshold.
+func (o Options) leaseTTL() time.Duration {
+	if o.LeaseTTL > 0 {
+		return o.LeaseTTL
+	}
+	return 10 * time.Second
+}
+
+// leaseHeartbeat resolves the renewal interval.
+func (o Options) leaseHeartbeat() time.Duration {
+	if o.LeaseHeartbeat > 0 {
+		return o.LeaseHeartbeat
+	}
+	return o.leaseTTL() / 5
 }
 
 // CellEvent describes one completed grid cell of a checkpointed
@@ -152,6 +206,15 @@ func (o Options) Validate() error {
 		return fmt.Errorf("experiment: sweep scenarios %d must be ≥ 1", o.SweepScenarios)
 	case o.LearnerScenarios < 1:
 		return fmt.Errorf("experiment: learner scenarios %d must be ≥ 1", o.LearnerScenarios)
+	case o.LeaseTTL < 0:
+		return fmt.Errorf("experiment: lease TTL %v must be ≥ 0", o.LeaseTTL)
+	case o.LeaseHeartbeat < 0:
+		return fmt.Errorf("experiment: lease heartbeat %v must be ≥ 0", o.LeaseHeartbeat)
+	case o.LeaseHeartbeat > 0 && o.LeaseHeartbeat >= o.leaseTTL():
+		// A heartbeat at or past the TTL guarantees live leases look
+		// stale between renewals — every worker would reclaim every cell.
+		return fmt.Errorf("experiment: lease heartbeat %v must be shorter than lease TTL %v",
+			o.LeaseHeartbeat, o.leaseTTL())
 	}
 	if o.Retry != nil {
 		if err := o.Retry.Validate(); err != nil {

@@ -343,24 +343,31 @@ func Sweep(opt Options) (*SweepResult, error) {
 		}
 	}
 
-	ck, err := openCheckpoint("sweep", sweepParamHash(opt, loadedRaw), opt.Resume)
+	// Shared workers must adopt the cells their peers publish, so replay
+	// is on whenever the mode is — resume semantics within one process
+	// are unchanged.
+	ck, err := openCheckpoint("sweep", sweepParamHash(opt, loadedRaw), opt.Resume || opt.Shared)
 	if err != nil {
 		return nil, err
 	}
 
 	perScenario := make([]sweepPerScenario, len(scens))
-	if err := forEachOpt(opt, len(scens), func(i int) error {
+	load := func(i int) bool {
 		var img sweepCellImage
-		if ck.load(i, &img) {
-			cell, err := sweepCellFromImage(&img)
-			if err == nil {
-				perScenario[i] = cell
-				opt.cellDone(CellEvent{Experiment: "sweep", Index: i, Total: len(scens), Replayed: true})
-				return nil
-			}
+		if !ck.load(i, &img) {
+			return false
+		}
+		cell, err := sweepCellFromImage(&img)
+		if err != nil {
 			ckptReplayed.Add(-1) // envelope verified but the payload didn't revive
 			ck.invalidate(i, err)
+			return false
 		}
+		perScenario[i] = cell
+		opt.cellDone(CellEvent{Experiment: "sweep", Index: i, Total: len(scens), Replayed: true})
+		return true
+	}
+	compute := func(i int) error {
 		res, err := sweepCell(ctx, scens[i], opt, loaded, fid, model)
 		perScenario[i] = res
 		if err == nil {
@@ -370,7 +377,8 @@ func Sweep(opt Options) (*SweepResult, error) {
 			opt.cellDone(CellEvent{Experiment: "sweep", Index: i, Total: len(scens)})
 		}
 		return err
-	}); err != nil {
+	}
+	if err := runGrid(opt, ck, len(scens), load, compute); err != nil {
 		return nil, err
 	}
 

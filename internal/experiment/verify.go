@@ -29,12 +29,27 @@ type VerifyResult struct {
 	// verified cleanly.
 	Cells   int
 	CellsOK int
+	// Leases is the number of lease files examined; LeasesOK of them
+	// verified cleanly (corrupt ones — torn by a kill -9 mid-write —
+	// are quarantined and counted in Quarantined like any other entry).
+	Leases   int
+	LeasesOK int
+	// LeasesSwept counts verified leases removed because their cell had
+	// already published: a worker that died (or faulted) between publish
+	// and release leaves one behind, and nothing ever claims a published
+	// cell, so the lease would otherwise linger forever.
+	LeasesSwept int
+	// TmpSwept counts orphaned temp files (.***.tmp) left by killed
+	// writers, removed during this pass. Counted apart from quarantines:
+	// an orphaned temp is expected litter from a crash-atomic write, not
+	// a corrupt entry.
+	TmpSwept int
 }
 
 // String renders the fsck summary.
 func (v VerifyResult) String() string {
-	return fmt.Sprintf("run store: %d/%d entries ok, %d checkpoint cells ok of %d, %d quarantined this pass, %d corrupt but not quarantined, %d stale-version, %d previously quarantined",
-		v.OK, v.Runs, v.CellsOK, v.Cells, v.Quarantined, v.Failed, v.Stale, v.PriorQuarantine)
+	return fmt.Sprintf("run store: %d/%d entries ok, %d checkpoint cells ok of %d, %d leases ok of %d, %d quarantined this pass, %d corrupt but not quarantined, %d stale-version, %d previously quarantined, %d published-cell leases swept, %d orphaned temp files swept",
+		v.OK, v.Runs, v.CellsOK, v.Cells, v.LeasesOK, v.Leases, v.Quarantined, v.Failed, v.Stale, v.PriorQuarantine, v.LeasesSwept, v.TmpSwept)
 }
 
 // Clean reports whether every examined entry verified.
@@ -99,7 +114,77 @@ func VerifyRunCache(dir string) (VerifyResult, error) {
 			out.Failed++
 		}
 	}
+	// Lease files: same envelope discipline again. A lease that verifies
+	// but whose cell already published is swept — its holder died (or
+	// faulted) between publish and release, and no worker ever claims a
+	// published cell, so it would linger forever.
+	leases, err := filepath.Glob(filepath.Join(leaseRoot(dir), "*", "cell-*.lease"))
+	if err != nil {
+		return out, fmt.Errorf("experiment: verifying leases: %w", err)
+	}
+	for _, path := range leases {
+		out.Leases++
+		switch verifyEnvelopeFile(path, leaseVersion) {
+		case verifyOK:
+			out.LeasesOK++
+			if cellPublished(dir, path) {
+				if err := os.Remove(path); err == nil {
+					out.LeasesSwept++
+				} else {
+					appRunMemo.noteReadFailure(path, fmt.Errorf("fsck: sweeping released lease: %w", err))
+					out.Failed++
+				}
+			}
+		case verifyQuarantined:
+			out.Quarantined++
+		case verifyFailed:
+			out.Failed++
+		}
+	}
+	// Orphaned temp files: every writer in this store goes through
+	// CreateTemp with a dot-prefixed *.tmp pattern and renames or removes
+	// it; a temp file still present belongs to a killed writer (fsck
+	// assumes no writers are live) and is swept.
+	for _, root := range []string{dir, checkpointRoot(dir), leaseRoot(dir)} {
+		swept, failed := sweepTempFiles(root)
+		out.TmpSwept += swept
+		out.Failed += failed
+	}
 	return out, nil
+}
+
+// cellPublished reports whether the checkpoint cell a lease file guards
+// already exists: leases/<key>/cell-NNNNNN.lease guards
+// checkpoints/<key>/cell-NNNNNN.gob.
+func cellPublished(cacheDir, leasePath string) bool {
+	key := filepath.Base(filepath.Dir(leasePath))
+	cell := strings.TrimSuffix(filepath.Base(leasePath), ".lease") + ".gob"
+	_, err := os.Stat(filepath.Join(checkpointRoot(cacheDir), key, cell))
+	return err == nil
+}
+
+// sweepTempFiles removes dot-prefixed *.tmp files under root (one level
+// of subdirectories deep — the layout's maximum), reporting how many
+// were swept and how many removals failed.
+func sweepTempFiles(root string) (swept, failed int) {
+	for _, pattern := range []string{
+		filepath.Join(root, ".*.tmp"),
+		filepath.Join(root, "*", ".*.tmp"),
+	} {
+		matches, err := filepath.Glob(pattern)
+		if err != nil {
+			continue
+		}
+		for _, path := range matches {
+			if err := os.Remove(path); err == nil {
+				swept++
+			} else if !os.IsNotExist(err) {
+				appRunMemo.noteReadFailure(path, fmt.Errorf("fsck: sweeping temp file: %w", err))
+				failed++
+			}
+		}
+	}
+	return swept, failed
 }
 
 // verifyOutcome classifies one fsck'd entry.

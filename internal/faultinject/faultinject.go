@@ -65,6 +65,18 @@ const (
 	ManifestWrite Point = "manifest.write"
 	// ManifestRename guards the atomic rename publishing a job manifest.
 	ManifestRename Point = "manifest.rename"
+	// LeaseAcquire guards the exclusive create that claims a grid cell's
+	// lease in shared (multi-process) mode.
+	LeaseAcquire Point = "lease.acquire"
+	// LeaseRenew guards a heartbeat renewal of a held lease.
+	LeaseRenew Point = "lease.renew"
+	// LeaseRelease guards deleting a lease after its cell published; an
+	// injected fault orphans the lease, exactly like a crash between
+	// publish and release would.
+	LeaseRelease Point = "lease.release"
+	// LeaseReclaim guards the rename that takes a stale lease away from
+	// a dead holder.
+	LeaseReclaim Point = "lease.reclaim"
 )
 
 // ErrTransient marks injected faults that model recoverable

@@ -39,6 +39,12 @@ type Config struct {
 	// JobTimeout is the default per-job deadline (0 = none); a spec's
 	// timeout_sec overrides it per job.
 	JobTimeout time.Duration
+	// Shared makes every job's grid cells shard across other -shared
+	// cohmeleon processes (serve instances or batch runs) on the same
+	// cache directory, deduped through lease files instead of only this
+	// process's in-memory singleflight. The worker id derives from
+	// host+pid.
+	Shared bool
 }
 
 // validate rejects un-servable configurations with the valid ranges.
@@ -299,6 +305,7 @@ func (s *Server) runJob(j *Job) {
 		}
 		opt.Gate = s.gate
 		opt.CellDone = j.noteCell
+		opt.Shared = s.cfg.Shared
 		var entry experiment.Entry
 		entry, err = experiment.Lookup(j.spec.Experiment)
 		if err == nil {

@@ -776,3 +776,53 @@ func TestServeReportNotReadyConflict(t *testing.T) {
 		t.Fatalf("cancelled report = %d (Retry-After %q), want terminal 409 without Retry-After", code, hdr.Get("Retry-After"))
 	}
 }
+
+// TestServeSharedInstancesShareOneGrid: two serve instances with
+// Config.Shared over one cache dir are the serve-mode half of
+// distributed sweeps — each runs the same job and both reports must be
+// the CLI's bytes, with the grid's cells computed once between the two
+// processes (lease dedup across instances, not just in-process
+// singleflight).
+func TestServeSharedInstancesShareOneGrid(t *testing.T) {
+	serverTestSetup(t)
+	want := tinySweepWant(t)
+	dir := t.TempDir()
+	experiment.ResetCheckpointStats()
+	cfgA, cfgB := testConfig(dir), testConfig(dir)
+	cfgA.Shared, cfgB.Shared = true, true
+	srvA, err := New(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, err := New(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA.Start()
+	defer srvA.Drain()
+	srvB.Start()
+	defer srvB.Drain()
+
+	a, err := srvA.Submit(tinySweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := srvB.Submit(tinySweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa, sb := a.Wait(), b.Wait(); sa != StateDone || sb != StateDone {
+		t.Fatalf("states = %s/%s, want done/done", sa, sb)
+	}
+	ra, _ := a.Report()
+	rb, _ := b.Report()
+	if ra != want || rb != want {
+		t.Fatal("shared serve instances rendered different bytes than the CLI run")
+	}
+	// Both instances run in this process, so the process-wide save
+	// counter covers them jointly: the grid's cells were computed (and
+	// saved) exactly once across the two.
+	if st := experiment.GetCheckpointStats(); st.Saved != 3 {
+		t.Fatalf("cells saved across shared instances = %d, want 3", st.Saved)
+	}
+}

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Chaos shard smoke: the ISSUE's multi-process kill -9 pin. Three real
+# cohmeleon worker processes shard one sweep grid over one shared cache
+# directory via -shared leases; one worker is SIGKILL'd mid-sweep. The
+# survivors must reclaim the victim's orphaned cells and finish, every
+# surviving worker's report must be byte-identical to a single-process
+# -fidelity full reference run (modulo the wall-clock footer lines),
+# the store must fsck clean, and every reclaimed cell must be counted
+# exactly once (one tokened reclaim marker per reclaim on disk).
+set -euo pipefail
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+bin="$work/cohmeleon"
+go build -o "$bin" ./cmd/cohmeleon
+
+args=(run -profile tiny -scenarios 8 -fidelity full)
+
+# Reference: the single-process run.
+"$bin" "${args[@]}" -out "$work/ref.txt" sweep
+
+# Three shard workers over one cache dir. The short TTL keeps the
+# post-kill reclaim (and so the whole smoke) fast; the victim gets one
+# worker slot so the survivors keep most cells moving while it dies.
+cache="$work/cache"
+shard=(-shared -cache-dir "$cache" -lease-ttl 2s)
+"$bin" "${args[@]}" "${shard[@]}" -worker-id w1 -out "$work/w1.txt" sweep 2> "$work/w1.log" &
+pid1=$!
+"$bin" "${args[@]}" "${shard[@]}" -worker-id w2 -out "$work/w2.txt" sweep 2> "$work/w2.log" &
+pid2=$!
+"$bin" "${args[@]}" "${shard[@]}" -worker-id w3 -workers 1 -out "$work/w3.txt" sweep 2> "$work/w3.log" &
+pid3=$!
+
+# kill -9 worker 3 mid-sweep: no signal handler, no cleanup, exactly a
+# crashed host. On a fast machine it may already have finished — then
+# the kill is a no-op and the run degrades to a 3-survivor smoke, which
+# still exercises the shared path (the CI timing makes that rare).
+sleep 1
+if kill -9 "$pid3" 2>/dev/null; then
+  echo "killed worker w3 (pid $pid3) mid-sweep"
+else
+  echo "worker w3 finished before the kill; continuing as a no-victim run"
+fi
+wait "$pid3" || true
+
+status=0
+wait "$pid1" || status=$?
+[ "$status" -eq 0 ] || { echo "worker w1 failed ($status)"; cat "$work/w1.log"; exit 1; }
+wait "$pid2" || status=$?
+[ "$status" -eq 0 ] || { echo "worker w2 failed ($status)"; cat "$work/w2.log"; exit 1; }
+
+# Every survivor assembled the full grid: reports byte-identical to the
+# single-process reference.
+cmp <(grep -v 'completed in' "$work/ref.txt") <(grep -v 'completed in' "$work/w1.txt")
+cmp <(grep -v 'completed in' "$work/ref.txt") <(grep -v 'completed in' "$work/w2.txt")
+echo "chaos shard smoke: both survivors' reports are byte-identical to the reference"
+
+# The store fscks clean after the SIGKILL: torn lease files quarantined
+# or absent, orphaned temp files swept, every cell intact.
+"$bin" run -cache-verify -cache-dir "$cache"
+
+# Reclaim accounting: the survivors' stderr counters must agree with
+# the on-disk audit trail — every reclaimed cell counted exactly once,
+# which is once per tokened reclaim marker.
+grep -h 'leases:' "$work/w1.log" "$work/w2.log" || true
+markers=$(find "$cache/leases" -name '*.reclaimed-*' 2>/dev/null | wc -l)
+counted=$(grep -ho '[0-9]* reclaimed' "$work/w1.log" "$work/w2.log" \
+  | awk '{sum += $1} END {print sum+0}')
+echo "reclaim markers on disk: $markers; reclaims counted by survivors: $counted"
+if [ "$markers" -ne "$counted" ]; then
+  echo "reclaim accounting mismatch: $counted counted, $markers markers" >&2
+  exit 1
+fi
+# No live lease may survive a completed grid.
+leftover=$(find "$cache/leases" -name '*.lease' 2>/dev/null | wc -l)
+if [ "$leftover" -ne 0 ]; then
+  echo "leases left behind after completion:" >&2
+  find "$cache/leases" -name '*.lease' >&2
+  exit 1
+fi
+echo "chaos shard smoke: fsck clean, reclaims counted exactly once"
